@@ -1,0 +1,93 @@
+"""E10 — the data-exchange motivation (§1): the chase computes
+universal solutions, and the termination machinery predicts chase
+safety ahead of time.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.cq import ConjunctiveQuery, is_model
+from repro.exchange import ExchangeSetting
+from repro.model import Variable
+from repro.parser import parse_atom, parse_database, parse_program
+
+
+def _setting() -> ExchangeSetting:
+    return ExchangeSetting(
+        parse_program(
+            "emp(N, D) -> exists E . employee(E, N), inDept(E, D)"
+        ),
+        parse_program(
+            """
+            inDept(E, D) -> dept(D)
+            dept(D) -> exists M . manages(M, D)
+            """
+        ),
+    )
+
+
+def _source(rows: int):
+    return parse_database(
+        "\n".join(f"emp(worker{i}, dept{i % 5})" for i in range(rows))
+    )
+
+
+def test_e10_universal_solution(benchmark):
+    setting = _setting()
+    source = _source(10)
+
+    def run():
+        solution = setting.solve(source)
+        return solution
+
+    solution = benchmark(run)
+    assert is_model(solution, setting.target)
+    print_table(
+        "E10: universal solution",
+        ["source facts", "solution facts", "is target model"],
+        [(len(source), len(solution), True)],
+    )
+
+
+def test_e10_certain_answers_scaling(benchmark):
+    setting = _setting()
+
+    def run():
+        rows = []
+        d = Variable("D")
+        query = ConjunctiveQuery([d], [parse_atom("dept(D)")])
+        for size in (5, 10, 20, 40):
+            answers = setting.certain_answers(_source(size), query)
+            rows.append((size, len(answers)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E10: certain dept answers vs source size",
+                ["source facts", "certain answers"], rows)
+    for size, answers in rows:
+        assert answers == min(size, 5)  # 5 distinct departments
+
+
+def test_e10_termination_precheck(benchmark):
+    """The deciders flag the unsafe variant of the setting before any
+    chase is attempted."""
+
+    def run():
+        safe = _setting().guarantees_termination("semi_oblivious")
+        unsafe_setting = ExchangeSetting(
+            parse_program(
+                "emp(N, D) -> exists E . employee(E, N), inDept(E, D)"
+            ),
+            parse_program(
+                "inDept(E, D) -> exists E2 . inDept(E2, D), mentor(E2, E)"
+            ),
+        )
+        unsafe = unsafe_setting.guarantees_termination("semi_oblivious")
+        return safe, unsafe
+
+    safe, unsafe = benchmark(run)
+    print_table("E10: termination precheck",
+                ["setting", "guaranteed terminating"],
+                [("standard", safe), ("self-feeding", unsafe)])
+    assert safe is True
+    assert unsafe is False

@@ -1,0 +1,124 @@
+"""E11 (ablation) — how much precision do the classic sufficient
+conditions give up against the paper's exact deciders?
+
+The paper's opening question: "with so much effort spent on
+identifying sufficient conditions for the termination of the chase,
+[does] a sufficient condition that is also necessary exist?"  This
+bench quantifies the gap on random guarded programs: each condition's
+acceptance rate vs the exact Theorem 2/4 verdict, with the hierarchy
+RA ⊆ WA ⊆ JA ⊆ MFA ⊆ CT_so checked along the way.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.chase import ChaseVariant
+from repro.graphs import (
+    is_jointly_acyclic,
+    is_richly_acyclic,
+    is_weakly_acyclic,
+)
+from repro.termination import decide_termination, is_mfa
+from repro.workloads import random_guarded, random_linear, random_simple_linear
+
+SAMPLES = (
+    [random_simple_linear(3 + s % 3, seed=s) for s in range(20)]
+    + [random_linear(3 + s % 3, repeat_prob=0.5, seed=s) for s in range(20)]
+    + [random_guarded(2 + s % 3, seed=s) for s in range(12)]
+)
+
+
+def test_e11_condition_precision(benchmark):
+    def run():
+        counts = {"RA": 0, "WA": 0, "JA": 0, "MFA": 0, "exact(so)": 0}
+        hierarchy_violations = 0
+        soundness_violations = 0
+        for rules in SAMPLES:
+            ra = is_richly_acyclic(rules)
+            wa = is_weakly_acyclic(rules)
+            ja = is_jointly_acyclic(rules)
+            mfa = is_mfa(rules)
+            exact = decide_termination(
+                rules, variant=ChaseVariant.SEMI_OBLIVIOUS
+            ).terminating
+            counts["RA"] += ra
+            counts["WA"] += wa
+            counts["JA"] += ja
+            counts["MFA"] += mfa
+            counts["exact(so)"] += exact
+            chain = [ra, wa, ja, mfa, exact]
+            for weaker, stronger in zip(chain, chain[1:]):
+                if weaker and not stronger:
+                    hierarchy_violations += 1
+            if mfa and not exact:
+                soundness_violations += 1
+        return counts, hierarchy_violations, soundness_violations
+
+    counts, hierarchy_violations, soundness_violations = benchmark(run)
+    total = len(SAMPLES)
+    print_table(
+        "E11: acceptance rates of termination conditions "
+        f"({total} random programs, semi-oblivious)",
+        ["condition", "accepts", "share"],
+        [
+            (name, count, f"{count / total:.0%}")
+            for name, count in counts.items()
+        ],
+    )
+    print_table(
+        "E11: hierarchy RA ⊆ WA ⊆ JA ⊆ MFA ⊆ CT_so",
+        ["check", "violations"],
+        [
+            ("chain inclusions", hierarchy_violations),
+            ("MFA soundness", soundness_violations),
+        ],
+    )
+    assert hierarchy_violations == 0
+    assert soundness_violations == 0
+    # The exact decider must accept at least as much as every
+    # sufficient condition — and strictly more overall, which is the
+    # paper's raison d'être.
+    assert counts["exact(so)"] >= counts["MFA"] >= counts["JA"] >= counts["WA"]
+    assert counts["exact(so)"] > counts["WA"]
+
+
+def test_e12_instance_level_refinement(benchmark):
+    """Per-database termination (guarded) refines the all-instance
+    question: Example 1 diverges in general yet terminates on every
+    person-free database."""
+    from repro.parser import parse_database, parse_program
+    from repro.termination import decide_termination_on
+
+    rules = parse_program(
+        "person(X) -> exists Y . hasFather(X, Y), person(Y)"
+    )
+    databases = [
+        ("person(bob)", False),
+        ("person(a)\nperson(b)", False),
+        ("hasFather(a, b)", True),
+        ("", True),
+    ]
+
+    def run():
+        rows = []
+        for db_text, expected in databases:
+            verdict = decide_termination_on(
+                rules, parse_database(db_text)
+            )
+            rows.append(
+                (db_text.replace("\n", ", ") or "(empty)",
+                 verdict.terminating)
+            )
+            assert verdict.terminating == expected
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "E12: Example 1, per-database verdicts",
+        ["database", "terminates"],
+        rows,
+    )
+    all_instance = decide_termination(
+        rules, variant=ChaseVariant.SEMI_OBLIVIOUS
+    )
+    assert not all_instance.terminating

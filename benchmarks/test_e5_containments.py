@@ -1,0 +1,83 @@
+"""E5/E6 — the paper's class containments, measured.
+
+§2: CT_o ⊆ CT_so (and ∀/∃ variants coincide — our engines realize one
+fair sequence, whose termination status is the class's by the cited
+equivalence).  §3.1: RA ⊆ WA.  The bench counts how often the
+inclusions are strict on random programs — the separation rate.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.chase import ChaseVariant
+from repro.graphs import is_richly_acyclic, is_weakly_acyclic
+from repro.termination import decide_termination
+from repro.workloads import random_guarded, random_linear, random_simple_linear
+
+SAMPLES = (
+    [random_simple_linear(3 + s % 3, seed=s) for s in range(25)]
+    + [random_linear(3 + s % 3, repeat_prob=0.5, seed=s) for s in range(20)]
+    + [random_guarded(2 + s % 3, seed=s) for s in range(15)]
+)
+
+
+def test_e5_ct_o_subset_ct_so(benchmark):
+    def run():
+        violations = 0
+        strict = 0
+        both_terminating = 0
+        for rules in SAMPLES:
+            o = decide_termination(
+                rules, variant=ChaseVariant.OBLIVIOUS
+            ).terminating
+            so = decide_termination(
+                rules, variant=ChaseVariant.SEMI_OBLIVIOUS
+            ).terminating
+            if o and not so:
+                violations += 1
+            if so and not o:
+                strict += 1
+            if o and so:
+                both_terminating += 1
+        return violations, strict, both_terminating
+
+    violations, strict, both = benchmark(run)
+    print_table(
+        "E5: CT_o ⊆ CT_so on random programs",
+        ["check", "count"],
+        [
+            ("violations (must be 0)", violations),
+            ("strictly so-only terminating", strict),
+            ("terminating for both", both),
+            ("total programs", len(SAMPLES)),
+        ],
+    )
+    assert violations == 0
+    assert strict > 0  # the inclusion is strict — the paper's point
+
+
+def test_e6_ra_subset_wa(benchmark):
+    def run():
+        violations = 0
+        strict = 0
+        for rules in SAMPLES:
+            ra = is_richly_acyclic(rules)
+            wa = is_weakly_acyclic(rules)
+            if ra and not wa:
+                violations += 1
+            if wa and not ra:
+                strict += 1
+        return violations, strict
+
+    violations, strict = benchmark(run)
+    print_table(
+        "E6: RA ⊆ WA on random programs",
+        ["check", "count"],
+        [
+            ("violations (must be 0)", violations),
+            ("strictly WA-only", strict),
+            ("total programs", len(SAMPLES)),
+        ],
+    )
+    assert violations == 0
+    assert strict > 0

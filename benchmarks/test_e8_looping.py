@@ -1,0 +1,80 @@
+"""E8 — the looping operator: entailment ⟶ co-termination, end to end.
+
+For a batch of entailment instances (half entailed, half not) the
+reduction must flip exactly with entailment, deciding each transformed
+program with the Theorem 4 procedure — the paper's lower-bound pipeline
+run forwards.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.chase import ChaseVariant
+from repro.entailment import entails_atom, looping_operator
+from repro.model import Predicate
+from repro.parser import parse_atom, parse_database, parse_program
+from repro.termination import decide_termination
+
+BASE = parse_program(
+    """
+    admin(X) -> canWrite(X)
+    canWrite(X), audited(X) -> alert()
+    """
+)
+GOAL = Predicate("alert", 0)
+
+INSTANCES = [
+    ("admin(root)\naudited(root)", True),
+    ("admin(root)\naudited(visitor)", False),
+    ("admin(a)\nadmin(b)\naudited(b)", True),
+    ("audited(a)\naudited(b)", False),
+    ("admin(a)\nadmin(b)", False),
+    ("admin(x)\naudited(x)\nadmin(y)", True),
+]
+
+
+def test_e8_reduction_correctness(benchmark):
+    def run():
+        rows = []
+        for db_text, expected in INSTANCES:
+            db = parse_database(db_text)
+            entailed = entails_atom(BASE, db, parse_atom("alert()"))
+            program = looping_operator(BASE, db, GOAL)
+            verdict = decide_termination(
+                program.rules, variant=ChaseVariant.SEMI_OBLIVIOUS
+            )
+            rows.append(
+                (db_text.replace("\n", ", "), entailed,
+                 not verdict.terminating, len(program))
+            )
+            assert entailed == expected
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "E8: looping operator  (entailed ⇔ non-terminating)",
+        ["database", "entailed", "loop(Σ,D,p) diverges", "rules"],
+        rows,
+    )
+    for _, entailed, diverges, _ in rows:
+        assert entailed == diverges
+
+
+def test_e8_transformation_size(benchmark):
+    """The operator's output grows linearly with |D| + |Σ|."""
+
+    def run():
+        rows = []
+        for facts in (1, 2, 4, 8):
+            db_text = "\n".join(f"admin(u{i})" for i in range(facts))
+            db = parse_database(db_text)
+            program = looping_operator(BASE, db, GOAL,
+                                       check_termination=False)
+            rows.append((facts, len(program)))
+        return rows
+
+    rows = benchmark(run)
+    print_table("E8: transformation size", ["|D| facts", "rules"], rows)
+    for facts, size in rows:
+        # start + layout + facts + |Σ| + restart
+        assert size == 3 + facts + len(BASE)

@@ -1,0 +1,93 @@
+"""E9 — §4 future work: restricted chase for single-head linear TGDs.
+
+The reconstruction's verdicts against budgeted restricted-chase runs,
+and the polynomial-time scaling the paper claims for the syntactic
+test.
+"""
+
+import itertools
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.chase import ChaseVariant, run_chase
+from repro.model import Atom, Constant, Database, Schema
+from repro.parser import parse_program
+from repro.termination import decide_restricted_single_head
+
+CASES = [
+    ("p(X, Y) -> exists Z . p(X, Z)", True),
+    ("p(X, Y) -> exists Z . p(Y, Z)", False),
+    ("a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a(Y)", False),
+    ("a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a2(Y)", True),
+    (
+        "p1(X) -> exists Y . p2(X, Y)\np2(X, Y) -> exists Z . p3(Y, Z)",
+        True,
+    ),
+]
+
+
+def _distinct_database(rules) -> Database:
+    database = Database()
+    counter = itertools.count(1)
+    for pred in Schema.from_rules(rules):
+        database.add(
+            Atom(pred, [Constant(f"c{next(counter)}")
+                        for _ in range(pred.arity)])
+        )
+    return database
+
+
+def test_e9_verdicts_vs_chase(benchmark):
+    def run():
+        rows = []
+        for text, expected in CASES:
+            rules = parse_program(text)
+            verdict = decide_restricted_single_head(rules)
+            result = run_chase(
+                _distinct_database(rules), rules,
+                ChaseVariant.RESTRICTED, max_steps=400,
+            )
+            rows.append(
+                (text.split("\n")[0][:38], verdict.terminating,
+                 result.terminated)
+            )
+            assert verdict.terminating == expected
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "E9: §4 decider vs budgeted restricted chase",
+        ["program (first rule)", "decider", "chase fixpoint"],
+        rows,
+    )
+    for _, decided, observed in rows:
+        assert decided == observed
+
+
+def test_e9_polynomial_scaling(benchmark):
+    """The rule-graph test stays polynomial in the rule count."""
+
+    def chain(n):
+        lines = []
+        for i in range(n):
+            lines.append(f"q{i}(X) -> exists Y . q{i + 1}(X, Y)"
+                         if i % 2 == 0 else f"q{i}(X, Y) -> q{i + 1}(Y)")
+        return parse_program("\n".join(lines))
+
+    def run():
+        rows = []
+        for n in (8, 16, 32, 64):
+            rules = chain(n)
+            start = time.perf_counter()
+            verdict = decide_restricted_single_head(rules)
+            elapsed = time.perf_counter() - start
+            assert verdict.terminating
+            rows.append((n, f"{elapsed * 1000:.2f} ms"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E9: decision time vs #rules",
+                ["rules", "time"], rows)
+    assert len(rows) == 4

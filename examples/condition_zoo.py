@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The termination-condition zoo: sufficient conditions vs the paper.
+
+The paper's introduction recalls "a long line of research on
+identifying syntactic properties on TGDs such that, for every input
+database, the termination of the chase is guaranteed" — and asks for a
+condition that is also *necessary*.  This example audits a gallery of
+rule sets against the whole ladder:
+
+    RA  ⊆  WA  ⊆  JA  ⊆  MFA  ⊆  CT_so  (exact, Theorems 1/2/4)
+
+showing exactly where each sufficient condition starts lying.
+
+Run:  python examples/condition_zoo.py
+"""
+
+from repro import parse_program
+from repro.graphs import (
+    is_jointly_acyclic,
+    is_richly_acyclic,
+    is_weakly_acyclic,
+)
+from repro.termination import decide_termination, is_mfa
+
+GALLERY = [
+    ("plain chain",
+     "p(X) -> exists Z . q(X, Z)\nq(X, Y) -> r(Y)"),
+    ("Example 2 (diverges)",
+     "p(X, Y) -> exists Z . p(Y, Z)"),
+    ("o/so separation",
+     "p(X, Y) -> exists Z . p(X, Z)"),
+    ("diagonal (Thm 2 star witness)",
+     "p(X, X) -> exists Z . p(X, Z)"),
+    ("diagonal restored (diverges)",
+     "p(X, X) -> exists Z . q(X, Z)\nq(X, Y) -> p(Y, Y)"),
+    ("guarded tower",
+     "r1(X, Y), m1(Y) -> exists Z . r2(Y, Z), m2(Z)"),
+    ("guarded loop (diverges)",
+     "g(X, Y), q(Y) -> exists Z . g(Y, Z), q(Z)"),
+]
+
+
+def main() -> None:
+    header = ("rule set", "RA", "WA", "JA", "MFA", "exact o", "exact so")
+    rows = []
+    for name, text in GALLERY:
+        rules = parse_program(text)
+        rows.append(
+            (
+                name,
+                is_richly_acyclic(rules),
+                is_weakly_acyclic(rules),
+                is_jointly_acyclic(rules),
+                is_mfa(rules),
+                decide_termination(rules, variant="oblivious").terminating,
+                decide_termination(
+                    rules, variant="semi_oblivious"
+                ).terminating,
+            )
+        )
+
+    widths = [max(len(str(r[i])) for r in rows + [header])
+              for i in range(len(header))]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    print(fmt.format(*header))
+    print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        print(fmt.format(*(str(c) for c in row)))
+
+    print()
+    print("Reading the table:")
+    print(" * every True in a left column propagates right (the ladder is")
+    print("   a chain of inclusions);")
+    print(" * the diagonal row is the paper's Theorem 2 motivation: WA")
+    print("   says 'dangerous', the chase never diverges — only the exact")
+    print("   (critical-acyclicity) column gets it right at both ends;")
+    print(" * the 'exact' columns are decision procedures, not heuristics:")
+    print("   that is the paper's contribution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The looping operator: entailment ⟶ co-(chase termination).
+
+The paper's lower bounds (Theorems 3 and 4) all run through one
+generic reduction: from propositional atom entailment to the
+*complement* of chase termination.  This example applies the library's
+looping operator to a tiny access-control policy and shows both
+directions of the reduction, decided end-to-end by the Theorem 4
+procedure.
+
+Run:  python examples/lower_bound_reduction.py
+"""
+
+from repro import Predicate, decide_termination, parse_database, parse_program
+from repro.entailment import entails_atom, looping_operator
+from repro.parser import parse_atom, rule_to_text
+
+
+POLICY = """
+% Administrators can read and write.
+admin(X) -> canRead(X)
+admin(X) -> canWrite(X)
+% Writers on audited systems trip the alert.
+canWrite(X), audited(X) -> alert()
+"""
+
+
+def show_case(title: str, data: str) -> None:
+    rules = parse_program(POLICY)
+    database = parse_database(data)
+    goal = Predicate("alert", 0)
+    entailed = entails_atom(rules, database, parse_atom("alert()"))
+
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print("database:", ", ".join(sorted(str(f) for f in database)))
+    print("alert() entailed?", entailed)
+
+    program = looping_operator(rules, database, goal)
+    print(f"\nloop(Σ, D, alert) has {len(program)} rules, e.g.:")
+    for rule in program.rules[:3]:
+        print("  ", rule_to_text(rule))
+    print("   ...")
+
+    verdict = decide_termination(program.rules, variant="semi_oblivious")
+    print(f"\nchase termination of loop(Σ, D, alert): "
+          f"{'terminating' if verdict.terminating else 'NON-terminating'}")
+    print(f"reduction check: entailed={entailed} should equal "
+          f"non-terminating={not verdict.terminating}  ->  "
+          f"{'OK' if entailed == (not verdict.terminating) else 'MISMATCH'}")
+    print()
+
+
+def main() -> None:
+    show_case(
+        "Case 1: the alert IS entailed (chase must diverge)",
+        """
+        admin(root)
+        audited(root)
+        """,
+    )
+    show_case(
+        "Case 2: the alert is NOT entailed (chase must terminate)",
+        """
+        admin(root)
+        audited(visitor)
+        """,
+    )
+    print("The looping operator turns an entailment question into a")
+    print("termination question — this is exactly how the paper derives")
+    print("its 2EXPTIME-hardness for guarded chase termination.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Ontology reasoning: termination auditing for DL-Lite-style rules.
+
+The paper notes that simple linear TGDs capture inclusion dependencies
+and key description logics such as DL-Lite.  This example models a
+small university ontology, audits which chase variants terminate, and
+answers queries with the guarded entailment engine when the chase
+itself would run forever.
+
+Run:  python examples/ontology_reasoning.py
+"""
+
+from repro import decide_termination, parse_database, parse_program
+from repro.classes import classify
+from repro.entailment import entails_atom, saturated_facts
+from repro.parser import parse_atom, rule_to_text
+
+
+ONTOLOGY = """
+% Every professor teaches some course.
+professor(X) -> exists C . teaches(X, C)
+% Whatever is taught is a course.
+teaches(X, C) -> course(C)
+% Every course is organized by some department.
+course(C) -> exists D . organizedBy(C, D)
+% Departments are organizations.
+organizedBy(C, D) -> organization(D)
+% Every organization has a head, who is a professor.
+organization(D) -> exists H . headedBy(D, H)
+headedBy(D, H) -> professor(H)
+"""
+
+DATA = """
+professor(turing)
+"""
+
+
+def main() -> None:
+    rules = parse_program(ONTOLOGY)
+    database = parse_database(DATA)
+
+    print("ontology:")
+    for rule in rules:
+        print("  ", rule_to_text(rule))
+    print("\nclass membership:", classify(rules))
+
+    print("\ntermination audit:")
+    for variant in ("oblivious", "semi_oblivious"):
+        verdict = decide_termination(rules, variant=variant)
+        outcome = "terminates" if verdict.terminating else "diverges"
+        print(f"  {variant:15s}: {outcome}  (method: {verdict.method})")
+        if verdict.witness is not None:
+            describe = getattr(verdict.witness, "describe", None)
+            if callable(describe):
+                print("      witness:", describe())
+
+    # The chase diverges (professor -> course -> organization -> professor
+    # closes a null-generating loop), but guarded entailment still answers
+    # queries over the known individuals exactly.
+    print("\nqueries over the (infinite-chase) ontology:")
+    for text in (
+        "professor(turing)",
+        "course(turing)",
+        "organization(turing)",
+    ):
+        atom = parse_atom(text)
+        print(f"  entails {text:25s}:",
+              entails_atom(rules, database, atom))
+
+    print("\nall derivable facts over the named individuals:")
+    for fact in sorted(saturated_facts(rules, database), key=str):
+        print("  ", fact)
+
+
+if __name__ == "__main__":
+    main()

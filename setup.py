@@ -1,0 +1,11 @@
+"""Setuptools shim for environments whose tooling predates PEP 660.
+
+``pip install -e .`` with modern pip/setuptools/wheel uses
+pyproject.toml directly; this file only enables legacy editable
+installs (``pip install -e . --no-build-isolation --no-use-pep517``)
+on offline machines without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

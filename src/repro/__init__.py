@@ -1,0 +1,102 @@
+"""repro — chase termination for guarded existential rules.
+
+A production-quality reproduction of
+
+    Marco Calautti, Georg Gottlob, Andreas Pieris.
+    "Chase Termination for Guarded Existential Rules", PODS 2015.
+
+The library provides:
+
+* a logical model of TGDs (existential rules), instances, and
+  homomorphisms (:mod:`repro.model`);
+* fair oblivious / semi-oblivious / restricted chase engines and
+  critical instances (:mod:`repro.chase`);
+* weak/rich acyclicity and the dependency graphs behind them
+  (:mod:`repro.graphs`);
+* the paper's termination deciders for simple-linear, linear, and
+  guarded rule sets, with checkable certificates
+  (:mod:`repro.termination`);
+* propositional atom entailment and the looping-operator reduction
+  (:mod:`repro.entailment`);
+* conjunctive queries and certain answers (:mod:`repro.cq`), data
+  exchange on top of the chase (:mod:`repro.exchange`), a rule text
+  format (:mod:`repro.parser`), and seeded workload generators
+  (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import parse_program, decide_termination
+
+    rules = parse_program("person(X) -> exists Y . father(X, Y), person(Y)")
+    verdict = decide_termination(rules, variant="semi_oblivious")
+    assert not verdict.terminating
+
+"""
+
+from .chase import (
+    ChaseResult,
+    ChaseVariant,
+    critical_instance,
+    oblivious_chase,
+    restricted_chase,
+    run_chase,
+    semi_oblivious_chase,
+    standard_critical_instance,
+)
+from .classes import classify, narrowest_class
+from .graphs import is_richly_acyclic, is_weakly_acyclic
+from .model import (
+    Atom,
+    Constant,
+    Database,
+    Instance,
+    Null,
+    Predicate,
+    Schema,
+    TGD,
+    Variable,
+)
+from .parser import (
+    parse_atom,
+    parse_database,
+    parse_program,
+    parse_rule,
+    program_to_text,
+    rule_to_text,
+)
+from .termination import TerminationVerdict, decide_termination
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ChaseResult",
+    "ChaseVariant",
+    "Constant",
+    "Database",
+    "Instance",
+    "Null",
+    "Predicate",
+    "Schema",
+    "TGD",
+    "TerminationVerdict",
+    "Variable",
+    "__version__",
+    "classify",
+    "critical_instance",
+    "decide_termination",
+    "is_richly_acyclic",
+    "is_weakly_acyclic",
+    "narrowest_class",
+    "oblivious_chase",
+    "parse_atom",
+    "parse_database",
+    "parse_program",
+    "parse_rule",
+    "program_to_text",
+    "restricted_chase",
+    "rule_to_text",
+    "run_chase",
+    "semi_oblivious_chase",
+    "standard_critical_instance",
+]

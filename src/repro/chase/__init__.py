@@ -1,0 +1,52 @@
+"""Chase engines: oblivious, semi-oblivious, and restricted, plus
+critical instances and trigger machinery."""
+
+from .critical import (
+    CRITICAL_CONSTANT,
+    ONE_CONSTANT,
+    ONE_PREDICATE,
+    ZERO_CONSTANT,
+    ZERO_PREDICATE,
+    critical_domain,
+    critical_instance,
+    standard_critical_instance,
+)
+from .engine import (
+    DEFAULT_MAX_STEPS,
+    oblivious_chase,
+    restricted_chase,
+    run_chase,
+    semi_oblivious_chase,
+)
+from .result import ChaseResult, ChaseStep
+from .triggers import (
+    ChaseVariant,
+    Trigger,
+    all_triggers,
+    apply_trigger,
+    head_satisfied,
+    triggers_for_rule,
+)
+
+__all__ = [
+    "CRITICAL_CONSTANT",
+    "ChaseResult",
+    "ChaseStep",
+    "ChaseVariant",
+    "DEFAULT_MAX_STEPS",
+    "ONE_CONSTANT",
+    "ONE_PREDICATE",
+    "Trigger",
+    "ZERO_CONSTANT",
+    "ZERO_PREDICATE",
+    "all_triggers",
+    "apply_trigger",
+    "critical_domain",
+    "critical_instance",
+    "head_satisfied",
+    "oblivious_chase",
+    "restricted_chase",
+    "run_chase",
+    "semi_oblivious_chase",
+    "standard_critical_instance",
+]

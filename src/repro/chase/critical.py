@@ -1,0 +1,84 @@
+"""Critical instances (Marnette, PODS'09) — the all-instance oracle.
+
+For the oblivious and semi-oblivious chase, Σ terminates on *every*
+database iff it terminates on the **critical instance**: the database
+containing every fact over the active domain  consts(Σ) ∪ {*}  with a
+single fresh constant ``*``.  This reduces all-instance termination to
+single-instance termination, and is the semantic anchor of both the
+deciders in :mod:`repro.termination` and the ground-truth oracles used
+by the test-suite and benchmarks.
+
+The paper's Theorem 4 speaks about *standard databases* — databases
+providing two constants 0 and 1 via unary predicates ``zero`` and
+``one``.  :func:`standard_critical_instance` builds the corresponding
+critical database over ``{*, 0, 1}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..model import (
+    Atom,
+    Constant,
+    Database,
+    Predicate,
+    Schema,
+    TGD,
+    program_constants,
+)
+
+CRITICAL_CONSTANT = Constant("*")
+ZERO_CONSTANT = Constant("0")
+ONE_CONSTANT = Constant("1")
+ZERO_PREDICATE = Predicate("zero", 1)
+ONE_PREDICATE = Predicate("one", 1)
+
+
+def critical_instance(
+    rules: Sequence[TGD],
+    schema: Optional[Schema] = None,
+) -> Database:
+    """The critical instance of Σ: all facts over consts(Σ) ∪ {*}.
+
+    ``schema`` defaults to the schema induced by ``rules``; pass a
+    larger one to include predicates that only databases mention.
+    """
+    schema = schema or Schema.from_rules(rules)
+    domain: List[Constant] = sorted(
+        program_constants(rules) | {CRITICAL_CONSTANT}
+    )
+    return _fill(schema, domain)
+
+
+def standard_critical_instance(
+    rules: Sequence[TGD],
+    schema: Optional[Schema] = None,
+) -> Database:
+    """The critical instance for *standard* databases (Theorem 4):
+    domain ``consts(Σ) ∪ {*, 0, 1}`` plus the facts ``zero(0)`` and
+    ``one(1)`` making the two standard constants available."""
+    schema = schema or Schema.from_rules(rules)
+    schema = schema.merge(Schema([ZERO_PREDICATE, ONE_PREDICATE]))
+    domain = sorted(
+        program_constants(rules)
+        | {CRITICAL_CONSTANT, ZERO_CONSTANT, ONE_CONSTANT}
+    )
+    database = _fill(schema, domain)
+    database.add(Atom(ZERO_PREDICATE, [ZERO_CONSTANT]))
+    database.add(Atom(ONE_PREDICATE, [ONE_CONSTANT]))
+    return database
+
+
+def _fill(schema: Schema, domain: Sequence[Constant]) -> Database:
+    database = Database()
+    for pred in schema:
+        for combo in itertools.product(domain, repeat=pred.arity):
+            database.add(Atom(pred, combo))
+    return database
+
+
+def critical_domain(rules: Sequence[TGD]) -> Tuple[Constant, ...]:
+    """The active domain of the (plain) critical instance of Σ."""
+    return tuple(sorted(program_constants(rules) | {CRITICAL_CONSTANT}))

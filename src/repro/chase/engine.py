@@ -1,0 +1,169 @@
+"""The chase engine: oblivious, semi-oblivious, and restricted runs.
+
+The engine executes a *fair* chase sequence: it works in rounds; each
+round discovers the triggers enabled by the facts added in the
+previous round (semi-naive evaluation — a trigger is found when some
+body atom matches a new fact and the rest of the body matches the
+instance) and applies the not-yet-fired ones in deterministic order.
+Every trigger that ever becomes available is applied after finitely
+many rounds, so the produced sequence satisfies the fairness condition
+of §2.
+
+Termination is detected when a full round fires nothing.  A
+``max_steps`` budget makes the engine total on non-terminating inputs
+(the result then reports ``terminated=False``); the all-instance
+termination *deciders* live in :mod:`repro.termination`, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from ..model import (
+    Atom,
+    Instance,
+    NullFactory,
+    Predicate,
+    TGD,
+    homomorphisms,
+    match_atom,
+    validate_program,
+)
+from .result import ChaseResult, ChaseStep
+from .triggers import (
+    ChaseVariant,
+    Trigger,
+    TriggerKey,
+    apply_trigger,
+    head_satisfied,
+    triggers_for_rule,
+)
+
+DEFAULT_MAX_STEPS = 10_000
+
+
+def _incremental_triggers(
+    rules: Sequence[TGD],
+    instance: Instance,
+    new_facts: Sequence[Atom],
+) -> Iterator[Trigger]:
+    """Triggers whose body match involves at least one fact from
+    ``new_facts``.  May repeat a trigger (when several body atoms hit
+    new facts); the caller's fired-key set deduplicates."""
+    new_by_predicate: Dict[Predicate, List[Atom]] = {}
+    for fact in new_facts:
+        new_by_predicate.setdefault(fact.predicate, []).append(fact)
+    for rule_index, rule in enumerate(rules):
+        for pivot, pivot_atom in enumerate(rule.body):
+            candidates = new_by_predicate.get(pivot_atom.predicate)
+            if not candidates:
+                continue
+            rest = [a for i, a in enumerate(rule.body) if i != pivot]
+            for fact in candidates:
+                partial = match_atom(pivot_atom, fact, {})
+                if partial is None:
+                    continue
+                for assignment in homomorphisms(rest, instance, partial):
+                    yield Trigger(rule, rule_index, assignment)
+
+
+def run_chase(
+    database: Instance,
+    rules: Sequence[TGD],
+    variant: str = ChaseVariant.SEMI_OBLIVIOUS,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    null_factory: Optional[NullFactory] = None,
+    order_seed: Optional[int] = None,
+) -> ChaseResult:
+    """Run a fair ``variant`` chase of ``rules`` on ``database``.
+
+    ``database`` is not mutated.  ``max_steps`` bounds the number of
+    trigger applications; on exhaustion the result has
+    ``terminated=False``.
+
+    For the oblivious and semi-oblivious variants, the paper recalls
+    that all fair sequences agree on termination (CT_∀ = CT_∃), so the
+    engine's fixed order is without loss of generality; pass an
+    ``order_seed`` to shuffle the per-round trigger order and observe
+    this empirically (``tests/test_sequences.py``).  The restricted
+    chase is genuinely order-sensitive; the default order is one
+    canonical fair sequence.
+    """
+    if variant not in ChaseVariant.ALL:
+        raise ValueError(f"unknown chase variant {variant!r}")
+    if max_steps <= 0:
+        raise ValueError(f"max_steps must be positive, got {max_steps}")
+    rules = list(rules)
+    validate_program(rules)
+    instance = Instance(database)
+    factory = null_factory or NullFactory()
+    fired: Set[TriggerKey] = set()
+    steps: List[ChaseStep] = []
+    frontier: List[Atom] = list(instance)
+    rng = None
+    if order_seed is not None:
+        import random
+
+        rng = random.Random(order_seed)
+
+    while True:
+        round_triggers = list(
+            _incremental_triggers(rules, instance, frontier)
+        )
+        if rng is not None:
+            rng.shuffle(round_triggers)
+        frontier = []
+        fired_this_round = 0
+        for trigger in round_triggers:
+            key = trigger.key(variant)
+            if key in fired:
+                # Duplicate discovery, or subsumed by a trigger fired
+                # earlier this round (possible for the semi-oblivious
+                # key).
+                continue
+            if variant == ChaseVariant.RESTRICTED and head_satisfied(
+                trigger, instance
+            ):
+                # Satisfied triggers never become unsatisfied (instances
+                # only grow), so marking them fired is safe and keeps
+                # the round loop linear.
+                fired.add(key)
+                continue
+            fired.add(key)
+            new_facts = apply_trigger(trigger, instance, factory)
+            steps.append(ChaseStep(trigger, new_facts))
+            frontier.extend(new_facts)
+            fired_this_round += 1
+            if len(steps) >= max_steps:
+                return ChaseResult(instance, False, steps, variant, max_steps)
+        if fired_this_round == 0:
+            return ChaseResult(instance, True, steps, variant, max_steps)
+
+
+def oblivious_chase(
+    database: Instance,
+    rules: Sequence[TGD],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """The oblivious chase: every distinct body homomorphism fires."""
+    return run_chase(database, rules, ChaseVariant.OBLIVIOUS, max_steps)
+
+
+def semi_oblivious_chase(
+    database: Instance,
+    rules: Sequence[TGD],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """The semi-oblivious chase: homomorphisms agreeing on the frontier
+    are indistinguishable."""
+    return run_chase(database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps)
+
+
+def restricted_chase(
+    database: Instance,
+    rules: Sequence[TGD],
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> ChaseResult:
+    """The restricted (standard) chase: fire only when the head is not
+    yet satisfied."""
+    return run_chase(database, rules, ChaseVariant.RESTRICTED, max_steps)

@@ -1,0 +1,111 @@
+"""Chase outcomes: results, applied-step records, and model checks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model import (
+    Atom,
+    Instance,
+    TGD,
+    homomorphisms,
+    instance_homomorphism,
+)
+from .triggers import Trigger
+
+
+class ChaseStep:
+    """One applied trigger and the facts it produced."""
+
+    __slots__ = ("trigger", "new_facts")
+
+    def __init__(self, trigger: Trigger, new_facts: Sequence[Atom]):
+        self.trigger = trigger
+        self.new_facts = tuple(new_facts)
+
+    def __repr__(self) -> str:
+        produced = ", ".join(str(f) for f in self.new_facts)
+        return f"ChaseStep({self.trigger.rule.label or self.trigger.rule_index}: {produced})"
+
+
+class ChaseResult:
+    """The outcome of a (budgeted) chase run.
+
+    ``terminated`` is True iff the chase reached a fixpoint — no
+    applicable trigger remains.  When False the run stopped because the
+    ``max_steps`` budget was exhausted; nothing is implied about the
+    true (in)finiteness of the chase, which is exactly why the paper's
+    deciders exist.
+    """
+
+    __slots__ = ("instance", "terminated", "steps", "variant", "max_steps")
+
+    def __init__(
+        self,
+        instance: Instance,
+        terminated: bool,
+        steps: List[ChaseStep],
+        variant: str,
+        max_steps: int,
+    ):
+        self.instance = instance
+        self.terminated = terminated
+        self.steps = steps
+        self.variant = variant
+        self.max_steps = max_steps
+
+    @property
+    def step_count(self) -> int:
+        """How many triggers were applied."""
+        return len(self.steps)
+
+    @property
+    def exhausted(self) -> bool:
+        """True iff the run stopped on budget, not on a fixpoint."""
+        return not self.terminated
+
+    def provenance(self, fact: Atom) -> Optional[ChaseStep]:
+        """The step that created ``fact``, or ``None`` for database
+        facts (and facts not in the result)."""
+        for step in self.steps:
+            if fact in step.new_facts:
+                return step
+        return None
+
+    def facts_by_rule(self) -> Dict[str, int]:
+        """How many facts each rule contributed (by label or index)."""
+        out: Dict[str, int] = {}
+        for step in self.steps:
+            rule = step.trigger.rule
+            key = rule.label or f"rule{step.trigger.rule_index}"
+            out[key] = out.get(key, 0) + len(step.new_facts)
+        return out
+
+    def __repr__(self) -> str:
+        status = "terminated" if self.terminated else "budget-exhausted"
+        return (
+            f"ChaseResult({self.variant}, {status}, "
+            f"{self.step_count} steps, {len(self.instance)} facts)"
+        )
+
+    # -- semantic checks -----------------------------------------------------
+
+    def satisfies(self, rules: Sequence[TGD]) -> bool:
+        """True iff the result instance is a model of ``rules``.
+
+        Holds for every terminated chase; used by tests as the paper's
+        property (1) of chase results.
+        """
+        for rule in rules:
+            for assignment in homomorphisms(rule.body, self.instance):
+                partial = {v: assignment[v] for v in rule.frontier}
+                if next(
+                    homomorphisms(rule.head, self.instance, partial), None
+                ) is None:
+                    return False
+        return True
+
+    def maps_into(self, model: Instance) -> bool:
+        """True iff the result embeds homomorphically into ``model`` —
+        the universality property (2) of chase results."""
+        return instance_homomorphism(self.instance, model) is not None

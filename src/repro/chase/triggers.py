@@ -1,0 +1,137 @@
+"""Triggers and their identification policies.
+
+A *trigger* for a set Σ of TGDs on an instance ``I`` is a pair
+``(σ, h)`` where ``σ = φ → ψ ∈ Σ`` and ``h`` is a homomorphism mapping
+``φ`` into ``I`` (§2 of the paper).  The three chase variants differ in
+when two triggers are considered *the same* (and hence fired once):
+
+* **oblivious** — triggers are identified by the full homomorphism on
+  the body variables;
+* **semi-oblivious** — by the restriction of the homomorphism to the
+  frontier (the universally quantified variables occurring in the
+  head); homomorphisms agreeing there are indistinguishable;
+* **restricted** — as oblivious, but a trigger is *skipped* when its
+  head is already satisfied by some extension of the frontier image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..model import (
+    Assignment,
+    Atom,
+    Instance,
+    NullFactory,
+    TGD,
+    Term,
+    Variable,
+    homomorphisms,
+)
+
+
+class ChaseVariant:
+    """The chase variants studied by the paper."""
+
+    OBLIVIOUS = "oblivious"
+    SEMI_OBLIVIOUS = "semi_oblivious"
+    RESTRICTED = "restricted"
+
+    ALL = (OBLIVIOUS, SEMI_OBLIVIOUS, RESTRICTED)
+
+
+TriggerKey = Tuple[int, Tuple[Tuple[str, Term], ...]]
+
+
+class Trigger:
+    """One trigger ``(σ, h)``; ``rule_index`` identifies σ within Σ."""
+
+    __slots__ = ("rule", "rule_index", "assignment")
+
+    def __init__(self, rule: TGD, rule_index: int, assignment: Assignment):
+        self.rule = rule
+        self.rule_index = rule_index
+        self.assignment = assignment
+
+    def key(self, variant: str) -> TriggerKey:
+        """The identification key under ``variant``.
+
+        The restricted chase identifies triggers the oblivious way; its
+        extra head-satisfaction check happens at application time.
+        """
+        if variant == ChaseVariant.SEMI_OBLIVIOUS:
+            relevant = self.rule.frontier
+        else:
+            relevant = self.rule.body_variables
+        items = tuple(
+            sorted(
+                (var.name, self.assignment[var])
+                for var in relevant
+            )
+        )
+        return (self.rule_index, items)
+
+    def frontier_image(self) -> Tuple[Tuple[str, Term], ...]:
+        """The frontier restriction of the homomorphism (sorted)."""
+        return tuple(
+            sorted((v.name, self.assignment[v]) for v in self.rule.frontier)
+        )
+
+    def __repr__(self) -> str:
+        image = ", ".join(
+            f"{v.name}->{t}" for v, t in sorted(
+                self.assignment.items(), key=lambda kv: kv[0].name
+            )
+        )
+        return f"Trigger({self.rule}, {{{image}}})"
+
+
+def triggers_for_rule(
+    rule: TGD, rule_index: int, instance: Instance
+) -> Iterator[Trigger]:
+    """All triggers for one rule on ``instance`` (deterministic order)."""
+    for assignment in homomorphisms(rule.body, instance):
+        yield Trigger(rule, rule_index, assignment)
+
+
+def all_triggers(
+    rules: Sequence[TGD], instance: Instance
+) -> Iterator[Trigger]:
+    """All triggers for Σ on ``instance``, rule-major order."""
+    for idx, rule in enumerate(rules):
+        yield from triggers_for_rule(rule, idx, instance)
+
+
+def head_satisfied(trigger: Trigger, instance: Instance) -> bool:
+    """The restricted chase's applicability test: is there an extension
+    of the trigger's frontier image mapping the head into ``instance``?"""
+    partial = {
+        var: trigger.assignment[var] for var in trigger.rule.frontier
+    }
+    return next(
+        homomorphisms(trigger.rule.head, instance, partial), None
+    ) is not None
+
+
+def apply_trigger(
+    trigger: Trigger,
+    instance: Instance,
+    null_factory: NullFactory,
+) -> List[Atom]:
+    """Fire ``trigger`` on ``instance``: extend the homomorphism with a
+    fresh null per existential variable and add the head atoms.
+
+    Returns the atoms that were actually new (possibly empty for full
+    TGDs whose head already held).
+    """
+    extended: Dict[Variable, Term] = dict(trigger.assignment)
+    label = trigger.rule.label or f"rule{trigger.rule_index}"
+    for var in sorted(trigger.rule.existential_variables):
+        extended[var] = null_factory.fresh(origin=f"{label}:{var.name}")
+    new_atoms: List[Atom] = []
+    mapping: Dict[Term, Term] = dict(extended)
+    for atom in trigger.rule.head:
+        fact = atom.substitute(mapping)
+        if instance.add(fact):
+            new_atoms.append(fact)
+    return new_atoms

@@ -1,0 +1,25 @@
+"""Syntactic class recognizers: SL ⊆ L ⊆ G and friends."""
+
+from .recognizers import (
+    classify,
+    is_full,
+    is_guarded,
+    is_linear,
+    is_simple_linear,
+    is_single_head,
+    is_single_head_per_predicate,
+    narrowest_class,
+    offending_rules,
+)
+
+__all__ = [
+    "classify",
+    "is_full",
+    "is_guarded",
+    "is_linear",
+    "is_simple_linear",
+    "is_single_head",
+    "is_single_head_per_predicate",
+    "narrowest_class",
+    "offending_rules",
+]

@@ -1,0 +1,91 @@
+"""Recognizers for the syntactic TGD classes studied by the paper.
+
+The classes form the hierarchy  SL ⊆ L ⊆ G  (simple linear, linear,
+guarded — §3 of the paper), plus the orthogonal properties *full* (no
+existentials) and *single-head* (at most one head atom per rule /
+each predicate in the head of at most one rule, per §4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+from ..model import Predicate, TGD
+
+
+def is_linear(rules: Iterable[TGD]) -> bool:
+    """True iff every rule's body is a single atom (class L)."""
+    return all(rule.is_linear() for rule in rules)
+
+
+def is_simple_linear(rules: Iterable[TGD]) -> bool:
+    """True iff linear with no repeated body variables (class SL)."""
+    return all(rule.is_simple_linear() for rule in rules)
+
+
+def is_guarded(rules: Iterable[TGD]) -> bool:
+    """True iff every rule has a guard atom covering all body variables
+    (class G).  Linear rules are trivially guarded."""
+    return all(rule.is_guarded() for rule in rules)
+
+
+def is_full(rules: Iterable[TGD]) -> bool:
+    """True iff no rule has existential variables.  Full programs are
+    always terminating (for every chase variant)."""
+    return all(rule.is_full() for rule in rules)
+
+
+def is_single_head(rules: Iterable[TGD]) -> bool:
+    """True iff every rule's head is a single atom."""
+    return all(rule.is_single_head() for rule in rules)
+
+
+def is_single_head_per_predicate(rules: Sequence[TGD]) -> bool:
+    """The §4 condition: each predicate appears in the head of at most
+    one TGD (and heads are single atoms)."""
+    if not is_single_head(rules):
+        return False
+    counts: Counter = Counter()
+    for rule in rules:
+        counts[rule.head[0].predicate] += 1
+    return all(count <= 1 for count in counts.values())
+
+
+def classify(rules: Sequence[TGD]) -> Dict[str, bool]:
+    """A report of every recognized class membership for ``rules``."""
+    return {
+        "simple_linear": is_simple_linear(rules),
+        "linear": is_linear(rules),
+        "guarded": is_guarded(rules),
+        "full": is_full(rules),
+        "single_head": is_single_head(rules),
+        "single_head_per_predicate": is_single_head_per_predicate(rules),
+    }
+
+
+def narrowest_class(rules: Sequence[TGD]) -> str:
+    """The most specific class along SL ⊆ L ⊆ G, or ``"general"``."""
+    if is_simple_linear(rules):
+        return "simple_linear"
+    if is_linear(rules):
+        return "linear"
+    if is_guarded(rules):
+        return "guarded"
+    return "general"
+
+
+def offending_rules(rules: Sequence[TGD], cls: str) -> List[TGD]:
+    """The rules violating membership in ``cls`` (one of
+    ``simple_linear``, ``linear``, ``guarded``, ``full``,
+    ``single_head``).  Useful for authoring diagnostics."""
+    predicate = {
+        "simple_linear": TGD.is_simple_linear,
+        "linear": TGD.is_linear,
+        "guarded": TGD.is_guarded,
+        "full": TGD.is_full,
+        "single_head": TGD.is_single_head,
+    }.get(cls)
+    if predicate is None:
+        raise ValueError(f"unknown class {cls!r}")
+    return [rule for rule in rules if not predicate(rule)]

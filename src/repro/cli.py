@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+::
+
+    python -m repro classify  RULES.tgd
+    python -m repro check     RULES.tgd  [--variant so|o] [--standard]
+    python -m repro chase     RULES.tgd DB.facts [--variant o|so|r] [--max-steps N]
+    python -m repro critical  RULES.tgd [--standard]
+    python -m repro entail    RULES.tgd DB.facts "atom(a, b)"
+    python -m repro dot       RULES.tgd [--graph dep|extdep|joint|types]
+
+Rule files use the library syntax (``p(X) -> exists Z . q(X, Z)``);
+database files hold one ground atom per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .chase import (
+    ChaseVariant,
+    critical_instance,
+    run_chase,
+    standard_critical_instance,
+)
+from .classes import classify, narrowest_class
+from .entailment import entails_atom
+from .errors import ReproError, UnsupportedClassError
+from .parser import (
+    instance_to_text,
+    parse_atom,
+    parse_database,
+    parse_program,
+)
+from .termination import decide_termination
+
+_VARIANTS = {
+    "o": ChaseVariant.OBLIVIOUS,
+    "oblivious": ChaseVariant.OBLIVIOUS,
+    "so": ChaseVariant.SEMI_OBLIVIOUS,
+    "semi_oblivious": ChaseVariant.SEMI_OBLIVIOUS,
+    "r": ChaseVariant.RESTRICTED,
+    "restricted": ChaseVariant.RESTRICTED,
+}
+
+
+def _load_rules(path: str):
+    with open(path) as handle:
+        return parse_program(handle.read())
+
+
+def _load_database(path: str):
+    with open(path) as handle:
+        return parse_database(handle.read())
+
+
+def _cmd_classify(args) -> int:
+    rules = _load_rules(args.rules)
+    report = classify(rules)
+    print(f"rules: {len(rules)}")
+    print(f"narrowest class: {narrowest_class(rules)}")
+    for name, value in sorted(report.items()):
+        print(f"  {name}: {'yes' if value else 'no'}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    rules = _load_rules(args.rules)
+    if args.full:
+        from .termination import termination_report
+
+        report = termination_report(rules)
+        print(report.render())
+        verdict = (
+            report.semi_oblivious
+            if args.variant in ("so", "semi_oblivious")
+            else report.oblivious
+        )
+        if verdict is None:
+            return 2
+        return 0 if verdict.terminating else 1
+    variant = _VARIANTS[args.variant]
+    verdict = decide_termination(
+        rules,
+        variant=variant,
+        standard=args.standard,
+        allow_oracle=args.allow_oracle,
+    )
+    print(verdict.explain())
+    return 0 if verdict.terminating else 1
+
+
+def _cmd_chase(args) -> int:
+    rules = _load_rules(args.rules)
+    database = _load_database(args.database)
+    variant = _VARIANTS[args.variant]
+    result = run_chase(database, rules, variant, max_steps=args.max_steps)
+    status = "fixpoint" if result.terminated else "budget exhausted"
+    print(f"% {variant} chase: {status} after {result.step_count} steps, "
+          f"{len(result.instance)} facts")
+    print(instance_to_text(result.instance))
+    return 0 if result.terminated else 1
+
+
+def _cmd_critical(args) -> int:
+    rules = _load_rules(args.rules)
+    if args.standard:
+        database = standard_critical_instance(rules)
+    else:
+        database = critical_instance(rules)
+    print(instance_to_text(database))
+    return 0
+
+
+def _cmd_entail(args) -> int:
+    rules = _load_rules(args.rules)
+    database = _load_database(args.database)
+    atom = parse_atom(args.atom)
+    entailed = entails_atom(rules, database, atom)
+    print("entailed" if entailed else "not entailed")
+    return 0 if entailed else 1
+
+
+def _cmd_dot(args) -> int:
+    rules = _load_rules(args.rules)
+    from .graphs import dependency_graph, extended_dependency_graph
+    from .graphs.dot import (
+        dependency_graph_to_dot,
+        joint_graph_to_dot,
+        transition_graph_to_dot,
+    )
+
+    if args.graph == "dep":
+        print(dependency_graph_to_dot(dependency_graph(rules)))
+    elif args.graph == "extdep":
+        print(dependency_graph_to_dot(
+            extended_dependency_graph(rules), title="extended"
+        ))
+    elif args.graph == "joint":
+        from .graphs.joint import existential_dependency_graph
+
+        print(joint_graph_to_dot(existential_dependency_graph(rules)))
+    else:
+        from .termination import TransitionGraph, TypeAnalysis
+
+        graph = TransitionGraph(TypeAnalysis(rules))
+        print(transition_graph_to_dot(graph))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chase termination for guarded existential rules "
+                    "(PODS 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    classify_cmd = sub.add_parser("classify", help="report class membership")
+    classify_cmd.add_argument("rules")
+    classify_cmd.set_defaults(func=_cmd_classify)
+
+    check = sub.add_parser("check", help="decide all-instance termination")
+    check.add_argument("rules")
+    check.add_argument("--variant", choices=sorted(_VARIANTS),
+                       default="so")
+    check.add_argument("--standard", action="store_true",
+                       help="analyse over standard databases (0/1)")
+    check.add_argument("--allow-oracle", action="store_true",
+                       help="fall back to the budgeted oracle on "
+                            "non-guarded input")
+    check.add_argument("--full", action="store_true",
+                       help="print the full report (classes, the "
+                            "sufficient-condition zoo, both variants)")
+    check.set_defaults(func=_cmd_check)
+
+    chase = sub.add_parser("chase", help="run a budgeted chase")
+    chase.add_argument("rules")
+    chase.add_argument("database")
+    chase.add_argument("--variant", choices=sorted(_VARIANTS), default="r")
+    chase.add_argument("--max-steps", type=int, default=10_000)
+    chase.set_defaults(func=_cmd_chase)
+
+    critical = sub.add_parser("critical", help="print the critical instance")
+    critical.add_argument("rules")
+    critical.add_argument("--standard", action="store_true")
+    critical.set_defaults(func=_cmd_critical)
+
+    entail = sub.add_parser("entail", help="guarded atom entailment")
+    entail.add_argument("rules")
+    entail.add_argument("database")
+    entail.add_argument("atom")
+    entail.set_defaults(func=_cmd_entail)
+
+    dot = sub.add_parser("dot", help="export a graph in DOT format")
+    dot.add_argument("rules")
+    dot.add_argument("--graph", choices=["dep", "extdep", "joint", "types"],
+                     default="dep")
+    dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

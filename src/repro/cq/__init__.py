@@ -1,0 +1,11 @@
+"""Conjunctive queries, certain answers, and universality checks."""
+
+from .queries import ConjunctiveQuery
+from .universality import is_model, is_model_of, is_universal_for
+
+__all__ = [
+    "ConjunctiveQuery",
+    "is_model",
+    "is_model_of",
+    "is_universal_for",
+]

@@ -1,0 +1,97 @@
+"""Conjunctive queries over instances with labelled nulls.
+
+A conjunctive query (CQ) is ``q(x̄) :- φ(x̄, ȳ)`` — a conjunction of
+atoms with distinguished answer variables.  Two evaluation semantics
+matter for chase-produced instances:
+
+* **naive answers** — homomorphic matches, nulls treated as values;
+* **certain answers** — answers containing no nulls; over a universal
+  model (a terminating chase result) these are exactly the answers
+  true in *every* model of D and Σ, which is the standard argument for
+  computing certain answers via the chase (§1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..model import (
+    Atom,
+    Instance,
+    Null,
+    Term,
+    Variable,
+    homomorphisms,
+)
+
+
+class ConjunctiveQuery:
+    """``answers(X1,...,Xn) :- atom, atom, ...``."""
+
+    __slots__ = ("answer_variables", "atoms", "_hash")
+
+    def __init__(
+        self,
+        answer_variables: Sequence[Variable],
+        atoms: Sequence[Atom],
+    ):
+        self.answer_variables = tuple(answer_variables)
+        self.atoms = tuple(atoms)
+        if not self.atoms:
+            raise ValueError("a conjunctive query needs at least one atom")
+        body_vars: Set[Variable] = set()
+        for atom in self.atoms:
+            body_vars |= atom.variables()
+        for var in self.answer_variables:
+            if var not in body_vars:
+                raise ValueError(
+                    f"answer variable {var} does not occur in the query body"
+                )
+        self._hash = hash((self.answer_variables, self.atoms))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConjunctiveQuery)
+            and self.answer_variables == other.answer_variables
+            and self.atoms == other.atoms
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.answer_variables)
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"CQ(({head}) :- {body})"
+
+    def is_boolean(self) -> bool:
+        """True iff the query has no answer variables."""
+        return not self.answer_variables
+
+    # -- evaluation -----------------------------------------------------
+
+    def answers(self, instance: Instance) -> Iterator[Tuple[Term, ...]]:
+        """Naive answers: one tuple per homomorphism image (deduplicated)."""
+        seen: Set[Tuple[Term, ...]] = set()
+        for assignment in homomorphisms(self.atoms, instance):
+            answer = tuple(assignment[v] for v in self.answer_variables)
+            if answer not in seen:
+                seen.add(answer)
+                yield answer
+
+    def certain_answers(self, instance: Instance) -> List[Tuple[Term, ...]]:
+        """Null-free answers, sorted for determinism.
+
+        When ``instance`` is a universal model of (D, Σ), these are the
+        certain answers of the query under Σ.
+        """
+        out = [
+            answer
+            for answer in self.answers(instance)
+            if not any(isinstance(t, Null) for t in answer)
+        ]
+        return sorted(out, key=lambda tup: tuple(str(t) for t in tup))
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Boolean evaluation: does any match exist?"""
+        return next(homomorphisms(self.atoms, instance), None) is not None

@@ -1,0 +1,50 @@
+"""Universal-model checks for chase results.
+
+A terminating chase result is a *universal model* of (D, Σ): a model
+that maps homomorphically into every model of D and Σ.  These helpers
+package the two defining properties (§1 of the paper) as checkable
+predicates used by the test-suite and the data-exchange layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..model import (
+    Instance,
+    TGD,
+    homomorphisms,
+    instance_homomorphism,
+)
+
+
+def is_model(instance: Instance, rules: Sequence[TGD]) -> bool:
+    """Property (1): ``instance`` satisfies every rule."""
+    for rule in rules:
+        for assignment in homomorphisms(rule.body, instance):
+            partial = {v: assignment[v] for v in rule.frontier}
+            if next(
+                homomorphisms(rule.head, instance, partial), None
+            ) is None:
+                return False
+    return True
+
+
+def is_model_of(
+    instance: Instance, database: Instance, rules: Sequence[TGD]
+) -> bool:
+    """``instance`` contains ``database`` and satisfies ``rules``."""
+    if any(fact not in instance for fact in database):
+        return False
+    return is_model(instance, rules)
+
+
+def is_universal_for(
+    candidate: Instance, model: Instance
+) -> bool:
+    """Does ``candidate`` embed homomorphically into ``model``?
+
+    Universality of a chase result means this holds for *every* model;
+    tests exercise it against independently constructed models.
+    """
+    return instance_homomorphism(candidate, model) is not None

@@ -1,0 +1,26 @@
+"""Guarded atom entailment and the looping-operator reduction."""
+
+from .atoms import entails_atom, saturated_facts
+from .looping import (
+    LoopingProgram,
+    RUN_PREDICATE,
+    SUCC_PREDICATE,
+    TAG_SUFFIX,
+    looping_operator,
+    tag_atom,
+    tag_predicate,
+    tag_rule,
+)
+
+__all__ = [
+    "LoopingProgram",
+    "RUN_PREDICATE",
+    "SUCC_PREDICATE",
+    "TAG_SUFFIX",
+    "entails_atom",
+    "looping_operator",
+    "saturated_facts",
+    "tag_atom",
+    "tag_predicate",
+    "tag_rule",
+]

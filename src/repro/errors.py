@@ -1,0 +1,25 @@
+"""Library-wide exception types."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library errors."""
+
+
+class UnsupportedClassError(ReproError):
+    """The requested decision procedure does not cover the given rules.
+
+    All-instance chase termination is undecidable in general (Gogacz &
+    Marcinkowski); the paper's procedures require guardedness.  Callers
+    may opt into the incomplete oracle instead.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A configured resource budget (types, steps) was exhausted.
+
+    The guarded decision procedure is 2EXPTIME-complete, so worst-case
+    inputs legitimately explode; the budget turns that into a clean
+    failure instead of an apparent hang.
+    """

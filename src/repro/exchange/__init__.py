@@ -1,0 +1,5 @@
+"""Data exchange settings solved by the chase."""
+
+from .settings import ExchangeSetting
+
+__all__ = ["ExchangeSetting"]

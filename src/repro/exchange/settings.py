@@ -1,0 +1,167 @@
+"""Data exchange on top of the chase.
+
+The paper motivates the chase through data exchange (Fagin, Kolaitis,
+Miller & Popa): a *setting* consists of source-to-target TGDs and
+target TGDs; a *solution* for a source database is a target instance
+satisfying both; the chase computes a **universal solution** whenever
+it terminates — which is exactly what the termination machinery of
+this library predicts ahead of time.
+
+This module is the applied face of the library: it glues the chase
+engines, the termination deciders, and certain-answer evaluation into
+the standard data-exchange workflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..chase import ChaseVariant, run_chase
+from ..cq import ConjunctiveQuery
+from ..errors import ReproError, UnsupportedClassError
+from ..model import (
+    Atom,
+    Database,
+    Instance,
+    Predicate,
+    Schema,
+    TGD,
+    validate_program,
+)
+from ..termination import decide_termination
+
+
+class ExchangeSetting:
+    """A data-exchange setting ``(source schema, target schema, Σst, Σt)``.
+
+    ``source_to_target`` rules must have source-only bodies and
+    target-only heads; ``target`` rules must be target-only.  Schemas
+    are inferred when omitted.
+    """
+
+    def __init__(
+        self,
+        source_to_target: Sequence[TGD],
+        target: Sequence[TGD] = (),
+        source_schema: Optional[Schema] = None,
+        target_schema: Optional[Schema] = None,
+    ):
+        self.source_to_target = list(source_to_target)
+        self.target = list(target)
+        validate_program(self.source_to_target + self.target)
+        if source_schema is None:
+            source_schema = Schema(
+                pred
+                for rule in self.source_to_target
+                for atom in rule.body
+                for pred in [atom.predicate]
+            )
+        if target_schema is None:
+            preds: Set[Predicate] = set()
+            for rule in self.source_to_target:
+                preds |= {a.predicate for a in rule.head}
+            for rule in self.target:
+                preds |= rule.predicates()
+            target_schema = Schema(preds)
+        overlap = source_schema.predicate_names() & target_schema.predicate_names()
+        if overlap:
+            raise ReproError(
+                f"source and target schemas overlap on {sorted(overlap)}"
+            )
+        self.source_schema = source_schema
+        self.target_schema = target_schema
+        self._validate_rule_shapes()
+
+    def _validate_rule_shapes(self) -> None:
+        for rule in self.source_to_target:
+            for atom in rule.body:
+                if atom.predicate not in self.source_schema:
+                    raise ReproError(
+                        f"s-t rule body atom {atom} is not over the source "
+                        "schema"
+                    )
+            for atom in rule.head:
+                if atom.predicate not in self.target_schema:
+                    raise ReproError(
+                        f"s-t rule head atom {atom} is not over the target "
+                        "schema"
+                    )
+        for rule in self.target:
+            for atom in rule.body + rule.head:
+                if atom.predicate not in self.target_schema:
+                    raise ReproError(
+                        f"target rule atom {atom} is not over the target "
+                        "schema"
+                    )
+
+    # -- analysis ---------------------------------------------------------
+
+    def rules(self) -> List[TGD]:
+        """All rules of the setting (s-t first, then target)."""
+        return self.source_to_target + self.target
+
+    def guarantees_termination(
+        self, variant: str = ChaseVariant.SEMI_OBLIVIOUS
+    ) -> bool:
+        """Does the ``variant`` chase terminate for every source DB?
+
+        Source-to-target rules fire only on source facts (their bodies
+        are source-only and their heads target-only), so all-instance
+        termination of the whole setting reduces to all-instance
+        termination of the *target* rules — decided by the library when
+        they are guarded, and by weak/rich acyclicity as a sufficient
+        fallback otherwise.
+        """
+        if not self.target:
+            return True
+        try:
+            return decide_termination(self.target, variant=variant).terminating
+        except UnsupportedClassError:
+            from ..graphs import is_richly_acyclic, is_weakly_acyclic
+
+            if variant == ChaseVariant.OBLIVIOUS:
+                return is_richly_acyclic(self.target)
+            return is_weakly_acyclic(self.target)
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(
+        self,
+        source: Database,
+        variant: str = ChaseVariant.RESTRICTED,
+        max_steps: int = 10_000,
+    ) -> Instance:
+        """Chase ``source`` into a universal solution.
+
+        Raises :class:`ReproError` if the budget is exhausted before a
+        fixpoint (call :meth:`guarantees_termination` first to know
+        this cannot happen).  The returned instance is restricted to
+        the target schema.
+        """
+        for fact in source:
+            if fact.predicate not in self.source_schema:
+                raise ReproError(
+                    f"source fact {fact} is not over the source schema"
+                )
+        result = run_chase(source, self.rules(), variant, max_steps=max_steps)
+        if not result.terminated:
+            raise ReproError(
+                f"chase exhausted its budget of {max_steps} steps without "
+                "reaching a fixpoint; the setting may be non-terminating"
+            )
+        solution = Instance(
+            fact
+            for fact in result.instance
+            if fact.predicate in self.target_schema
+        )
+        return solution
+
+    def certain_answers(
+        self,
+        source: Database,
+        query: ConjunctiveQuery,
+        variant: str = ChaseVariant.RESTRICTED,
+        max_steps: int = 10_000,
+    ) -> List:
+        """Certain answers of a target query via the universal solution."""
+        return query.certain_answers(self.solve(source, variant, max_steps))

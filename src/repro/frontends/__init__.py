@@ -1,0 +1,5 @@
+"""Frontends translating external formalisms into TGDs."""
+
+from .dllite import DLLiteError, parse_tbox
+
+__all__ = ["DLLiteError", "parse_tbox"]

@@ -1,0 +1,117 @@
+"""A DL-Lite frontend: description-logic axioms as simple linear TGDs.
+
+The paper highlights that simple linear TGDs "are powerful enough for
+capturing prominent database dependencies, and in particular inclusion
+dependencies, as well as key description logics such as DL-Lite".
+This frontend makes that concrete: a tiny textual TBox syntax is
+translated into SL rules, so every decision procedure of the library
+applies to ontologies directly.
+
+Axiom syntax (one per line, ``%`` comments)::
+
+    A sub B                 % concept inclusion      A ⊑ B
+    A sub some R            % existential head       A ⊑ ∃R
+    A sub some R B          % qualified existential  A ⊑ ∃R.B
+    some R sub A            % domain                 ∃R ⊑ A
+    some inv R sub A        % range                  ∃R⁻ ⊑ A
+    R subrole S             % role inclusion         R ⊑ S
+    R subrole inv S         % inverse role inclusion R ⊑ S⁻
+
+Concepts become unary predicates, roles binary ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model import Atom, Predicate, TGD, Variable
+
+X = Variable("X")
+Y = Variable("Y")
+
+
+class DLLiteError(ValueError):
+    """Raised on malformed axiom text."""
+
+
+_RESERVED = frozenset({"some", "inv", "sub", "subrole"})
+
+
+def _check_name(name: str) -> str:
+    if name in _RESERVED:
+        raise DLLiteError(f"{name!r} is a keyword, not a concept/role name")
+    return name
+
+
+def _concept(name: str) -> Predicate:
+    return Predicate(_check_name(name), 1)
+
+
+def _role(name: str) -> Predicate:
+    return Predicate(_check_name(name), 2)
+
+
+def _parse_axiom(tokens: Sequence[str], label: str) -> TGD:
+    if "subrole" in tokens:
+        split = tokens.index("subrole")
+        left, right = tokens[:split], tokens[split + 1 :]
+        if len(left) != 1:
+            raise DLLiteError(f"bad role inclusion: {' '.join(tokens)}")
+        body = [Atom(_role(left[0]), [X, Y])]
+        if len(right) == 1:
+            head = [Atom(_role(right[0]), [X, Y])]
+        elif len(right) == 2 and right[0] == "inv":
+            head = [Atom(_role(right[1]), [Y, X])]
+        else:
+            raise DLLiteError(f"bad role inclusion: {' '.join(tokens)}")
+        return TGD(body, head, label=label)
+
+    if "sub" not in tokens:
+        raise DLLiteError(f"expected 'sub' in: {' '.join(tokens)}")
+    split = tokens.index("sub")
+    left, right = list(tokens[:split]), list(tokens[split + 1 :])
+
+    if len(left) == 1:
+        body = [Atom(_concept(left[0]), [X])]
+        body_uses_y = False
+    elif len(left) == 2 and left[0] == "some":
+        body = [Atom(_role(left[1]), [X, Y])]
+        body_uses_y = True
+    elif len(left) == 3 and left[0] == "some" and left[1] == "inv":
+        body = [Atom(_role(left[2]), [Y, X])]
+        body_uses_y = True
+    else:
+        raise DLLiteError(f"bad left-hand side: {' '.join(tokens)}")
+
+    # The head's existential filler must be fresh, not the body's Y
+    # (∃R ⊑ ∃S constrains the *source*, not the filler).
+    filler = Variable("Y2") if body_uses_y else Y
+    if len(right) == 1:
+        head = [Atom(_concept(right[0]), [X])]
+    elif len(right) == 2 and right[0] == "some":
+        head = [Atom(_role(right[1]), [X, filler])]
+    elif len(right) == 3 and right[0] == "some":
+        head = [
+            Atom(_role(right[1]), [X, filler]),
+            Atom(_concept(right[2]), [filler]),
+        ]
+    else:
+        raise DLLiteError(f"bad right-hand side: {' '.join(tokens)}")
+    return TGD(body, head, label=label)
+
+
+def parse_tbox(text: str) -> List[TGD]:
+    """Translate a TBox into simple linear TGDs."""
+    rules: List[TGD] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("%", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        try:
+            rules.append(_parse_axiom(tokens, label=f"ax{len(rules) + 1}"))
+        except DLLiteError as exc:
+            raise DLLiteError(f"line {lineno}: {exc}") from exc
+    for rule in rules:
+        assert rule.is_simple_linear(), "frontend must emit SL rules"
+    return rules

@@ -1,0 +1,48 @@
+"""Dependency graphs and acyclicity conditions (weak / rich / joint)."""
+
+from .dependency import (
+    DangerousCycle,
+    DependencyEdgeLabel,
+    EdgeKind,
+    dependency_graph,
+    extended_dependency_graph,
+    find_dangerous_cycle,
+    is_richly_acyclic,
+    is_weakly_acyclic,
+    rich_acyclicity_witness,
+    weak_acyclicity_witness,
+)
+from .digraph import Digraph, Edge
+from .dot import (
+    dependency_graph_to_dot,
+    joint_graph_to_dot,
+    transition_graph_to_dot,
+)
+from .joint import (
+    existential_dependency_graph,
+    is_jointly_acyclic,
+    joint_acyclicity_witness,
+    movement_sets,
+)
+
+__all__ = [
+    "DangerousCycle",
+    "DependencyEdgeLabel",
+    "Digraph",
+    "Edge",
+    "EdgeKind",
+    "dependency_graph",
+    "dependency_graph_to_dot",
+    "existential_dependency_graph",
+    "extended_dependency_graph",
+    "find_dangerous_cycle",
+    "is_jointly_acyclic",
+    "is_richly_acyclic",
+    "is_weakly_acyclic",
+    "joint_acyclicity_witness",
+    "joint_graph_to_dot",
+    "movement_sets",
+    "rich_acyclicity_witness",
+    "transition_graph_to_dot",
+    "weak_acyclicity_witness",
+]

@@ -1,0 +1,78 @@
+"""Graphviz DOT export for the library's graphs.
+
+Pure string builders (no graphviz dependency): feed the output to
+``dot -Tsvg`` to visualise dependency graphs, JA graphs, and the
+guarded type-transition graph behind a termination verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .dependency import EdgeKind
+from .digraph import Digraph
+
+
+def _quote(text: object) -> str:
+    escaped = str(text).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def dependency_graph_to_dot(graph: Digraph, title: str = "dependency") -> str:
+    """DOT for a (extended) dependency graph: special edges dashed red."""
+    lines = [f"digraph {_quote(title)} {{", "  rankdir=LR;"]
+    for node in graph.nodes():
+        lines.append(f"  {_quote(node)};")
+    for edge in graph.edges():
+        style = ""
+        label = getattr(edge.label, "kind", None)
+        if label == EdgeKind.SPECIAL:
+            style = ' [style=dashed, color=red, label="*"]'
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)}{style};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def joint_graph_to_dot(graph: Digraph, title: str = "joint") -> str:
+    """DOT for the existential dependency graph of joint acyclicity."""
+    lines = [f"digraph {_quote(title)} {{"]
+    for node in graph.nodes():
+        index, var = node
+        lines.append(f"  {_quote(f'r{index}:{var}')};")
+    for edge in graph.edges():
+        src_index, src_var = edge.source
+        dst_index, dst_var = edge.target
+        lines.append(
+            f"  {_quote(f'r{src_index}:{src_var}')} -> "
+            f"{_quote(f'r{dst_index}:{dst_var}')};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def transition_graph_to_dot(graph, title: str = "types") -> str:
+    """DOT for a guarded type-transition graph.
+
+    ``graph`` is a :class:`repro.termination.transitions.TransitionGraph`;
+    node labels render each bag type's cloud.
+    """
+    constants = graph.analysis.constants
+    ids = {bag: f"t{i}" for i, bag in enumerate(graph.nodes)}
+    lines = [f"digraph {_quote(title)} {{", "  node [shape=box];"]
+    for bag, node_id in ids.items():
+        label = bag.describe(constants)
+        if len(label) > 60:
+            label = label[:57] + "..."
+        shape = ' peripheries=2' if bag == graph.root else ""
+        lines.append(f"  {node_id} [label={_quote(label)}{shape}];")
+    for bag in graph.nodes:
+        for edge in graph.out_edges(bag):
+            rule_label = edge.rule.label or f"rule{edge.rule_index}"
+            lines.append(
+                f"  {ids[edge.source]} -> {ids.get(edge.target, 'missing')}"
+                f" [label={_quote(rule_label)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

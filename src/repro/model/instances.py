@@ -1,0 +1,156 @@
+"""Instances and databases.
+
+An :class:`Instance` is a set of facts (ground atoms over constants and
+labelled nulls).  A *database* is an instance without nulls.  Instances
+are mutable (the chase grows them) but expose a frozen snapshot for
+hashing and comparison.
+
+Facts are indexed by predicate so that trigger computation — the hot
+loop of every chase engine — touches only the relevant relation.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .atoms import Atom, Predicate
+from .schema import Schema
+from .terms import Constant, Null, Term, is_ground
+
+
+class Instance:
+    """A set of facts, indexed by predicate.
+
+    The iteration order is insertion order (deterministic chases need a
+    deterministic fact order).
+    """
+
+    __slots__ = ("_facts", "_by_predicate")
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._facts: Dict[Atom, None] = {}
+        self._by_predicate: Dict[Predicate, List[Atom]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Insert ``fact``; return True iff it was new.
+
+        Raises ``ValueError`` for non-ground atoms — instances contain
+        facts only.
+        """
+        if not fact.is_ground():
+            raise ValueError(f"instances hold ground atoms only, got {fact}")
+        if fact in self._facts:
+            return False
+        self._facts[fact] = None
+        self._by_predicate.setdefault(fact.predicate, []).append(fact)
+        return True
+
+    def add_all(self, facts: Iterable[Atom]) -> int:
+        """Insert many facts; return how many were new."""
+        return sum(1 for f in facts if self.add(f))
+
+    # -- queries ------------------------------------------------------------
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return set(self._facts) == set(other._facts)
+
+    def __repr__(self) -> str:
+        if len(self) <= 8:
+            inner = ", ".join(str(f) for f in self)
+            return f"Instance({{{inner}}})"
+        return f"Instance(<{len(self)} facts>)"
+
+    def facts(self) -> Tuple[Atom, ...]:
+        """All facts in insertion order."""
+        return tuple(self._facts)
+
+    def facts_with_predicate(self, predicate: Predicate) -> Tuple[Atom, ...]:
+        """The facts of one relation, in insertion order."""
+        return tuple(self._by_predicate.get(predicate, ()))
+
+    def predicates(self) -> FrozenSet[Predicate]:
+        """The predicates with at least one fact."""
+        return frozenset(
+            p for p, rows in self._by_predicate.items() if rows
+        )
+
+    def schema(self) -> Schema:
+        """The schema induced by the instance's facts."""
+        return Schema(self.predicates())
+
+    def active_domain(self) -> FrozenSet[Term]:
+        """All terms occurring in some fact."""
+        out: Set[Term] = set()
+        for fact in self._facts:
+            out.update(fact.terms)
+        return frozenset(out)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants occurring in some fact."""
+        return frozenset(
+            t for t in self.active_domain() if isinstance(t, Constant)
+        )
+
+    def nulls(self) -> FrozenSet[Null]:
+        """All labelled nulls occurring in some fact."""
+        return frozenset(
+            t for t in self.active_domain() if isinstance(t, Null)
+        )
+
+    def is_database(self) -> bool:
+        """True iff the instance is null-free."""
+        return not self.nulls()
+
+    def copy(self) -> "Instance":
+        """An independent copy sharing no mutable state."""
+        return Instance(self._facts)
+
+    def frozen(self) -> FrozenSet[Atom]:
+        """A hashable snapshot of the fact set."""
+        return frozenset(self._facts)
+
+
+class Database(Instance):
+    """An instance that rejects nulls — the chase's input."""
+
+    __slots__ = ()
+
+    def add(self, fact: Atom) -> bool:
+        if fact.nulls():
+            raise ValueError(f"databases are null-free, got {fact}")
+        return super().add(fact)
+
+    def copy(self) -> "Database":
+        return Database(self.facts())
+
+
+def union(*instances: Instance) -> Instance:
+    """The union of several instances as a fresh :class:`Instance`."""
+    out = Instance()
+    for inst in instances:
+        out.add_all(inst)
+    return out

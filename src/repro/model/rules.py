@@ -1,0 +1,231 @@
+"""Tuple-generating dependencies (TGDs, a.k.a. existential rules).
+
+A TGD has the shape::
+
+    forall X forall Y ( phi(X, Y)  ->  exists Z  psi(Y, Z) )
+
+where ``phi`` (the *body*) and ``psi`` (the *head*) are conjunctions of
+atoms.  Following the paper:
+
+* the *frontier* of a TGD is the set of universally quantified
+  variables shared by body and head (the ``Y`` above);
+* the *existential* variables are the head variables not occurring in
+  the body (the ``Z``);
+* a TGD is *guarded* if some body atom contains every universally
+  quantified body variable (Calì, Gottlob & Kifer);
+* a TGD is *linear* if its body has exactly one atom, and *simple
+  linear* if additionally no variable is repeated in the body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .atoms import Atom, Position, Predicate
+from .terms import Constant, Term, Variable
+
+
+class TGD:
+    """A tuple-generating dependency ``body -> head``.
+
+    ``label`` is an optional human-readable name used in printed
+    certificates and error messages.
+    """
+
+    __slots__ = (
+        "body",
+        "head",
+        "label",
+        "_hash",
+        "_frontier",
+        "_existential",
+        "_body_vars",
+        "_head_vars",
+    )
+
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        head: Sequence[Atom],
+        label: str = "",
+    ):
+        body = tuple(body)
+        head = tuple(head)
+        if not body:
+            raise ValueError("a TGD needs a non-empty body")
+        if not head:
+            raise ValueError("a TGD needs a non-empty head")
+        self.body = body
+        self.head = head
+        self.label = label
+        self._hash = hash(("TGD", body, head))
+        body_vars: Set[Variable] = set()
+        for atom in body:
+            body_vars |= atom.variables()
+        head_vars: Set[Variable] = set()
+        for atom in head:
+            head_vars |= atom.variables()
+        self._body_vars = frozenset(body_vars)
+        self._head_vars = frozenset(head_vars)
+        self._frontier = frozenset(body_vars & head_vars)
+        self._existential = frozenset(head_vars - body_vars)
+
+    # -- identity --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TGD)
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"TGD({list(self.body)!r}, {list(self.head)!r})"
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        head = ", ".join(str(a) for a in self.head)
+        if self._existential:
+            ex = ",".join(sorted(v.name for v in self._existential))
+            return f"{body} -> exists {ex} . {head}"
+        return f"{body} -> {head}"
+
+    # -- variable structure ------------------------------------------------
+
+    @property
+    def body_variables(self) -> FrozenSet[Variable]:
+        """All universally quantified variables (variables of the body)."""
+        return self._body_vars
+
+    @property
+    def head_variables(self) -> FrozenSet[Variable]:
+        """All variables of the head."""
+        return self._head_vars
+
+    @property
+    def frontier(self) -> FrozenSet[Variable]:
+        """Variables shared by body and head."""
+        return self._frontier
+
+    @property
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Head variables bound by the existential quantifier."""
+        return self._existential
+
+    def is_full(self) -> bool:
+        """True iff the TGD has no existential variables (a full TGD)."""
+        return not self._existential
+
+    # -- syntactic classes ---------------------------------------------------
+
+    def is_linear(self) -> bool:
+        """True iff the body consists of a single atom."""
+        return len(self.body) == 1
+
+    def is_simple_linear(self) -> bool:
+        """True iff linear and no variable repeats in the body atom."""
+        return self.is_linear() and not self.body[0].has_repeated_variables()
+
+    def guards(self) -> Tuple[Atom, ...]:
+        """The body atoms containing *all* body variables (may be empty)."""
+        return tuple(
+            atom
+            for atom in self.body
+            if self._body_vars <= atom.variables()
+        )
+
+    def guard(self) -> Optional[Atom]:
+        """A canonical guard atom (first in body order), or ``None``."""
+        for atom in self.body:
+            if self._body_vars <= atom.variables():
+                return atom
+        return None
+
+    def is_guarded(self) -> bool:
+        """True iff some body atom guards all body variables."""
+        return self.guard() is not None
+
+    def is_single_head(self) -> bool:
+        """True iff the head consists of a single atom."""
+        return len(self.head) == 1
+
+    # -- positions -------------------------------------------------------
+
+    def body_positions_of(self, var: Variable) -> Tuple[Position, ...]:
+        """All body positions at which ``var`` occurs."""
+        out: List[Position] = []
+        for atom in self.body:
+            out.extend(atom.positions_of(var))
+        return tuple(out)
+
+    def head_positions_of(self, var: Variable) -> Tuple[Position, ...]:
+        """All head positions at which ``var`` occurs."""
+        out: List[Position] = []
+        for atom in self.head:
+            out.extend(atom.positions_of(var))
+        return tuple(out)
+
+    def predicates(self) -> FrozenSet[Predicate]:
+        """All predicates mentioned by the TGD."""
+        return frozenset(
+            a.predicate for a in self.body
+        ) | frozenset(a.predicate for a in self.head)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants mentioned by the TGD."""
+        out: Set[Constant] = set()
+        for atom in self.body + self.head:
+            out |= atom.constants()
+        return frozenset(out)
+
+    def rename_apart(self, suffix: str) -> "TGD":
+        """Return a variant whose variables carry ``suffix`` (for safe
+        composition of rule sets, e.g. by the looping operator)."""
+        mapping: Dict[Term, Term] = {
+            v: Variable(v.name + suffix)
+            for v in self._body_vars | self._head_vars
+        }
+        return TGD(
+            [a.substitute(mapping) for a in self.body],
+            [a.substitute(mapping) for a in self.head],
+            label=self.label,
+        )
+
+
+def program_predicates(rules: Iterable[TGD]) -> FrozenSet[Predicate]:
+    """All predicates mentioned by a set of TGDs."""
+    out: Set[Predicate] = set()
+    for rule in rules:
+        out |= rule.predicates()
+    return frozenset(out)
+
+
+def program_constants(rules: Iterable[TGD]) -> FrozenSet[Constant]:
+    """All constants mentioned by a set of TGDs."""
+    out: Set[Constant] = set()
+    for rule in rules:
+        out |= rule.constants()
+    return frozenset(out)
+
+
+def validate_program(rules: Sequence[TGD]) -> None:
+    """Check arity-consistency of predicate usage across ``rules``.
+
+    Raises ``ValueError`` when the same predicate name is used with two
+    different arities — a frequent authoring mistake that would
+    otherwise surface as a confusing empty chase.
+    """
+    arities: Dict[str, int] = {}
+    for rule in rules:
+        for pred in rule.predicates():
+            prev = arities.get(pred.name)
+            if prev is None:
+                arities[pred.name] = pred.arity
+            elif prev != pred.arity:
+                raise ValueError(
+                    f"predicate {pred.name!r} used with arities "
+                    f"{prev} and {pred.arity}"
+                )

@@ -1,0 +1,98 @@
+"""Relational schemas: the finite signature a program or database is over."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from .atoms import Position, Predicate
+from .rules import TGD
+
+
+class Schema:
+    """A finite set of predicates, addressable by name.
+
+    Schemas are immutable.  :meth:`from_rules` infers the schema of a
+    program; :meth:`merge` composes schemas (used by the looping
+    operator when it extends a program with auxiliary predicates).
+    """
+
+    __slots__ = ("_by_name",)
+
+    def __init__(self, predicates: Iterable[Predicate] = ()):
+        by_name: Dict[str, Predicate] = {}
+        for pred in predicates:
+            prev = by_name.get(pred.name)
+            if prev is not None and prev != pred:
+                raise ValueError(
+                    f"conflicting declarations for predicate {pred.name!r}: "
+                    f"arity {prev.arity} vs {pred.arity}"
+                )
+            by_name[pred.name] = pred
+        self._by_name = dict(sorted(by_name.items()))
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[TGD]) -> "Schema":
+        """The schema consisting of every predicate used by ``rules``."""
+        preds: List[Predicate] = []
+        for rule in rules:
+            preds.extend(rule.predicates())
+        return cls(preds)
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable) -> "Schema":
+        """The schema consisting of every predicate used by ``atoms``."""
+        return cls(a.predicate for a in atoms)
+
+    # -- container protocol -----------------------------------------------
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Predicate):
+            return self._by_name.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._by_name == other._by_name
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._by_name.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(p) for p in self)
+        return f"Schema({{{inner}}})"
+
+    # -- accessors --------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Predicate]:
+        """The predicate called ``name``, or ``None``."""
+        return self._by_name.get(name)
+
+    def predicates(self) -> Tuple[Predicate, ...]:
+        """All predicates, sorted by name."""
+        return tuple(self._by_name.values())
+
+    def positions(self) -> Tuple[Position, ...]:
+        """All positions of all predicates."""
+        out: List[Position] = []
+        for pred in self:
+            out.extend(pred.positions())
+        return tuple(out)
+
+    def max_arity(self) -> int:
+        """The largest arity in the schema (0 for the empty schema)."""
+        return max((p.arity for p in self), default=0)
+
+    def merge(self, other: "Schema") -> "Schema":
+        """The union schema; raises on arity conflicts."""
+        return Schema(list(self) + list(other))
+
+    def predicate_names(self) -> FrozenSet[str]:
+        """The set of predicate names."""
+        return frozenset(self._by_name)

@@ -1,0 +1,56 @@
+"""Pretty-printing of rules, programs, and instances.
+
+The printed form round-trips through :mod:`repro.parser.parser` for
+rules and databases (nulls print as ``z<i>`` and are not re-parseable,
+which matches the usual convention that databases are null-free).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..model import Atom, Instance, TGD
+
+
+def atom_to_text(atom: Atom) -> str:
+    """Render one atom, quoting constants that would not re-parse bare."""
+    parts = []
+    for term in atom.terms:
+        text = str(term)
+        if _needs_quoting(term, text):
+            parts.append(f"'{text}'")
+        else:
+            parts.append(text)
+    return f"{atom.predicate.name}({', '.join(parts)})"
+
+
+def _needs_quoting(term: object, text: str) -> bool:
+    from ..model import Constant
+
+    if not isinstance(term, Constant):
+        return False
+    if not text:
+        return True
+    if text[0].isupper() or text[0] == "_":
+        return True
+    return not all(ch.isalnum() or ch in "_-" for ch in text)
+
+
+def rule_to_text(rule: TGD) -> str:
+    """Render one rule in the parser's syntax."""
+    body = ", ".join(atom_to_text(a) for a in rule.body)
+    head = ", ".join(atom_to_text(a) for a in rule.head)
+    if rule.existential_variables:
+        ex = ", ".join(sorted(v.name for v in rule.existential_variables))
+        return f"{body} -> exists {ex} . {head}"
+    return f"{body} -> {head}"
+
+
+def program_to_text(rules: Iterable[TGD]) -> str:
+    """Render a program, one rule per line."""
+    return "\n".join(rule_to_text(r) for r in rules)
+
+
+def instance_to_text(instance: Instance) -> str:
+    """Render an instance, one fact per line, sorted for stability."""
+    return "\n".join(sorted(atom_to_text(f) for f in instance))

@@ -1,0 +1,77 @@
+"""The paper's termination deciders and their machinery."""
+
+from .abstraction import FRESH, AtomPattern, BagType
+from .decider import decide_termination
+from .guarded import decide_guarded
+from .instance_level import decide_termination_on
+from .mfa import (
+    DEFAULT_MFA_STEPS,
+    SkolemTerm,
+    is_mfa,
+    mfa_witness,
+    skolem_chase,
+)
+from .linear import (
+    decide_linear,
+    is_critically_richly_acyclic,
+    is_critically_weakly_acyclic,
+)
+from .oracle import (
+    DEFAULT_ORACLE_STEPS,
+    critical_chase_terminates,
+    oracle_verdict,
+)
+from .pumping import (
+    PumpingWitness,
+    alive_edge_fixpoint,
+    find_pumping_witness,
+    renewable_classes,
+    verify_cyclic_walk,
+)
+from .replay import ReplayResult, confirm_witness
+from .report import TerminationReport, termination_report
+from .restricted_sh import (
+    decide_restricted_single_head,
+    restricted_rule_graph,
+)
+from .saturation import DEFAULT_MAX_TYPES, ChildEdge, TypeAnalysis
+from .sl import decide_simple_linear
+from .transitions import TransitionGraph
+from .verdict import TerminationVerdict
+
+__all__ = [
+    "AtomPattern",
+    "BagType",
+    "ChildEdge",
+    "DEFAULT_MAX_TYPES",
+    "DEFAULT_MFA_STEPS",
+    "DEFAULT_ORACLE_STEPS",
+    "FRESH",
+    "SkolemTerm",
+    "PumpingWitness",
+    "ReplayResult",
+    "TerminationReport",
+    "TerminationVerdict",
+    "TransitionGraph",
+    "TypeAnalysis",
+    "alive_edge_fixpoint",
+    "confirm_witness",
+    "critical_chase_terminates",
+    "decide_guarded",
+    "decide_linear",
+    "decide_restricted_single_head",
+    "decide_simple_linear",
+    "decide_termination",
+    "decide_termination_on",
+    "find_pumping_witness",
+    "is_mfa",
+    "mfa_witness",
+    "skolem_chase",
+    "is_critically_richly_acyclic",
+    "is_critically_weakly_acyclic",
+    "oracle_verdict",
+    "renewable_classes",
+    "restricted_rule_graph",
+    "termination_report",
+    "verify_cyclic_walk",
+]

@@ -1,0 +1,237 @@
+"""Abstract bags: the finite state space of the guarded chase.
+
+Guardedness makes the chase *tree-like*: every rule body maps into the
+atoms over a single guard image's terms, so the chase of the critical
+instance can be organised as a tree of **bags**.  A bag consists of
+
+* its *terms* — the global constants (the critical domain) plus the
+  labelled nulls the bag was created with; and
+* its *cloud* — every atom over those terms present in the (fair,
+  saturated) chase.
+
+Because fresh nulls are interchangeable, a bag is characterised up to
+isomorphism by its **type**: how many null terms it has and which atom
+*patterns* (atoms over term classes) its cloud contains.  Types form a
+finite space — exponential in the schema, which is precisely where the
+2EXPTIME upper bound of Theorem 4 comes from.
+
+Class-id convention: classes ``0 .. num_constants-1`` are the global
+constants (fixed for a given program); classes ``num_constants ..``
+are the bag's nulls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..model import Atom, Constant, Predicate, TGD, Variable
+
+# An atom over term classes: (predicate, class ids).
+AtomPattern = Tuple[Predicate, Tuple[int, ...]]
+
+FRESH = -1
+"""Flow marker: a child class created for an existential variable."""
+
+_MAX_EXACT_CANON = 7
+"""Largest null count for which canonicalization tries all permutations."""
+
+
+def pattern_to_str(pattern: AtomPattern, num_constants: int,
+                   constants: Sequence[Constant]) -> str:
+    """Human-readable rendering of a pattern, e.g. ``p(*, n1)``."""
+    pred, classes = pattern
+    parts = []
+    for cls in classes:
+        if cls < num_constants:
+            parts.append(str(constants[cls]))
+        else:
+            parts.append(f"n{cls - num_constants + 1}")
+    return f"{pred.name}({', '.join(parts)})"
+
+
+class BagType:
+    """A canonicalized bag type: null count + cloud of atom patterns.
+
+    Construction canonicalizes: null classes are renumbered so that
+    isomorphic bags compare equal.  ``canonical_map`` records how the
+    raw class ids passed in map to canonical ids, so callers can
+    translate flow information.
+    """
+
+    __slots__ = ("num_constants", "num_nulls", "cloud", "canonical_map", "_hash")
+
+    def __init__(
+        self,
+        num_constants: int,
+        num_nulls: int,
+        cloud: Iterable[AtomPattern],
+    ):
+        self.num_constants = num_constants
+        self.num_nulls = num_nulls
+        raw_cloud = frozenset(cloud)
+        canon_cloud, mapping = _canonicalize(num_constants, num_nulls, raw_cloud)
+        self.cloud = canon_cloud
+        self.canonical_map = mapping
+        self._hash = hash((num_constants, num_nulls, self.cloud))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BagType)
+            and self.num_constants == other.num_constants
+            and self.num_nulls == other.num_nulls
+            and self.cloud == other.cloud
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"BagType(nulls={self.num_nulls}, cloud=<{len(self.cloud)} patterns>)"
+        )
+
+    @property
+    def num_classes(self) -> int:
+        """Total classes: constants + nulls."""
+        return self.num_constants + self.num_nulls
+
+    def null_classes(self) -> Tuple[int, ...]:
+        """The class ids of this bag's nulls."""
+        return tuple(range(self.num_constants, self.num_classes))
+
+    def describe(self, constants: Sequence[Constant]) -> str:
+        """A stable multi-line rendering for certificates and debugging."""
+        lines = [
+            pattern_to_str(p, self.num_constants, constants)
+            for p in self.cloud
+        ]
+        return "{" + ", ".join(sorted(lines)) + "}"
+
+
+def _canonicalize(
+    num_constants: int,
+    num_nulls: int,
+    cloud: FrozenSet[AtomPattern],
+) -> Tuple[FrozenSet[AtomPattern], Tuple[int, ...]]:
+    """Renumber null classes to a canonical form.
+
+    Returns ``(canonical_cloud, mapping)`` where ``mapping[i]`` is the
+    canonical id of raw null class ``num_constants + i``.
+
+    For small null counts every permutation is tried and the
+    lexicographically least encoding wins — exact canonicalization.
+    Beyond :data:`_MAX_EXACT_CANON` nulls, a signature-refinement
+    heuristic is used; it is deterministic (equal bags stay equal) but
+    may distinguish some isomorphic bags, which only costs memoization
+    hits, never correctness.
+    """
+    if num_nulls == 0:
+        return cloud, ()
+    null_ids = list(range(num_constants, num_constants + num_nulls))
+    if num_nulls <= _MAX_EXACT_CANON:
+        best: Optional[Tuple] = None
+        best_cloud: FrozenSet[AtomPattern] = cloud
+        best_perm: Tuple[int, ...] = tuple(null_ids)
+        for perm in itertools.permutations(null_ids):
+            relabel = {old: new for old, new in zip(null_ids, perm)}
+            new_cloud = frozenset(
+                (pred, tuple(relabel.get(c, c) for c in classes))
+                for pred, classes in cloud
+            )
+            encoding = tuple(
+                sorted((pred.name, pred.arity, classes) for pred, classes in new_cloud)
+            )
+            if best is None or encoding < best:
+                best = encoding
+                best_cloud = new_cloud
+                best_perm = perm
+        return best_cloud, best_perm
+    # Heuristic: order nulls by an occurrence signature, ties by id.
+    signature: Dict[int, Tuple] = {}
+    for null in null_ids:
+        occurrences = sorted(
+            (pred.name, pred.arity, pos)
+            for pred, classes in cloud
+            for pos, c in enumerate(classes)
+            if c == null
+        )
+        signature[null] = tuple(occurrences)
+    ordered = sorted(null_ids, key=lambda n: (signature[n], n))
+    relabel = {
+        old: num_constants + rank for rank, old in enumerate(ordered)
+    }
+    new_cloud = frozenset(
+        (pred, tuple(relabel.get(c, c) for c in classes))
+        for pred, classes in cloud
+    )
+    mapping = tuple(relabel[n] for n in null_ids)
+    return new_cloud, mapping
+
+
+def atom_to_pattern(
+    atom: Atom,
+    assignment: Dict[Variable, int],
+    constant_class: Dict[Constant, int],
+) -> AtomPattern:
+    """Translate a rule atom to a pattern under a variable→class map."""
+    classes: List[int] = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            classes.append(assignment[term])
+        elif isinstance(term, Constant):
+            classes.append(constant_class[term])
+        else:
+            raise ValueError(f"nulls cannot appear in rule atoms: {atom}")
+    return (atom.predicate, tuple(classes))
+
+
+def pattern_homomorphisms(
+    body: Sequence[Atom],
+    cloud: FrozenSet[AtomPattern],
+    constant_class: Dict[Constant, int],
+) -> Iterable[Dict[Variable, int]]:
+    """All assignments of the body's variables to classes such that
+    every body atom maps to a cloud pattern.
+
+    The pattern-level analogue of
+    :func:`repro.model.homomorphism.homomorphisms`; rule constants must
+    land on their own constant class.
+    """
+    by_predicate: Dict[Predicate, List[Tuple[int, ...]]] = {}
+    for pred, classes in cloud:
+        by_predicate.setdefault(pred, []).append(classes)
+    for rows in by_predicate.values():
+        rows.sort()
+    ordered = sorted(
+        body,
+        key=lambda a: len(by_predicate.get(a.predicate, ())),
+    )
+
+    def extend(idx: int, assignment: Dict[Variable, int]):
+        if idx == len(ordered):
+            yield dict(assignment)
+            return
+        atom = ordered[idx]
+        for classes in by_predicate.get(atom.predicate, ()):
+            trial = dict(assignment)
+            ok = True
+            for term, cls in zip(atom.terms, classes):
+                if isinstance(term, Variable):
+                    bound = trial.get(term)
+                    if bound is None:
+                        trial[term] = cls
+                    elif bound != cls:
+                        ok = False
+                        break
+                elif isinstance(term, Constant):
+                    if constant_class.get(term) != cls:
+                        ok = False
+                        break
+                else:
+                    ok = False
+                    break
+            if ok:
+                yield from extend(idx + 1, trial)
+
+    yield from extend(0, {})

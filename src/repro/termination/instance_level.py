@@ -1,0 +1,58 @@
+"""Per-database chase termination for guarded rules.
+
+The paper (§1) recalls that (semi-)oblivious chase termination is
+undecidable *even when the database is known* — for unrestricted TGDs.
+For guarded Σ the Theorem 4 machinery decides it: root the type
+analysis at the concrete database instead of the critical instance and
+run the same pumping search.
+
+This is strictly finer than the all-instance question: Example 1's
+``person(X) → ∃Y hasFather(X,Y), person(Y)`` diverges on any database
+containing a person, yet terminates instantly on a database with no
+``person`` facts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..chase.triggers import ChaseVariant
+from ..classes import is_guarded
+from ..errors import UnsupportedClassError
+from ..model import Instance, TGD
+from .pumping import find_pumping_witness
+from .saturation import DEFAULT_MAX_TYPES, TypeAnalysis
+from .transitions import TransitionGraph
+from .verdict import TerminationVerdict
+
+
+def decide_termination_on(
+    rules: Sequence[TGD],
+    database: Instance,
+    variant: str = ChaseVariant.SEMI_OBLIVIOUS,
+    max_types: int = DEFAULT_MAX_TYPES,
+) -> TerminationVerdict:
+    """Decide whether the ``variant`` chase of guarded ``rules``
+    terminates on this specific ``database``."""
+    rules = list(rules)
+    if not is_guarded(rules):
+        raise UnsupportedClassError(
+            "per-database termination is undecidable for unrestricted "
+            "TGDs; this procedure requires guarded rules"
+        )
+    if variant not in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS):
+        raise UnsupportedClassError(
+            f"per-database termination is analysed for the oblivious and "
+            f"semi-oblivious chase, not {variant!r}"
+        )
+    analysis = TypeAnalysis(rules, database=database, max_types=max_types)
+    graph = TransitionGraph(analysis)
+    stats = graph.stats()
+    witness = find_pumping_witness(graph, variant)
+    if witness is not None:
+        return TerminationVerdict(
+            False, variant, "instance_type_graph", witness, stats
+        )
+    return TerminationVerdict(
+        True, variant, "instance_type_graph", None, stats
+    )

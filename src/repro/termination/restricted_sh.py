@@ -1,0 +1,219 @@
+"""§4 (future work) — restricted-chase termination for single-head
+linear TGDs.
+
+The paper sketches a preliminary result: for single-head linear TGDs
+in which each predicate appears in the head of at most one rule, the
+fragment guaranteeing restricted-chase termination can be
+characterized by "a careful extension of weak acyclicity", decidable
+in polynomial time.  The full construction was left to future work;
+this module is a documented **reconstruction** in that spirit:
+
+* Build a *rule graph* with two kinds of edges σ → τ, both requiring
+  that τ's body unifies with σ's head and that the restricted chase
+  would not skip the resulting trigger (the demanded head must not be
+  satisfied by the very atom that triggered it — the skip rule is what
+  separates the restricted from the semi-oblivious chase):
+
+  - a **fresh** edge when a null invented by σ lands in τ's body;
+  - a **carry** edge when only frontier values flow (τ can relay nulls
+    created upstream without inventing any).
+
+* Σ diverges iff some cycle of (fresh ∪ carry) edges contains at least
+  one fresh edge — the weak-acyclicity idea lifted from positions to
+  rules, with the self-satisfaction pruning added.
+
+The test runs in polynomial time (quadratically many edges, each
+checked by unification).  ``tests/test_restricted_sh.py`` validates
+the verdicts against budgeted restricted-chase runs on all-distinct
+databases (note the restricted chase is *not* captured by the critical
+instance: ``p(X,Y) → ∃Z p(X,Z)`` is satisfied outright on ``p(*,*)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..classes import is_linear, is_single_head_per_predicate
+from ..errors import UnsupportedClassError
+from ..model import Atom, Constant, TGD, Term, Variable
+from .verdict import TerminationVerdict
+
+
+class _ExistentialMarker(Constant):
+    """A placeholder constant standing for 'some null invented by σ'."""
+
+    def __init__(self, name: str):
+        super().__init__(f"?{name}")
+
+
+def _head_with_markers(rule: TGD) -> Tuple[Atom, Dict[Term, Term]]:
+    """The (single) head atom with existential variables replaced by
+    distinguishable markers."""
+    markers: Dict[Term, Term] = {
+        v: _ExistentialMarker(v.name) for v in rule.existential_variables
+    }
+    return rule.head[0].substitute(markers), markers
+
+
+def _matches(pattern: Atom, atom: Atom) -> Optional[Dict[Variable, Term]]:
+    """Match a rule body ``pattern`` against a concrete-ish ``atom``
+    (markers count as concrete values); returns the assignment."""
+    if pattern.predicate != atom.predicate:
+        return None
+    assignment: Dict[Variable, Term] = {}
+    for pat, val in zip(pattern.terms, atom.terms):
+        if isinstance(pat, Variable):
+            bound = assignment.get(pat)
+            if bound is None:
+                assignment[pat] = val
+            elif bound != val:
+                return None
+        elif pat != val:
+            return None
+    return assignment
+
+
+def _self_satisfied(
+    producer_head: Atom, consumer: TGD, assignment: Dict[Variable, Term]
+) -> bool:
+    """Would the head ``consumer`` demands under ``assignment`` already
+    be satisfied by the producing atom itself?
+
+    The demanded head instantiates the consumer's frontier from
+    ``assignment`` and leaves its existential positions free; it is
+    satisfied by ``producer_head`` iff the two unify position-wise with
+    the frontier values pinned.
+    """
+    demanded = consumer.head[0]
+    if demanded.predicate != producer_head.predicate:
+        return False
+    existential_binding: Dict[Variable, Term] = {}
+    for dem, got in zip(demanded.terms, producer_head.terms):
+        if isinstance(dem, Variable):
+            if dem in consumer.existential_variables:
+                bound = existential_binding.get(dem)
+                if bound is None:
+                    existential_binding[dem] = got
+                elif bound != got:
+                    return False
+            else:
+                if assignment.get(dem) != got:
+                    return False
+        elif dem != got:
+            return False
+    return True
+
+
+def _edge_kind(producer: TGD, consumer: TGD) -> Optional[str]:
+    """``"fresh"``, ``"carry"``, or ``None``.
+
+    Fresh: a null invented by ``producer`` reaches ``consumer``'s body
+    and the restricted chase will not skip the trigger.  Carry: the
+    trigger only relays the producer's frontier values (which may hold
+    nulls created further upstream).
+    """
+    head, markers = _head_with_markers(producer)
+    assignment = _matches(consumer.body[0], head)
+    if assignment is None:
+        return None
+    if _self_satisfied(head, consumer, assignment):
+        # The producing atom itself satisfies the demanded head: the
+        # restricted chase skips this trigger outright.
+        return None
+    touches_fresh = any(
+        isinstance(value, _ExistentialMarker) for value in assignment.values()
+    )
+    if touches_fresh:
+        return "fresh"
+    if any(
+        isinstance(value, Variable) for value in assignment.values()
+    ):
+        # Frontier values flow through; they can carry upstream nulls.
+        return "carry"
+    return None
+
+
+def restricted_rule_graph(
+    rules: Sequence[TGD],
+) -> Dict[int, Dict[int, str]]:
+    """The labelled rule graph: ``graph[i][j]`` is ``"fresh"`` or
+    ``"carry"`` when an edge from rule ``i`` to rule ``j`` exists."""
+    adjacency: Dict[int, Dict[int, str]] = {
+        i: {} for i in range(len(rules))
+    }
+    for i, producer in enumerate(rules):
+        for j, consumer in enumerate(rules):
+            kind = _edge_kind(producer, consumer)
+            if kind is not None:
+                adjacency[i][j] = kind
+    return adjacency
+
+
+def _fresh_cycle(
+    adjacency: Dict[int, Dict[int, str]]
+) -> Optional[List[int]]:
+    """A cycle containing at least one fresh edge, as a node list
+    ``[i, j, ..., i]``, or ``None``.
+
+    For each fresh edge (i, j), search a path j ⇝ i through any edges;
+    fresh-free cycles only shuffle existing facts and terminate.
+    """
+    from collections import deque
+
+    for i, targets in adjacency.items():
+        for j, kind in targets.items():
+            if kind != "fresh":
+                continue
+            if j == i:
+                return [i]
+            parents: Dict[int, int] = {}
+            seen = {j}
+            queue: deque = deque([j])
+            while queue:
+                node = queue.popleft()
+                if node == i:
+                    # Reconstruct j -> ... -> i, then prepend the fresh
+                    # edge's source: the cycle is i -> j -> ... -> (i).
+                    trail = [i]
+                    while trail[-1] != j:
+                        trail.append(parents[trail[-1]])
+                    trail.reverse()
+                    return [i] + trail[:-1]
+                for child in adjacency.get(node, {}):
+                    if child not in seen:
+                        seen.add(child)
+                        parents[child] = node
+                        queue.append(child)
+    return None
+
+
+def decide_restricted_single_head(
+    rules: Sequence[TGD],
+) -> TerminationVerdict:
+    """Decide restricted-chase termination for single-head linear Σ
+    (each predicate in the head of at most one rule), per the §4
+    reconstruction."""
+    rules = list(rules)
+    if not is_linear(rules):
+        raise UnsupportedClassError(
+            "the §4 procedure requires linear TGDs"
+        )
+    if not is_single_head_per_predicate(rules):
+        raise UnsupportedClassError(
+            "the §4 procedure requires single-head rules with each "
+            "predicate in the head of at most one rule"
+        )
+    adjacency = restricted_rule_graph(rules)
+    cycle = _fresh_cycle(adjacency)
+    stats = {
+        "rules": len(rules),
+        "edges": sum(len(v) for v in adjacency.values()),
+    }
+    if cycle is None:
+        return TerminationVerdict(
+            True, "restricted", "restricted_rule_graph", None, stats
+        )
+    witness = [rules[i] for i in cycle]
+    return TerminationVerdict(
+        False, "restricted", "restricted_rule_graph", witness, stats
+    )

@@ -1,0 +1,355 @@
+"""Type saturation — the fixpoint core of the guarded decider (Thm 4).
+
+For guarded Σ, the atoms derivable over a bag's terms depend only on
+the bag's type.  Saturation computes, for every reachable type, the
+full cloud of derivable patterns, accounting for
+
+* *local* derivations — rule bodies mapping into the bag's cloud whose
+  head atoms mention no existential variable land on the bag's own
+  terms; and
+* *up-propagation* — a child bag's subtree can derive atoms purely
+  over terms the child inherited, which are therefore atoms over the
+  parent's terms too.
+
+The paper obtains the 2EXPTIME upper bound with an alternating
+algorithm over this exact (doubly exponential) type space; alternation
+over a finite space is equivalent to the memoized least fixpoint
+computed here (see DESIGN.md, substitution ledger).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..chase.critical import (
+    CRITICAL_CONSTANT,
+    ONE_CONSTANT,
+    ONE_PREDICATE,
+    ZERO_CONSTANT,
+    ZERO_PREDICATE,
+)
+from ..errors import BudgetExceededError, UnsupportedClassError
+from ..model import (
+    Constant,
+    Instance,
+    Predicate,
+    Schema,
+    TGD,
+    Variable,
+    program_constants,
+    validate_program,
+)
+from .abstraction import (
+    FRESH,
+    AtomPattern,
+    BagType,
+    atom_to_pattern,
+    pattern_homomorphisms,
+)
+
+DEFAULT_MAX_TYPES = 20_000
+
+
+class ChildEdge:
+    """A bag-creating rule application, as a type-level transition.
+
+    ``flow`` maps each *canonical* null class of the child to its
+    source: a parent class id, or :data:`FRESH` for classes created by
+    existential variables.  ``trigger_o`` / ``trigger_so`` are the
+    parent classes read by the trigger under the oblivious /
+    semi-oblivious identification policies.
+    """
+
+    __slots__ = ("source", "target", "rule", "rule_index", "flow",
+                 "trigger_o", "trigger_so")
+
+    def __init__(
+        self,
+        source: BagType,
+        target: BagType,
+        rule: TGD,
+        rule_index: int,
+        flow: Dict[int, int],
+        trigger_o: FrozenSet[int],
+        trigger_so: FrozenSet[int],
+    ):
+        self.source = source
+        self.target = target
+        self.rule = rule
+        self.rule_index = rule_index
+        self.flow = flow
+        self.trigger_o = trigger_o
+        self.trigger_so = trigger_so
+
+    def trigger_classes(self, variant: str) -> FrozenSet[int]:
+        """The parent classes the trigger reads under ``variant``.
+
+        The restricted chase identifies triggers obliviously, so it
+        shares the oblivious trigger footprint.
+        """
+        from ..chase.triggers import ChaseVariant
+
+        if variant == ChaseVariant.SEMI_OBLIVIOUS:
+            return self.trigger_so
+        return self.trigger_o
+
+    def dedup_key(self) -> Tuple:
+        return (
+            self.rule_index,
+            self.target,
+            tuple(sorted(self.flow.items())),
+            self.trigger_o,
+            self.trigger_so,
+        )
+
+    def __repr__(self) -> str:
+        label = self.rule.label or f"rule{self.rule_index}"
+        return f"ChildEdge({label}: {self.source!r} -> {self.target!r})"
+
+
+class TypeAnalysis:
+    """Saturated type space of a guarded program over its critical
+    instance (plain or *standard*, per Theorem 4)."""
+
+    def __init__(
+        self,
+        rules: Sequence[TGD],
+        standard: bool = False,
+        max_types: int = DEFAULT_MAX_TYPES,
+        database: Optional[Instance] = None,
+    ):
+        """Analyse ``rules`` over the critical instance (default), the
+        *standard* critical instance (``standard=True``), or a concrete
+        ``database`` root — the latter turns saturation into the
+        guarded atom-entailment engine of :mod:`repro.entailment`."""
+        rules = list(rules)
+        validate_program(rules)
+        for rule in rules:
+            if not rule.is_guarded():
+                raise UnsupportedClassError(
+                    f"type analysis requires guarded rules; offending: {rule}"
+                )
+        if standard and database is not None:
+            raise ValueError("standard and database roots are exclusive")
+        self.rules = rules
+        self.standard = standard
+        self.database = database
+        self.max_types = max_types
+        constants: Set[Constant] = set(program_constants(rules))
+        schema = Schema.from_rules(rules)
+        if database is not None:
+            constants |= set(database.constants())
+            if database.nulls():
+                raise ValueError("the root database must be null-free")
+            schema = schema.merge(database.schema())
+        else:
+            constants.add(CRITICAL_CONSTANT)
+        if standard:
+            constants |= {ZERO_CONSTANT, ONE_CONSTANT}
+            schema = schema.merge(Schema([ZERO_PREDICATE, ONE_PREDICATE]))
+        self.schema = schema
+        self.constants: Tuple[Constant, ...] = tuple(sorted(constants))
+        self.constant_class: Dict[Constant, int] = {
+            c: i for i, c in enumerate(self.constants)
+        }
+        self.num_constants = len(self.constants)
+        self.root = self._root_type()
+        # Saturated cloud per creation type; grows monotonically.
+        self.table: Dict[BagType, FrozenSet[AtomPattern]] = {}
+        self._saturated = False
+
+    # -- construction ---------------------------------------------------
+
+    def _root_type(self) -> BagType:
+        """The root bag: the critical instance (all facts over the
+        constants) or the supplied database."""
+        cloud: List[AtomPattern] = []
+        if self.database is not None:
+            for fact in self.database:
+                cloud.append(
+                    (
+                        fact.predicate,
+                        tuple(self.constant_class[t] for t in fact.terms),
+                    )
+                )
+            return BagType(self.num_constants, 0, cloud)
+        for pred in self.schema:
+            for combo in itertools.product(
+                range(self.num_constants), repeat=pred.arity
+            ):
+                cloud.append((pred, tuple(combo)))
+        return BagType(self.num_constants, 0, cloud)
+
+    def saturate(self) -> None:
+        """Run the global least fixpoint; idempotent."""
+        if self._saturated:
+            return
+        self.table[self.root] = self.root.cloud
+        changed = True
+        while changed:
+            changed = False
+            for bag_type in list(self.table):
+                types_before = len(self.table)
+                new_cloud = self._saturate_one(bag_type)
+                if new_cloud != self.table[bag_type]:
+                    self.table[bag_type] = new_cloud
+                    changed = True
+                if len(self.table) != types_before:
+                    # Newly discovered child types need their own pass.
+                    changed = True
+        self._saturated = True
+
+    def _register(self, bag_type: BagType) -> None:
+        if bag_type not in self.table:
+            if len(self.table) >= self.max_types:
+                raise BudgetExceededError(
+                    f"type budget exhausted ({self.max_types} types); the "
+                    "guarded procedure is 2EXPTIME-complete — raise "
+                    "max_types if this input is expected to be this large"
+                )
+            self.table[bag_type] = bag_type.cloud
+
+    def _saturate_one(self, bag_type: BagType) -> FrozenSet[AtomPattern]:
+        """One saturation pass for a single type, against the current
+        global table.  Registers newly discovered child types."""
+        cloud: Set[AtomPattern] = set(self.table[bag_type])
+        while True:
+            before = len(cloud)
+            frozen = frozenset(cloud)
+            for rule_index, rule in enumerate(self.rules):
+                for assignment in pattern_homomorphisms(
+                    rule.body, frozen, self.constant_class
+                ):
+                    self._apply_local(rule, assignment, cloud)
+                    if rule.existential_variables:
+                        edge = self._make_child(
+                            bag_type, frozenset(cloud), rule, rule_index,
+                            assignment,
+                        )
+                        self._register(edge.target)
+                        self._lift_child_atoms(edge, cloud)
+            if len(cloud) == before:
+                return frozenset(cloud)
+
+    def _apply_local(
+        self,
+        rule: TGD,
+        assignment: Dict[Variable, int],
+        cloud: Set[AtomPattern],
+    ) -> None:
+        """Add head atoms free of existential variables to ``cloud``."""
+        for atom in rule.head:
+            if atom.variables() & rule.existential_variables:
+                continue
+            cloud.add(
+                atom_to_pattern(atom, assignment, self.constant_class)
+            )
+
+    def _make_child(
+        self,
+        parent: BagType,
+        parent_cloud: FrozenSet[AtomPattern],
+        rule: TGD,
+        rule_index: int,
+        assignment: Dict[Variable, int],
+    ) -> ChildEdge:
+        """The type-level child bag created by applying ``rule`` under
+        ``assignment`` to a bag with ``parent_cloud``."""
+        g = self.num_constants
+        inherited = sorted(
+            {assignment[v] for v in rule.frontier if assignment[v] >= g}
+        )
+        inherit_map = {old: g + i for i, old in enumerate(inherited)}
+        existentials = sorted(rule.existential_variables)
+        child_assignment: Dict[Variable, int] = {}
+        for var in rule.frontier:
+            cls = assignment[var]
+            child_assignment[var] = inherit_map.get(cls, cls)
+        flow_raw: List[int] = list(inherited)
+        for offset, var in enumerate(existentials):
+            child_assignment[var] = g + len(inherited) + offset
+            flow_raw.append(FRESH)
+        raw_cloud: Set[AtomPattern] = set()
+        for atom in rule.head:
+            raw_cloud.add(
+                atom_to_pattern(atom, child_assignment, self.constant_class)
+            )
+        # Inherit every parent atom lying entirely over inherited terms.
+        inherited_set = set(inherit_map)
+        for pred, classes in parent_cloud:
+            if all(c < g or c in inherited_set for c in classes):
+                raw_cloud.add(
+                    (pred, tuple(inherit_map.get(c, c) for c in classes))
+                )
+        child = BagType(g, len(flow_raw), raw_cloud)
+        flow: Dict[int, int] = {}
+        for i, source in enumerate(flow_raw):
+            flow[child.canonical_map[i]] = source
+        trigger_o = frozenset(assignment[v] for v in rule.body_variables)
+        trigger_so = frozenset(assignment[v] for v in rule.frontier)
+        return ChildEdge(
+            parent, child, rule, rule_index, flow, trigger_o, trigger_so
+        )
+
+    def _lift_child_atoms(
+        self, edge: ChildEdge, cloud: Set[AtomPattern]
+    ) -> None:
+        """Up-propagation: atoms of the child's saturated cloud lying
+        entirely over inherited (or constant) classes are atoms over
+        the parent's terms."""
+        child_cloud = self.table.get(edge.target, edge.target.cloud)
+        g = self.num_constants
+        back = {
+            child_cls: parent_cls
+            for child_cls, parent_cls in edge.flow.items()
+            if parent_cls != FRESH
+        }
+        for pred, classes in child_cloud:
+            mapped: List[int] = []
+            ok = True
+            for c in classes:
+                if c < g:
+                    mapped.append(c)
+                else:
+                    source = back.get(c)
+                    if source is None:
+                        ok = False
+                        break
+                    mapped.append(source)
+            if ok:
+                cloud.add((pred, tuple(mapped)))
+
+    # -- post-saturation queries ----------------------------------------
+
+    def saturated_cloud(self, bag_type: BagType) -> FrozenSet[AtomPattern]:
+        """The saturated cloud of ``bag_type`` (must be registered)."""
+        self.saturate()
+        return self.table[bag_type]
+
+    def child_edges(self, bag_type: BagType) -> List[ChildEdge]:
+        """All deduplicated bag-creating transitions out of a type,
+        computed against its *saturated* cloud."""
+        self.saturate()
+        cloud = self.table[bag_type]
+        seen: Set[Tuple] = set()
+        edges: List[ChildEdge] = []
+        for rule_index, rule in enumerate(self.rules):
+            if not rule.existential_variables:
+                continue
+            for assignment in pattern_homomorphisms(
+                rule.body, cloud, self.constant_class
+            ):
+                edge = self._make_child(
+                    bag_type, cloud, rule, rule_index, assignment
+                )
+                key = edge.dedup_key()
+                if key not in seen:
+                    seen.add(key)
+                    edges.append(edge)
+        return edges
+
+    def type_count(self) -> int:
+        """How many types saturation discovered."""
+        self.saturate()
+        return len(self.table)

@@ -1,0 +1,61 @@
+"""Theorem 1 — termination for simple linear TGDs.
+
+For Σ ∈ SL the paper characterizes termination *syntactically*:
+
+* ``Σ ∈ CT_o  ⇔  Σ is richly acyclic``   (extended dependency graph)
+* ``Σ ∈ CT_so ⇔  Σ is weakly acyclic``   (dependency graph)
+
+so the decision is a reachability test on a polynomial-size graph —
+the source of the NL upper bound of Theorem 3(1).
+
+The characterization is for **constant-free** TGDs (the usual setting
+of the acyclicity literature): a rule constant can block a dangerous
+cycle that the dependency graph, which only sees positions, still
+reports.  The top-level :func:`~repro.termination.decide_termination`
+therefore routes constant-bearing SL programs to the exact critical
+decider instead; calling this function on them yields the (sound but
+possibly incomplete) syntactic verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..chase.triggers import ChaseVariant
+from ..classes import is_simple_linear
+from ..errors import UnsupportedClassError
+from ..graphs import (
+    dependency_graph,
+    extended_dependency_graph,
+    find_dangerous_cycle,
+)
+from ..model import TGD
+from .verdict import TerminationVerdict
+
+
+def decide_simple_linear(
+    rules: Sequence[TGD], variant: str
+) -> TerminationVerdict:
+    """Decide ``Σ ∈ CT_variant`` for simple linear Σ via Theorem 1."""
+    rules = list(rules)
+    if not is_simple_linear(rules):
+        raise UnsupportedClassError(
+            "decide_simple_linear requires simple linear TGDs "
+            "(single-atom bodies without repeated variables)"
+        )
+    if variant == ChaseVariant.OBLIVIOUS:
+        graph = extended_dependency_graph(rules)
+        method = "rich_acyclicity"
+    elif variant == ChaseVariant.SEMI_OBLIVIOUS:
+        graph = dependency_graph(rules)
+        method = "weak_acyclicity"
+    else:
+        raise UnsupportedClassError(
+            f"Theorem 1 covers the oblivious and semi-oblivious chase, "
+            f"not {variant!r}"
+        )
+    cycle = find_dangerous_cycle(graph)
+    stats = {"positions": len(graph), "edges": sum(1 for _ in graph.edges())}
+    if cycle is None:
+        return TerminationVerdict(True, variant, method, None, stats)
+    return TerminationVerdict(False, variant, method, cycle, stats)

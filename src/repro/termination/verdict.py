@@ -1,0 +1,74 @@
+"""Termination verdicts with checkable certificates."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class TerminationVerdict:
+    """The answer of a termination decision procedure.
+
+    Attributes
+    ----------
+    terminating:
+        Whether Σ belongs to CT (all-instance termination) for the
+        chosen chase ``variant``.
+    variant:
+        ``"oblivious"`` or ``"semi_oblivious"`` (the paper's scope);
+        the §4 restricted-chase analysis reports ``"restricted"``.
+    method:
+        Which procedure produced the verdict — e.g.
+        ``"rich_acyclicity"``, ``"weak_acyclicity"``,
+        ``"guarded_type_graph"``, ``"critical_chase_oracle"``.
+    witness:
+        A certificate object: a
+        :class:`~repro.graphs.dependency.DangerousCycle`, a
+        :class:`~repro.termination.pumping.PumpingWitness`, a chase
+        result, or ``None`` for purely syntactic positives.
+    stats:
+        Procedure statistics (type counts, graph sizes, steps).
+    """
+
+    __slots__ = ("terminating", "variant", "method", "witness", "stats")
+
+    def __init__(
+        self,
+        terminating: bool,
+        variant: str,
+        method: str,
+        witness: Optional[object] = None,
+        stats: Optional[Dict[str, int]] = None,
+    ):
+        self.terminating = terminating
+        self.variant = variant
+        self.method = method
+        self.witness = witness
+        self.stats = dict(stats or {})
+
+    def __bool__(self) -> bool:
+        return self.terminating
+
+    def __repr__(self) -> str:
+        outcome = "terminating" if self.terminating else "non-terminating"
+        return (
+            f"TerminationVerdict({outcome}, variant={self.variant}, "
+            f"method={self.method})"
+        )
+
+    def explain(self) -> str:
+        """A short human-readable explanation."""
+        outcome = (
+            "the chase terminates on every database"
+            if self.terminating
+            else "some database admits an infinite chase"
+        )
+        lines = [f"{self.variant} chase: {outcome} (method: {self.method})"]
+        if self.witness is not None:
+            describe = getattr(self.witness, "describe", None)
+            lines.append(
+                describe() if callable(describe) else repr(self.witness)
+            )
+        if self.stats:
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(self.stats.items()))
+            lines.append(f"stats: {inner}")
+        return "\n".join(lines)

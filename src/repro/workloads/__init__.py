@@ -1,0 +1,33 @@
+"""Seeded generators and parametric families for tests and benchmarks."""
+
+from .families import (
+    chain_family,
+    cycle_family,
+    diagonal_family,
+    dl_lite_cyclic_family,
+    dl_lite_family,
+    guarded_loop_family,
+    guarded_tower_family,
+    shifting_family,
+)
+from .generators import (
+    random_database,
+    random_guarded,
+    random_linear,
+    random_simple_linear,
+)
+
+__all__ = [
+    "chain_family",
+    "cycle_family",
+    "diagonal_family",
+    "dl_lite_cyclic_family",
+    "dl_lite_family",
+    "guarded_loop_family",
+    "guarded_tower_family",
+    "random_database",
+    "random_guarded",
+    "random_linear",
+    "random_simple_linear",
+    "shifting_family",
+]

@@ -1,0 +1,175 @@
+"""Parametric rule-set families used by the scaling benchmarks.
+
+Each family is a pure function of its size parameters, so benchmark
+series are reproducible and the expected verdict of every instance is
+known by construction (the benches assert them).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..model import Atom, Predicate, TGD, Variable
+
+
+def chain_family(length: int, arity: int = 2) -> List[TGD]:
+    """A terminating SL chain  p1 → p2 → ... → p(length+1).
+
+    Each rule shifts the frontier left and invents the last argument
+    (``p_i(X1,...,Xk) → ∃Z p_{i+1}(X2,...,Xk,Z)``).  The dependency
+    graph is a DAG, so the family is richly acyclic and the (S)L
+    deciders should scale linearly in ``length`` (Theorem 3's NL upper
+    bound, E3).
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rules: List[TGD] = []
+    for i in range(length):
+        rules.append(
+            _shift_rule(f"p{i + 1}", f"p{i + 2}", arity, f"chain{i + 1}")
+        )
+    return rules
+
+
+def cycle_family(length: int, arity: int = 2) -> List[TGD]:
+    """The chain closed into a null-creating cycle — non-terminating
+    for both chase variants (a dangerous cycle that *is* realizable:
+    the shifted frontier carries a fresh null around every lap)."""
+    if arity < 2:
+        raise ValueError(
+            "arity must be >= 2 (an arity-1 shift has an empty frontier "
+            "and the semi-oblivious chase fires it only once)"
+        )
+    rules = chain_family(length, arity)
+    rules.append(_shift_rule(f"p{length + 1}", "p1", arity, "close"))
+    return rules
+
+
+def _shift_rule(source: str, target: str, arity: int, label: str) -> TGD:
+    body_vars = [Variable(f"X{j + 1}") for j in range(arity)]
+    head_terms = body_vars[1:] + [Variable("Z")]
+    return TGD(
+        [Atom(Predicate(source, arity), body_vars)],
+        [Atom(Predicate(target, arity), head_terms)],
+        label=label,
+    )
+
+
+def shifting_family(arity: int) -> List[TGD]:
+    """One linear rule  p(X1,...,Xk) → ∃Z p(X2,...,Xk,Z).
+
+    Non-terminating for every k; the number of distinct equality
+    patterns the critical chase visits grows with the arity, making
+    this the arity-blowup series for Theorem 3(2)/Theorem 4 (E3/E4).
+    """
+    if arity < 1:
+        raise ValueError("arity must be >= 1")
+    p = Predicate("p", arity)
+    body_vars = [Variable(f"X{j + 1}") for j in range(arity)]
+    head_terms = body_vars[1:] + [Variable("Z")]
+    return [TGD([Atom(p, body_vars)], [Atom(p, head_terms)], label="shift")]
+
+
+def diagonal_family(arity: int) -> List[TGD]:
+    """One linear rule  p(X,...,X) → ∃Z p(X,...,X,Z)-style diagonal.
+
+    ``p(X,X,...,X) → ∃Z p(Z,X,...,X)``: not weakly acyclic, yet
+    terminating — the body demands all-equal arguments which the head
+    never reproduces.  The Theorem 2 separation family (E2), scalable
+    in the arity.
+    """
+    if arity < 2:
+        raise ValueError("arity must be >= 2")
+    p = Predicate("p", arity)
+    x = Variable("X")
+    body = Atom(p, [x] * arity)
+    head = Atom(p, [Variable("Z")] + [x] * (arity - 1))
+    return [TGD([body], [head], label="diag")]
+
+
+def guarded_tower_family(levels: int) -> List[TGD]:
+    """A terminating guarded family with genuine multi-atom bodies.
+
+    Level ``i`` creates a fresh witness guarded by level ``i``'s
+    relation plus a side atom; no level feeds back, so the type graph
+    is a DAG of depth ``levels`` (the E4 scaling series).
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    rules: List[TGD] = []
+    for i in range(levels):
+        rel = Predicate(f"r{i + 1}", 2)
+        mark = Predicate(f"m{i + 1}", 1)
+        nxt = Predicate(f"r{i + 2}", 2)
+        nxt_mark = Predicate(f"m{i + 2}", 1)
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        rules.append(
+            TGD(
+                [Atom(rel, [x, y]), Atom(mark, [y])],
+                [Atom(nxt, [y, z]), Atom(nxt_mark, [z])],
+                label=f"tower{i + 1}",
+            )
+        )
+    return rules
+
+
+def guarded_loop_family(levels: int) -> List[TGD]:
+    """The tower closed back to level 1 — non-terminating guarded."""
+    rules = guarded_tower_family(levels)
+    last_rel = Predicate(f"r{levels + 1}", 2)
+    last_mark = Predicate(f"m{levels + 1}", 1)
+    first_rel = Predicate("r1", 2)
+    first_mark = Predicate("m1", 1)
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    rules.append(
+        TGD(
+            [Atom(last_rel, [x, y]), Atom(last_mark, [y])],
+            [Atom(first_rel, [y, z]), Atom(first_mark, [z])],
+            label="close",
+        )
+    )
+    return rules
+
+
+def dl_lite_family(concepts: int) -> List[TGD]:
+    """A DL-Lite-style ontology: concept inclusions and mandatory-role
+    axioms over ``concepts`` concepts (the SL application the paper
+    highlights — inclusion dependencies / DL-Lite are simple linear).
+
+    ``Ci ⊑ ∃role_i``, ``∃role_i⁻ ⊑ C(i+1)``: terminating because the
+    concept chain never closes.
+    """
+    if concepts < 2:
+        raise ValueError("concepts must be >= 2")
+    rules: List[TGD] = []
+    x, y = Variable("X"), Variable("Y")
+    for i in range(concepts - 1):
+        concept = Predicate(f"c{i + 1}", 1)
+        role = Predicate(f"role{i + 1}", 2)
+        nxt = Predicate(f"c{i + 2}", 1)
+        rules.append(
+            TGD([Atom(concept, [x])], [Atom(role, [x, y])],
+                label=f"mandatory{i + 1}")
+        )
+        rules.append(
+            TGD([Atom(role, [x, y])], [Atom(nxt, [y])],
+                label=f"range{i + 1}")
+        )
+    return rules
+
+
+def dl_lite_cyclic_family(concepts: int) -> List[TGD]:
+    """The DL-Lite chain closed into a cycle — the textbook infinite
+    ontology chase (Example 1's person/hasFather generalized)."""
+    rules = dl_lite_family(concepts)
+    last = Predicate(f"c{concepts}", 1)
+    role = Predicate(f"role{concepts}", 2)
+    first = Predicate("c1", 1)
+    x, y = Variable("X"), Variable("Y")
+    rules.append(
+        TGD([Atom(last, [x])], [Atom(role, [x, y])], label="mandatory_last")
+    )
+    rules.append(
+        TGD([Atom(role, [x, y])], [Atom(first, [y])], label="range_last")
+    )
+    return rules

@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Atom, Constant, Predicate, TGD, Variable
+
+
+@pytest.fixture
+def xyz():
+    """Three standard variables."""
+    return Variable("X"), Variable("Y"), Variable("Z")
+
+
+def atom(name: str, *terms) -> Atom:
+    """Shorthand atom builder: strings starting upper-case become
+    variables, everything else constants."""
+    converted = []
+    for term in terms:
+        if isinstance(term, str):
+            if term[:1].isupper() or term[:1] == "_":
+                converted.append(Variable(term))
+            else:
+                converted.append(Constant(term))
+        else:
+            converted.append(term)
+    return Atom(Predicate(name, len(converted)), converted)
+
+
+def tgd(body, head, label="") -> TGD:
+    """Shorthand TGD builder accepting single atoms or lists."""
+    if isinstance(body, Atom):
+        body = [body]
+    if isinstance(head, Atom):
+        head = [head]
+    return TGD(body, head, label=label)

@@ -1,0 +1,115 @@
+"""Unit tests for bag types, canonicalization, and pattern matching."""
+
+import pytest
+
+from repro.model import Constant, Predicate, Variable
+from repro.parser import parse_rule
+from repro.termination.abstraction import (
+    BagType,
+    atom_to_pattern,
+    pattern_homomorphisms,
+    pattern_to_str,
+)
+
+
+P2 = Predicate("p", 2)
+Q1 = Predicate("q", 1)
+
+
+class TestBagType:
+    def test_equality_of_identical(self):
+        a = BagType(1, 1, [(P2, (0, 1))])
+        b = BagType(1, 1, [(P2, (0, 1))])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_isomorphic_null_relabelings_collapse(self):
+        # nulls are classes 1 and 2 (one constant class 0)
+        a = BagType(1, 2, [(P2, (1, 2)), (Q1, (1,))])
+        b = BagType(1, 2, [(P2, (2, 1)), (Q1, (2,))])
+        assert a == b
+
+    def test_non_isomorphic_distinct(self):
+        a = BagType(1, 2, [(P2, (1, 2)), (Q1, (1,))])
+        b = BagType(1, 2, [(P2, (1, 2)), (Q1, (2,))])
+        assert a != b
+
+    def test_constant_classes_not_permuted(self):
+        a = BagType(2, 0, [(P2, (0, 1))])
+        b = BagType(2, 0, [(P2, (1, 0))])
+        assert a != b
+
+    def test_canonical_map_translates_raw_classes(self):
+        bag = BagType(1, 2, [(P2, (2, 1))])
+        # canonical_map[i] is the canonical id of raw null class 1+i.
+        relabel = {1 + i: c for i, c in enumerate(bag.canonical_map)}
+        translated = frozenset(
+            (pred, tuple(relabel.get(c, c) for c in classes))
+            for pred, classes in [(P2, (2, 1))]
+        )
+        assert translated == bag.cloud
+
+    def test_num_classes_and_null_classes(self):
+        bag = BagType(2, 3, [])
+        assert bag.num_classes == 5
+        assert bag.null_classes() == (2, 3, 4)
+
+    def test_describe_renders_constants_and_nulls(self):
+        bag = BagType(1, 1, [(P2, (0, 1))])
+        text = bag.describe([Constant("*")])
+        assert "p(*, n1)" in text
+
+    def test_large_null_count_heuristic_is_deterministic(self):
+        cloud = [(P2, (1 + i, 2 + i)) for i in range(8)]
+        a = BagType(1, 9, cloud)
+        b = BagType(1, 9, cloud)
+        assert a == b
+
+
+class TestAtomToPattern:
+    def test_variables_and_constants(self):
+        rule = parse_rule("p(X, a) -> q(X)")
+        const_class = {Constant("a"): 0}
+        pattern = atom_to_pattern(
+            rule.body[0], {Variable("X"): 3}, const_class
+        )
+        assert pattern == (P2, (3, 0))
+
+
+class TestPatternHomomorphisms:
+    def test_basic_match(self):
+        rule = parse_rule("p(X, Y) -> q(X)")
+        cloud = frozenset([(P2, (0, 1))])
+        homs = list(pattern_homomorphisms(rule.body, cloud, {}))
+        assert homs == [{Variable("X"): 0, Variable("Y"): 1}]
+
+    def test_repeated_variable_requires_equal_classes(self):
+        rule = parse_rule("p(X, X) -> q(X)")
+        cloud = frozenset([(P2, (0, 1)), (P2, (1, 1))])
+        homs = list(pattern_homomorphisms(rule.body, cloud, {}))
+        assert homs == [{Variable("X"): 1}]
+
+    def test_rule_constant_pins_class(self):
+        rule = parse_rule("p(X, a) -> q(X)")
+        cloud = frozenset([(P2, (1, 0)), (P2, (1, 2))])
+        homs = list(
+            pattern_homomorphisms(rule.body, cloud, {Constant("a"): 0})
+        )
+        assert homs == [{Variable("X"): 1}]
+
+    def test_multi_atom_join(self):
+        rule = parse_rule("p(X, Y), q(Y) -> r(X)")
+        cloud = frozenset([(P2, (0, 1)), (P2, (0, 2)), (Q1, (1,))])
+        homs = list(pattern_homomorphisms(rule.body, cloud, {}))
+        assert homs == [{Variable("X"): 0, Variable("Y"): 1}]
+
+    def test_no_match(self):
+        rule = parse_rule("q(X) -> r(X)")
+        cloud = frozenset([(P2, (0, 0))])
+        assert list(pattern_homomorphisms(rule.body, cloud, {})) == []
+
+
+class TestPatternToStr:
+    def test_rendering(self):
+        text = pattern_to_str((P2, (0, 1)), 1, [Constant("*")])
+        assert text == "p(*, n1)"

@@ -1,0 +1,166 @@
+"""Adversarial cross-validation: hand-crafted programs designed to
+stress specific corners of the decision procedures, each checked
+against the concrete chase oracle.
+"""
+
+import pytest
+
+from repro.chase import ChaseVariant
+from repro.parser import parse_program
+from repro.termination import (
+    critical_chase_terminates,
+    decide_termination,
+)
+
+# (name, program, o-terminates, so-terminates)
+CASES = [
+    (
+        "constant_blocks_renewal",
+        # The head pins the first position to a constant; the body
+        # demands a null there after one hop: dead.
+        "p(X, Y) -> exists Z . q(c, Z)\nq(X, Y) -> exists W . p(Y, W)",
+        False,  # oblivious: q(c, z) re-fires rule 1 via new Y binding
+        True,   # semi-oblivious: rule 1's frontier is empty
+    ),
+    (
+        "two_cycles_one_dead",
+        # Cycle A (p) renews; cycle B (r) recycles a constant.
+        "p(X, Y) -> exists Z . p(Y, Z)\nr(X, X) -> exists W . r(X, W)",
+        False,
+        False,
+    ),
+    (
+        "renewal_through_swap",
+        # The fresh null must survive a position swap to re-trigger.
+        "p(X, Y) -> q(Y, X)\nq(X, Y) -> exists Z . p(X, Z)",
+        False,
+        False,
+    ),
+    (
+        "renewal_killed_by_projection",
+        # The relay drops the fresh position before it returns.
+        "p(X, Y) -> q(X)\nq(X) -> exists Z . p(X, Z)",
+        True,
+        True,
+    ),
+    (
+        "multi_head_cross_feed",
+        "a(X) -> exists Y . b(X, Y), c(Y)\nb(X, Y), c(Y) -> a(Y)",
+        False,
+        False,
+    ),
+    (
+        "multi_head_cross_feed_blocked",
+        # c is never re-derived for fresh nulls: the loop starves.
+        "a(X) -> exists Y . b(X, Y)\nb(X, Y), c(Y) -> a(Y)",
+        True,
+        True,
+    ),
+    (
+        "guard_needs_two_nulls",
+        # The guard wants both arguments fresh-equal: never happens.
+        "g(X, X) -> exists Z . g(X, Z)\ng(X, X) -> h(X)",
+        True,
+        True,
+    ),
+    (
+        "up_propagation_three_deep",
+        "a(X) -> exists Y . e1(X, Y)\n"
+        "e1(X, Y) -> exists Z . e2(Y, Z)\n"
+        "e2(Y, Z) -> exists W . e3(Z, W)\n"
+        "e3(Z, W) -> back(Z)\n"
+        "e2(Y, Z), back(Z) -> a(Z)",
+        False,
+        False,
+    ),
+    (
+        "up_propagation_returns_old_value",
+        "a(X) -> exists Y . e1(X, Y)\n"
+        "e1(X, Y) -> exists Z . e2(Y, Z)\n"
+        "e2(Y, Z) -> back(Y)\n"
+        "e1(X, Y), back(Y) -> a(X)",
+        True,
+        True,
+    ),
+    (
+        "frontier_widens_then_narrows",
+        "p(X, Y, Z) -> exists W . q(X, W)\n"
+        "q(X, W) -> exists U, V . p(W, U, V)",
+        False,
+        False,
+    ),
+    (
+        "existential_pair_split",
+        # Two existentials in one head; only one closes a loop.
+        "s(X) -> exists Y, Z . t(X, Y), u(X, Z)\n"
+        "t(X, Y) -> s(Y)\n"
+        "u(X, Z) -> done(X)",
+        False,
+        False,
+    ),
+    (
+        "existential_pair_both_dead",
+        "s(X) -> exists Y, Z . t(X, Y), u(X, Z)\n"
+        "t(X, Y) -> s(X)\n"
+        "u(X, Z) -> done(X)",
+        True,
+        True,
+    ),
+    (
+        "rule_constants_block_the_cycle",
+        # The dependency graph has a dangerous cycle, but the body's
+        # constant can never be rebuilt by the head: terminating.  The
+        # dispatcher must route this constant-bearing SL program to
+        # the critical decider, where Theorem 1's constant-free
+        # characterization would be wrong.
+        "p(a, X) -> exists Z . q(X, Z)\nq(X, Z) -> p(X, Z)",
+        True,
+        True,
+    ),
+    (
+        "rule_constants_preserved_around_cycle",
+        # The head rebuilds the constant: genuinely diverging.
+        "p(a, X) -> exists Z . q(X, Z)\nq(X, Z) -> p(a, Z)",
+        False,
+        False,
+    ),
+]
+
+
+class TestAdversarial:
+    @pytest.mark.parametrize(
+        "name,text,o_expected,so_expected",
+        CASES,
+        ids=[case[0] for case in CASES],
+    )
+    def test_oblivious(self, name, text, o_expected, so_expected):
+        rules = parse_program(text)
+        verdict = decide_termination(rules, variant=ChaseVariant.OBLIVIOUS)
+        assert verdict.terminating == o_expected
+
+    @pytest.mark.parametrize(
+        "name,text,o_expected,so_expected",
+        CASES,
+        ids=[case[0] for case in CASES],
+    )
+    def test_semi_oblivious(self, name, text, o_expected, so_expected):
+        rules = parse_program(text)
+        verdict = decide_termination(
+            rules, variant=ChaseVariant.SEMI_OBLIVIOUS
+        )
+        assert verdict.terminating == so_expected
+
+    @pytest.mark.parametrize(
+        "name,text,o_expected,so_expected",
+        CASES,
+        ids=[case[0] for case in CASES],
+    )
+    def test_oracle_agreement(self, name, text, o_expected, so_expected):
+        rules = parse_program(text)
+        for variant, expected in (
+            (ChaseVariant.OBLIVIOUS, o_expected),
+            (ChaseVariant.SEMI_OBLIVIOUS, so_expected),
+        ):
+            oracle = critical_chase_terminates(rules, variant,
+                                               max_steps=800)
+            assert (oracle is True) == expected, (name, variant)

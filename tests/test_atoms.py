@@ -1,0 +1,109 @@
+"""Unit tests for repro.model.atoms."""
+
+import pytest
+
+from repro.model import Atom, Constant, Null, Position, Predicate, Variable
+
+
+class TestPredicate:
+    def test_identity(self):
+        assert Predicate("p", 2) == Predicate("p", 2)
+        assert Predicate("p", 2) != Predicate("p", 3)
+        assert Predicate("p", 2) != Predicate("q", 2)
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("p", -1)
+
+    def test_zero_arity_allowed(self):
+        assert Predicate("goal", 0).arity == 0
+
+    def test_positions_enumeration(self):
+        positions = Predicate("p", 3).positions()
+        assert len(positions) == 3
+        assert [pos.index for pos in positions] == [0, 1, 2]
+
+    def test_str(self):
+        assert str(Predicate("p", 2)) == "p/2"
+
+    def test_ordering(self):
+        assert Predicate("a", 1) < Predicate("b", 1)
+        assert Predicate("a", 1) < Predicate("a", 2)
+
+
+class TestPosition:
+    def test_identity(self):
+        p = Predicate("p", 2)
+        assert Position(p, 0) == Position(p, 0)
+        assert Position(p, 0) != Position(p, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Position(Predicate("p", 2), 2)
+        with pytest.raises(ValueError):
+            Position(Predicate("p", 2), -1)
+
+    def test_str_bracket_notation(self):
+        assert str(Position(Predicate("p", 2), 1)) == "p[1]"
+
+
+class TestAtom:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(Predicate("p", 2), [Variable("X")])
+
+    def test_equality(self):
+        p = Predicate("p", 2)
+        x = Variable("X")
+        assert Atom(p, [x, x]) == Atom(p, [x, x])
+        assert Atom(p, [x, Variable("Y")]) != Atom(p, [x, x])
+
+    def test_variables_constants_nulls(self):
+        p = Predicate("p", 3)
+        a = Atom(p, [Variable("X"), Constant("c"), Null(1)])
+        assert a.variables() == {Variable("X")}
+        assert a.constants() == {Constant("c")}
+        assert a.nulls() == {Null(1)}
+
+    def test_is_ground(self):
+        p = Predicate("p", 2)
+        assert Atom(p, [Constant("a"), Null(1)]).is_ground()
+        assert not Atom(p, [Constant("a"), Variable("X")]).is_ground()
+
+    def test_zero_ary_atom_is_ground(self):
+        assert Atom(Predicate("goal", 0), []).is_ground()
+
+    def test_positions_of(self):
+        p = Predicate("p", 3)
+        x = Variable("X")
+        a = Atom(p, [x, Variable("Y"), x])
+        assert [pos.index for pos in a.positions_of(x)] == [0, 2]
+        assert a.positions_of(Variable("W")) == ()
+
+    def test_has_repeated_variables(self):
+        p = Predicate("p", 2)
+        x = Variable("X")
+        assert Atom(p, [x, x]).has_repeated_variables()
+        assert not Atom(p, [x, Variable("Y")]).has_repeated_variables()
+
+    def test_repeated_constants_are_not_repeated_variables(self):
+        p = Predicate("p", 2)
+        c = Constant("c")
+        assert not Atom(p, [c, c]).has_repeated_variables()
+
+    def test_substitute(self):
+        p = Predicate("p", 2)
+        x, y = Variable("X"), Variable("Y")
+        sub = Atom(p, [x, y]).substitute({x: Constant("a")})
+        assert sub == Atom(p, [Constant("a"), y])
+
+    def test_substitute_leaves_original_untouched(self):
+        p = Predicate("p", 1)
+        x = Variable("X")
+        original = Atom(p, [x])
+        original.substitute({x: Constant("a")})
+        assert original.terms == (x,)
+
+    def test_str(self):
+        p = Predicate("p", 2)
+        assert str(Atom(p, [Variable("X"), Constant("a")])) == "p(X, a)"

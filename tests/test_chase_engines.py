@@ -1,0 +1,214 @@
+"""Integration tests for the chase engines (§2 semantics)."""
+
+import pytest
+
+from repro.chase import (
+    ChaseVariant,
+    oblivious_chase,
+    restricted_chase,
+    run_chase,
+    semi_oblivious_chase,
+)
+from repro.cq import is_model_of, is_universal_for
+from repro.model import Instance, Null
+from repro.parser import parse_database, parse_program
+from tests.conftest import atom
+
+
+EX1 = parse_program("person(X) -> exists Y . hasFather(X, Y), person(Y)")
+EX2 = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+
+
+class TestBasics:
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_chase(Instance(), EX1, variant="bogus")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            run_chase(Instance(), EX1, max_steps=0)
+
+    def test_database_not_mutated(self):
+        db = parse_database("person(bob)")
+        semi_oblivious_chase(db, EX1, max_steps=5)
+        assert len(db) == 1
+
+    def test_empty_database_trivially_terminates(self):
+        result = semi_oblivious_chase(Instance(), EX1)
+        assert result.terminated
+        assert result.step_count == 0
+
+    def test_empty_rules_terminate(self):
+        result = semi_oblivious_chase(parse_database("p(a)"), [])
+        assert result.terminated
+        assert len(result.instance) == 1
+
+
+class TestExample1:
+    """The paper's Example 1: an infinite chase, budget-bounded here."""
+
+    def test_budget_exhaustion_reported(self):
+        db = parse_database("person(bob)")
+        result = semi_oblivious_chase(db, EX1, max_steps=10)
+        assert not result.terminated
+        assert result.exhausted
+        assert result.step_count == 10
+
+    def test_prefix_shape(self):
+        db = parse_database("person(bob)")
+        result = semi_oblivious_chase(db, EX1, max_steps=3)
+        persons = result.instance.facts_with_predicate(
+            EX1[0].body[0].predicate
+        )
+        fathers = [
+            f for f in result.instance
+            if f.predicate.name == "hasFather"
+        ]
+        # person(bob), person(z1..z3); hasFather chains them.
+        assert len(persons) == 4
+        assert len(fathers) == 3
+
+    def test_nulls_form_chain(self):
+        db = parse_database("person(bob)")
+        result = semi_oblivious_chase(db, EX1, max_steps=4)
+        chain = [
+            f for f in result.instance if f.predicate.name == "hasFather"
+        ]
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier.terms[1] == later.terms[0]
+
+
+class TestExample2:
+    def test_all_variants_diverge(self):
+        db = parse_database("p(a, b)")
+        for variant in ChaseVariant.ALL:
+            result = run_chase(db, EX2, variant, max_steps=20)
+            assert not result.terminated, variant
+
+    def test_instance_matches_paper_shape(self):
+        db = parse_database("p(a, b)")
+        result = semi_oblivious_chase(db, EX2, max_steps=3)
+        facts = sorted(str(f) for f in result.instance)
+        assert "p(a, b)" in facts
+        assert any("p(b, " in f for f in facts)
+
+
+class TestTerminatingPrograms:
+    RULES = parse_program(
+        """
+        emp(X) -> exists D . works(X, D)
+        works(X, D) -> dept(D)
+        """
+    )
+
+    def test_fixpoint_reached(self):
+        db = parse_database("emp(ada)\nemp(alan)")
+        for variant in ChaseVariant.ALL:
+            result = run_chase(db, self.RULES, variant)
+            assert result.terminated, variant
+
+    def test_result_is_model(self):
+        db = parse_database("emp(ada)")
+        for variant in ChaseVariant.ALL:
+            result = run_chase(db, self.RULES, variant)
+            assert is_model_of(result.instance, db, self.RULES), variant
+            assert result.satisfies(self.RULES)
+
+    def test_result_is_universal(self):
+        db = parse_database("emp(ada)")
+        # An independently built model: ada works in dept d0.
+        model = Instance(
+            [atom("emp", "ada"), atom("works", "ada", "d0"),
+             atom("dept", "d0")]
+        )
+        for variant in ChaseVariant.ALL:
+            result = run_chase(db, self.RULES, variant)
+            assert is_universal_for(result.instance, model), variant
+            assert result.maps_into(model)
+
+    def test_full_rules_terminate_on_any_database(self):
+        rules = parse_program("e(X, Y) -> e(Y, X)\ne(X, Y), e(Y, Z) -> e(X, Z)")
+        db = parse_database("e(a, b)\ne(b, c)")
+        result = semi_oblivious_chase(db, rules)
+        assert result.terminated
+        # transitive-symmetric closure over {a,b,c}
+        assert len(result.instance) == 9
+
+
+class TestVariantRelations:
+    def test_semi_oblivious_never_larger_than_oblivious(self):
+        programs = [
+            ("p(X, Y) -> exists Z . q(X, Z)", "p(a, b)\np(a, c)\np(d, d)"),
+            ("p(X) -> exists Z . q(X, Z)\nq(X, Y) -> r(X)", "p(a)\np(b)"),
+        ]
+        for rules_text, db_text in programs:
+            rules = parse_program(rules_text)
+            db = parse_database(db_text)
+            o = oblivious_chase(db, rules)
+            so = semi_oblivious_chase(db, rules)
+            assert so.terminated and o.terminated
+            assert len(so.instance) <= len(o.instance)
+            assert so.step_count <= o.step_count
+
+    def test_restricted_never_larger_than_semi_oblivious(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        db = parse_database("p(a)\nq(a, b)")
+        so = semi_oblivious_chase(db, rules)
+        restricted = restricted_chase(db, rules)
+        assert restricted.terminated
+        # q(a, b) already satisfies the head: restricted adds nothing.
+        assert len(restricted.instance) == 2
+        assert len(so.instance) == 3
+
+    def test_oblivious_fires_per_homomorphism(self):
+        rules = parse_program("p(X, Y) -> exists Z . q(X, Z)")
+        db = parse_database("p(a, b)\np(a, c)")
+        o = oblivious_chase(db, rules)
+        so = semi_oblivious_chase(db, rules)
+        q_pred = rules[0].head[0].predicate
+        assert len(o.instance.facts_with_predicate(q_pred)) == 2
+        assert len(so.instance.facts_with_predicate(q_pred)) == 1
+
+    def test_restricted_terminates_where_so_diverges(self):
+        # p(X, Y) -> exists Z . p(X, Z): restricted sees the head
+        # satisfied by the triggering atom itself.
+        rules = parse_program("p(X, Y) -> exists Z . p(X, Z)")
+        db = parse_database("p(a, b)")
+        restricted = restricted_chase(db, rules)
+        assert restricted.terminated
+        assert len(restricted.instance) == 1
+
+
+class TestFairnessAndDeterminism:
+    def test_deterministic_across_runs(self):
+        db = parse_database("person(bob)")
+        first = semi_oblivious_chase(db, EX1, max_steps=7)
+        second = semi_oblivious_chase(db, EX1, max_steps=7)
+        assert first.instance == second.instance
+
+    def test_every_applicable_trigger_eventually_fires(self):
+        rules = parse_program(
+            """
+            a(X) -> b(X)
+            a(X) -> c(X)
+            b(X), c(X) -> d(X)
+            """
+        )
+        db = parse_database("a(k)")
+        result = semi_oblivious_chase(db, rules)
+        assert result.terminated
+        assert atom("d", "k") in result.instance
+
+    def test_multi_head_all_atoms_added(self):
+        rules = parse_program("s(X) -> exists Y . t(X, Y), u(Y), v(X)")
+        result = semi_oblivious_chase(parse_database("s(a)"), rules)
+        names = {f.predicate.name for f in result.instance}
+        assert names == {"s", "t", "u", "v"}
+
+    def test_null_indices_increase_with_creation_order(self):
+        db = parse_database("person(bob)")
+        result = semi_oblivious_chase(db, EX1, max_steps=5)
+        nulls = sorted(result.instance.nulls())
+        assert [n.index for n in nulls] == list(
+            range(1, len(nulls) + 1)
+        )

@@ -1,0 +1,98 @@
+"""Unit tests for the syntactic class recognizers."""
+
+import pytest
+
+from repro.classes import (
+    classify,
+    is_full,
+    is_guarded,
+    is_linear,
+    is_simple_linear,
+    is_single_head,
+    is_single_head_per_predicate,
+    narrowest_class,
+    offending_rules,
+)
+from repro.parser import parse_program
+
+
+SL = parse_program("p(X, Y) -> exists Z . q(Y, Z)")
+L = parse_program("p(X, X) -> exists Z . q(X, Z)")
+G = parse_program("g(X, Y), p(X) -> exists Z . q(Y, Z)")
+UNGUARDED = parse_program("p(X, Y), q(Y, Z) -> r(X, Z)")
+FULL = parse_program("p(X, Y) -> q(Y, X)")
+
+
+class TestHierarchy:
+    def test_sl_subset_of_l(self):
+        assert is_simple_linear(SL)
+        assert is_linear(SL)
+        assert is_guarded(SL)
+
+    def test_l_not_sl(self):
+        assert is_linear(L)
+        assert not is_simple_linear(L)
+        assert is_guarded(L)
+
+    def test_g_not_l(self):
+        assert is_guarded(G)
+        assert not is_linear(G)
+
+    def test_unguarded(self):
+        assert not is_guarded(UNGUARDED)
+        assert not is_linear(UNGUARDED)
+
+    def test_empty_program_in_all_classes(self):
+        assert is_simple_linear([])
+        assert is_guarded([])
+        assert is_full([])
+
+
+class TestNarrowestClass:
+    def test_each_level(self):
+        assert narrowest_class(SL) == "simple_linear"
+        assert narrowest_class(L) == "linear"
+        assert narrowest_class(G) == "guarded"
+        assert narrowest_class(UNGUARDED) == "general"
+
+    def test_mixture_takes_widest(self):
+        assert narrowest_class(SL + G) == "guarded"
+        assert narrowest_class(SL + UNGUARDED) == "general"
+
+
+class TestFullAndSingleHead:
+    def test_is_full(self):
+        assert is_full(FULL)
+        assert not is_full(SL)
+
+    def test_single_head(self):
+        assert is_single_head(SL)
+        assert not is_single_head(
+            parse_program("p(X) -> q(X), r(X)")
+        )
+
+    def test_single_head_per_predicate(self):
+        ok = parse_program("p(X) -> q(X)\nq(X) -> r(X)")
+        assert is_single_head_per_predicate(ok)
+        dup = parse_program("p(X) -> q(X)\nr(X) -> q(X)")
+        assert not is_single_head_per_predicate(dup)
+
+    def test_single_head_per_predicate_requires_single_heads(self):
+        multi = parse_program("p(X) -> q(X), r(X)")
+        assert not is_single_head_per_predicate(multi)
+
+
+class TestClassifyAndDiagnostics:
+    def test_classify_report(self):
+        report = classify(SL)
+        assert report["simple_linear"] and report["linear"]
+        assert report["guarded"] and not report["full"]
+
+    def test_offending_rules(self):
+        mixed = SL + UNGUARDED
+        offending = offending_rules(mixed, "guarded")
+        assert offending == list(UNGUARDED)
+
+    def test_offending_rules_unknown_class(self):
+        with pytest.raises(ValueError):
+            offending_rules(SL, "mystery")

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.tgd"
+    path.write_text(
+        "person(X) -> exists Y . hasFather(X, Y), person(Y)\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def terminating_rules_file(tmp_path):
+    path = tmp_path / "ok.tgd"
+    path.write_text("emp(X) -> exists D . dept(X, D)\n")
+    return str(path)
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.facts"
+    path.write_text("person(bob)\n")
+    return str(path)
+
+
+class TestClassify:
+    def test_reports_class(self, rules_file, capsys):
+        assert main(["classify", rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "narrowest class: simple_linear" in out
+        assert "guarded: yes" in out
+
+
+class TestCheck:
+    def test_diverging_exit_code_1(self, rules_file, capsys):
+        assert main(["check", rules_file, "--variant", "so"]) == 1
+        out = capsys.readouterr().out
+        assert "infinite" in out
+
+    def test_terminating_exit_code_0(self, terminating_rules_file, capsys):
+        assert main(["check", terminating_rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "terminates" in out
+
+    def test_oblivious_variant(self, terminating_rules_file, capsys):
+        assert main(
+            ["check", terminating_rules_file, "--variant", "o"]
+        ) == 0
+        assert "rich_acyclicity" in capsys.readouterr().out
+
+    def test_standard_flag(self, terminating_rules_file):
+        assert main(
+            ["check", terminating_rules_file, "--standard",
+             "--variant", "so"]
+        ) == 0
+
+
+class TestChase:
+    def test_budgeted_run(self, rules_file, db_file, capsys):
+        code = main(
+            ["chase", rules_file, db_file, "--variant", "so",
+             "--max-steps", "5"]
+        )
+        assert code == 1  # budget exhausted on the diverging rules
+        out = capsys.readouterr().out
+        assert "budget exhausted" in out
+        assert "person(bob)" in out
+
+    def test_terminating_run(self, terminating_rules_file, tmp_path, capsys):
+        db = tmp_path / "emp.facts"
+        db.write_text("emp(ada)\n")
+        assert main(
+            ["chase", terminating_rules_file, str(db), "--variant", "r"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fixpoint" in out
+
+
+class TestCritical:
+    def test_prints_critical_instance(self, terminating_rules_file, capsys):
+        assert main(["critical", terminating_rules_file]) == 0
+        out = capsys.readouterr().out
+        assert "emp('*')" in out
+
+    def test_standard_instance(self, terminating_rules_file, capsys):
+        assert main(
+            ["critical", terminating_rules_file, "--standard"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "zero(0)" in out
+
+
+class TestEntail:
+    def test_entailed(self, tmp_path, capsys):
+        rules = tmp_path / "r.tgd"
+        rules.write_text("p(X) -> q(X)\n")
+        db = tmp_path / "d.facts"
+        db.write_text("p(a)\n")
+        assert main(["entail", str(rules), str(db), "q(a)"]) == 0
+        assert "entailed" in capsys.readouterr().out
+
+    def test_not_entailed(self, tmp_path, capsys):
+        rules = tmp_path / "r.tgd"
+        rules.write_text("p(X) -> q(X)\n")
+        db = tmp_path / "d.facts"
+        db.write_text("p(a)\n")
+        assert main(["entail", str(rules), str(db), "q(b)"]) == 1
+        assert "not entailed" in capsys.readouterr().out
+
+
+class TestDot:
+    @pytest.mark.parametrize("graph", ["dep", "extdep", "joint", "types"])
+    def test_dot_outputs(self, rules_file, graph, capsys):
+        assert main(["dot", rules_file, "--graph", graph]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert out.rstrip().endswith("}")
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["classify", "/nonexistent/file.tgd"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unguarded_check_error(self, tmp_path, capsys):
+        rules = tmp_path / "bad.tgd"
+        rules.write_text("p(X, Y), q(Y, Z) -> exists W . r(X, W)\n")
+        assert main(["check", str(rules)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,67 @@
+"""Unit tests for critical instances (Marnette's reduction)."""
+
+import pytest
+
+from repro.chase import (
+    CRITICAL_CONSTANT,
+    critical_domain,
+    critical_instance,
+    standard_critical_instance,
+)
+from repro.model import Atom, Constant, Predicate, Schema
+from repro.parser import parse_atom, parse_program
+
+
+class TestCriticalInstance:
+    def test_every_predicate_filled(self):
+        rules = parse_program("p(X, Y) -> exists Z . q(Y, Z)")
+        crit = critical_instance(rules)
+        assert parse_atom("p('*', '*')") in crit
+        assert parse_atom("q('*', '*')") in crit
+
+    def test_size_is_domain_power_arity(self):
+        rules = parse_program("p(X, Y, W) -> q(X)")
+        crit = critical_instance(rules)
+        # domain {*}: 1^3 + 1^1 facts
+        assert len(crit) == 2
+
+    def test_program_constants_included(self):
+        rules = parse_program("p(X, a) -> q(X)")
+        crit = critical_instance(rules)
+        domain = critical_domain(rules)
+        assert Constant("a") in domain
+        assert CRITICAL_CONSTANT in domain
+        # 2 constants: p gets 4 rows, q gets 2.
+        assert len(crit) == 6
+
+    def test_explicit_schema_extends(self):
+        rules = parse_program("p(X) -> q(X)")
+        schema = Schema([Predicate("p", 1), Predicate("q", 1),
+                         Predicate("extra", 2)])
+        crit = critical_instance(rules, schema)
+        assert parse_atom("extra('*', '*')") in crit
+
+    def test_is_null_free(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        assert critical_instance(rules).is_database()
+
+
+class TestStandardCriticalInstance:
+    def test_zero_one_facts_present(self):
+        rules = parse_program("p(X) -> q(X)")
+        crit = standard_critical_instance(rules)
+        assert parse_atom("zero(0)") in crit
+        assert parse_atom("one(1)") in crit
+
+    def test_three_constant_domain(self):
+        rules = parse_program("p(X, Y) -> q(X)")
+        crit = standard_critical_instance(rules)
+        p = Predicate("p", 2)
+        assert len(crit.facts_with_predicate(p)) == 9
+
+    def test_zero_one_predicates_fully_filled(self):
+        # The critical instance quantifies over all databases, including
+        # those with unusual zero/one contents.
+        rules = parse_program("p(X) -> q(X)")
+        crit = standard_critical_instance(rules)
+        assert parse_atom("zero('*')") in crit

@@ -1,0 +1,147 @@
+"""Tests for the front-door dispatcher and the oracle module."""
+
+import pytest
+
+from repro.chase import ChaseVariant
+from repro.errors import UnsupportedClassError
+from repro.parser import parse_program
+from repro.termination import (
+    critical_chase_terminates,
+    decide_termination,
+    oracle_verdict,
+)
+
+
+class TestDispatch:
+    def test_empty_program_terminates(self):
+        verdict = decide_termination([], variant="semi_oblivious")
+        assert verdict.terminating
+        assert verdict.method == "full_program"
+
+    def test_full_program_short_circuits(self):
+        rules = parse_program("p(X, Y), q(Y, Z) -> r(X, Z)")  # unguarded!
+        verdict = decide_termination(rules, variant="oblivious")
+        assert verdict.terminating
+        assert verdict.method == "full_program"
+
+    def test_sl_routed_to_theorem_1(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        verdict = decide_termination(rules, variant="oblivious")
+        assert verdict.method == "rich_acyclicity"
+
+    def test_constant_bearing_sl_routed_to_critical_decider(self):
+        # Theorem 1's characterization is constant-free; the exact
+        # critical decider must take over (regression for the
+        # 'rule_constants_block_the_cycle' adversarial case).
+        rules = parse_program(
+            "p(a, X) -> exists Z . q(X, Z)\nq(X, Z) -> p(X, Z)"
+        )
+        verdict = decide_termination(rules, variant="semi_oblivious")
+        assert verdict.method == "critical_weak_acyclicity"
+        assert verdict.terminating
+
+    def test_linear_routed_to_theorem_2(self):
+        rules = parse_program("p(X, X) -> exists Z . p(X, Z)")
+        verdict = decide_termination(rules, variant="oblivious")
+        assert verdict.method == "critical_rich_acyclicity"
+
+    def test_guarded_routed_to_theorem_4(self):
+        rules = parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z)")
+        verdict = decide_termination(rules, variant="oblivious")
+        assert verdict.method == "guarded_type_graph"
+
+    def test_unguarded_raises_without_oracle(self):
+        rules = parse_program("p(X, Y), q(Y, Z) -> exists W . r(X, W)")
+        with pytest.raises(UnsupportedClassError, match="undecidable"):
+            decide_termination(rules, variant="semi_oblivious")
+
+    def test_unguarded_with_oracle_when_terminating(self):
+        rules = parse_program("p(X, Y), q(Y, Z) -> exists W . r(X, W)")
+        verdict = decide_termination(
+            rules, variant="semi_oblivious", allow_oracle=True
+        )
+        assert verdict.terminating
+        assert verdict.method == "critical_chase_oracle"
+
+    def test_unguarded_oracle_inconclusive_raises(self):
+        rules = parse_program(
+            "p(X, Y), q(Y, Z) -> exists W . p(Z, W), q(W, W)"
+        )
+        with pytest.raises(UnsupportedClassError, match="inconclusive"):
+            decide_termination(
+                rules, variant="semi_oblivious", allow_oracle=True,
+                oracle_steps=50,
+            )
+
+    def test_method_override(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        verdict = decide_termination(
+            rules, variant="semi_oblivious", method="guarded"
+        )
+        assert verdict.method == "guarded_type_graph"
+        assert verdict.terminating
+
+    def test_unknown_method_rejected(self):
+        rules = parse_program("p(X) -> q(X)")
+        with pytest.raises(ValueError):
+            decide_termination(rules, method="mystery")
+
+    def test_restricted_variant_rejected(self):
+        rules = parse_program("p(X) -> q(X)")
+        with pytest.raises(UnsupportedClassError):
+            decide_termination(rules, variant="restricted")
+
+    def test_method_override_validates_class(self):
+        rules = parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z)")
+        with pytest.raises(UnsupportedClassError):
+            decide_termination(rules, variant="oblivious", method="linear")
+
+
+class TestOracle:
+    def test_true_on_terminating(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        assert critical_chase_terminates(rules, "semi_oblivious") is True
+
+    def test_none_on_diverging(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        assert critical_chase_terminates(
+            rules, "semi_oblivious", max_steps=100
+        ) is None
+
+    def test_standard_flag(self):
+        rules = parse_program("zero(X) -> exists Y . r(X, Y)")
+        assert critical_chase_terminates(
+            rules, "semi_oblivious", standard=True
+        ) is True
+
+    def test_oracle_verdict_object(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        verdict = oracle_verdict(rules, "semi_oblivious")
+        assert verdict is not None
+        assert verdict.terminating
+        assert verdict.method == "critical_chase_oracle"
+
+    def test_oracle_verdict_none_when_inconclusive(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        assert oracle_verdict(rules, "semi_oblivious", max_steps=50) is None
+
+
+class TestVerdictAPI:
+    def test_bool_protocol(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        assert decide_termination(rules, variant="semi_oblivious")
+        rules2 = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        assert not decide_termination(rules2, variant="semi_oblivious")
+
+    def test_explain_mentions_variant_and_method(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        verdict = decide_termination(rules, variant="oblivious")
+        text = verdict.explain()
+        assert "oblivious" in text
+        assert "rich_acyclicity" in text
+        assert "infinite" in text
+
+    def test_repr(self):
+        rules = parse_program("p(X) -> q(X)")
+        verdict = decide_termination(rules, variant="oblivious")
+        assert "terminating" in repr(verdict)

@@ -1,0 +1,100 @@
+"""Tests for the DL-Lite frontend."""
+
+import pytest
+
+from repro.classes import is_simple_linear
+from repro.frontends import DLLiteError, parse_tbox
+from repro.model import Predicate, Variable
+from repro.termination import decide_termination
+
+
+class TestAxiomTranslation:
+    def test_concept_inclusion(self):
+        (rule,) = parse_tbox("student sub person")
+        assert str(rule) == "student(X) -> person(X)"
+
+    def test_existential_head(self):
+        (rule,) = parse_tbox("person sub some hasParent")
+        assert rule.existential_variables == {Variable("Y")}
+        assert rule.head[0].predicate == Predicate("hasParent", 2)
+
+    def test_qualified_existential(self):
+        (rule,) = parse_tbox("prof sub some teaches course")
+        assert len(rule.head) == 2
+        names = {a.predicate.name for a in rule.head}
+        assert names == {"teaches", "course"}
+
+    def test_domain_axiom(self):
+        (rule,) = parse_tbox("some teaches sub prof")
+        assert rule.body[0].predicate == Predicate("teaches", 2)
+        assert rule.head[0].terms[0] == rule.body[0].terms[0]
+
+    def test_range_axiom(self):
+        (rule,) = parse_tbox("some inv teaches sub course")
+        # X is the second position of the role in the body.
+        assert rule.body[0].terms[1] == rule.head[0].terms[0]
+
+    def test_role_inclusion(self):
+        (rule,) = parse_tbox("teaches subrole involvedWith")
+        assert rule.body[0].terms == rule.head[0].terms
+
+    def test_inverse_role_inclusion(self):
+        (rule,) = parse_tbox("teaches subrole inv taughtBy")
+        assert rule.body[0].terms == tuple(reversed(rule.head[0].terms))
+
+    def test_exists_to_exists_uses_fresh_filler(self):
+        (rule,) = parse_tbox("some r sub some s")
+        # The head filler is existential, not the body's object.
+        assert rule.existential_variables
+
+    def test_comments_and_blanks(self):
+        rules = parse_tbox("% header\n\nstudent sub person % trailing\n")
+        assert len(rules) == 1
+
+    def test_output_is_simple_linear(self):
+        rules = parse_tbox(
+            """
+            student sub person
+            person sub some hasParent person
+            some teaches sub prof
+            teaches subrole inv taughtBy
+            """
+        )
+        assert is_simple_linear(rules)
+
+    def test_malformed_axiom_rejected(self):
+        with pytest.raises(DLLiteError, match="line 1"):
+            parse_tbox("student person")
+        with pytest.raises(DLLiteError):
+            parse_tbox("some sub a")
+        with pytest.raises(DLLiteError):
+            parse_tbox("a subrole b c d")
+
+
+class TestTerminationOfOntologies:
+    def test_cyclic_ontology_diverges(self):
+        rules = parse_tbox(
+            """
+            person sub some hasParent person
+            """
+        )
+        verdict = decide_termination(rules, variant="semi_oblivious")
+        assert not verdict.terminating
+
+    def test_acyclic_ontology_terminates(self):
+        rules = parse_tbox(
+            """
+            student sub person
+            person sub some memberOf
+            some inv memberOf sub organization
+            """
+        )
+        verdict = decide_termination(rules, variant="oblivious")
+        assert verdict.terminating
+
+    def test_role_hierarchy_cycle_is_harmless(self):
+        rules = parse_tbox(
+            "teaches subrole supervises\nsupervises subrole teaches"
+        )
+        verdict = decide_termination(rules, variant="oblivious")
+        assert verdict.terminating

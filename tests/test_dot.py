@@ -1,0 +1,60 @@
+"""Tests for DOT export."""
+
+import pytest
+
+from repro.graphs import (
+    dependency_graph,
+    dependency_graph_to_dot,
+    existential_dependency_graph,
+    extended_dependency_graph,
+    joint_graph_to_dot,
+    transition_graph_to_dot,
+)
+from repro.parser import parse_program
+from repro.termination import TransitionGraph, TypeAnalysis
+
+RULES = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+
+
+class TestDependencyDot:
+    def test_structure(self):
+        dot = dependency_graph_to_dot(dependency_graph(RULES))
+        assert dot.startswith('digraph "dependency" {')
+        assert dot.rstrip().endswith("}")
+        assert '"p[0]"' in dot
+
+    def test_special_edges_marked(self):
+        dot = dependency_graph_to_dot(dependency_graph(RULES))
+        assert "style=dashed" in dot
+
+    def test_extended_graph_title(self):
+        dot = dependency_graph_to_dot(
+            extended_dependency_graph(RULES), title="extended"
+        )
+        assert '"extended"' in dot
+
+    def test_all_identifiers_quoted(self):
+        dot = dependency_graph_to_dot(dependency_graph(RULES))
+        for line in dot.splitlines()[2:-1]:
+            assert '"' in line
+
+
+class TestJointDot:
+    def test_nodes_named_by_rule_and_variable(self):
+        dot = joint_graph_to_dot(existential_dependency_graph(RULES))
+        assert '"r0:Z"' in dot
+        assert "->" in dot
+
+
+class TestTransitionDot:
+    def test_renders_bag_clouds(self):
+        graph = TransitionGraph(TypeAnalysis(RULES))
+        dot = transition_graph_to_dot(graph)
+        assert dot.startswith('digraph "types" {')
+        assert "p(*, *)" in dot
+        assert "peripheries=2" in dot  # the root is highlighted
+
+    def test_edge_labels_are_rule_labels(self):
+        graph = TransitionGraph(TypeAnalysis(RULES))
+        dot = transition_graph_to_dot(graph)
+        assert '"r1"' in dot

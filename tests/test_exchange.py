@@ -1,0 +1,106 @@
+"""Tests for the data-exchange layer."""
+
+import pytest
+
+from repro.cq import ConjunctiveQuery, is_model
+from repro.errors import ReproError
+from repro.exchange import ExchangeSetting
+from repro.model import Variable
+from repro.parser import parse_atom, parse_database, parse_program
+
+
+ST = parse_program("emp(N, D) -> exists E . employee(E, N), inDept(E, D)")
+TARGET = parse_program(
+    """
+    inDept(E, D) -> dept(D)
+    dept(D) -> exists M . manages(M, D)
+    """
+)
+
+
+class TestValidation:
+    def test_schemas_inferred(self):
+        setting = ExchangeSetting(ST, TARGET)
+        assert setting.source_schema.predicate_names() == {"emp"}
+        assert setting.target_schema.predicate_names() == {
+            "employee", "inDept", "dept", "manages"
+        }
+
+    def test_overlapping_schemas_rejected(self):
+        bad_st = parse_program("emp(N, D) -> emp2(N, D)")
+        bad_target = parse_program("emp2(N, D) -> emp(N, N)")
+        with pytest.raises(ReproError, match="overlap"):
+            ExchangeSetting(bad_st, bad_target)
+
+    def test_source_fact_in_target_rejected_at_solve(self):
+        setting = ExchangeSetting(ST, TARGET)
+        with pytest.raises(ReproError, match="source schema"):
+            setting.solve(parse_database("employee(e1, ada)"))
+
+    def test_st_rule_with_target_body_rejected(self):
+        from repro.model import Schema, Predicate
+
+        with pytest.raises(ReproError):
+            ExchangeSetting(
+                parse_program("employee(E, N) -> exists D . inDept(E, D)"),
+                [],
+                source_schema=Schema([Predicate("emp", 2)]),
+                target_schema=Schema(
+                    [Predicate("employee", 2), Predicate("inDept", 2)]
+                ),
+            )
+
+
+class TestTerminationGuarantee:
+    def test_terminating_setting(self):
+        setting = ExchangeSetting(ST, TARGET)
+        assert setting.guarantees_termination("semi_oblivious")
+
+    def test_diverging_setting_detected(self):
+        diverging_target = parse_program(
+            "inDept(E, D) -> exists E2 . inDept(E2, D)"
+        )
+        setting = ExchangeSetting(ST, diverging_target)
+        assert not setting.guarantees_termination("oblivious")
+
+    def test_no_target_rules_always_safe(self):
+        setting = ExchangeSetting(ST, [])
+        assert setting.guarantees_termination("oblivious")
+        assert setting.guarantees_termination("semi_oblivious")
+
+
+class TestSolve:
+    def test_solution_is_target_model(self):
+        setting = ExchangeSetting(ST, TARGET)
+        source = parse_database("emp(ada, maths)")
+        solution = setting.solve(source)
+        assert is_model(solution, TARGET)
+        # Source facts are not part of the solution.
+        assert all(f.predicate.name != "emp" for f in solution)
+
+    def test_solution_contains_expected_shape(self):
+        setting = ExchangeSetting(ST, TARGET)
+        solution = setting.solve(parse_database("emp(ada, maths)"))
+        names = sorted({f.predicate.name for f in solution})
+        assert names == ["dept", "employee", "inDept", "manages"]
+
+    def test_budget_error_on_divergence(self):
+        diverging_target = parse_program(
+            "inDept(E, D) -> exists E2, D2 . inDept(E2, D2)"
+        )
+        setting = ExchangeSetting(ST, diverging_target)
+        with pytest.raises(ReproError, match="budget"):
+            setting.solve(parse_database("emp(ada, maths)"),
+                          variant="oblivious", max_steps=50)
+
+    def test_certain_answers(self):
+        setting = ExchangeSetting(ST, TARGET)
+        source = parse_database("emp(ada, maths)\nemp(alan, computing)")
+        d = Variable("D")
+        query = ConjunctiveQuery([d], [parse_atom("dept(D)")])
+        answers = setting.certain_answers(source, query)
+        assert [a[0].name for a in answers] == ["computing", "maths"]
+
+    def test_empty_source(self):
+        setting = ExchangeSetting(ST, TARGET)
+        assert len(setting.solve(parse_database(""))) == 0

@@ -1,0 +1,192 @@
+"""Unit tests for dependency graphs and weak/rich acyclicity."""
+
+import pytest
+
+from repro.graphs import (
+    Digraph,
+    EdgeKind,
+    dependency_graph,
+    extended_dependency_graph,
+    find_dangerous_cycle,
+    is_richly_acyclic,
+    is_weakly_acyclic,
+    rich_acyclicity_witness,
+    weak_acyclicity_witness,
+)
+from repro.parser import parse_program
+
+
+class TestDigraph:
+    def test_scc_singletons(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        comps = g.strongly_connected_components()
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 3
+
+    def test_scc_cycle(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 1)
+        comps = g.strongly_connected_components()
+        assert {frozenset(c) for c in comps} == {frozenset({1, 2, 3})}
+
+    def test_scc_mixed(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        g.add_edge("b", "c")
+        comps = {frozenset(c) for c in g.strongly_connected_components()}
+        assert frozenset({"a", "b"}) in comps
+        assert frozenset({"c"}) in comps
+
+    def test_shortest_path(self):
+        g = Digraph()
+        g.add_edge(1, 2, "e12")
+        g.add_edge(2, 3, "e23")
+        g.add_edge(1, 3, "e13")
+        path = g.shortest_path(1, 3)
+        assert [e.label for e in path] == ["e13"]
+
+    def test_shortest_path_respects_allowed(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(1, 3)
+        path = g.shortest_path(1, 3, allowed={1, 2, 3})
+        assert path is not None
+        assert g.shortest_path(1, 3, allowed={1, 2}) is None
+
+    def test_shortest_path_missing(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        assert g.shortest_path(2, 1) is None
+
+    def test_reachable_from(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_node(4)
+        assert g.reachable_from([1]) == {1, 2, 3}
+        assert g.reachable_from([4]) == {4}
+
+    def test_deep_graph_scc_no_recursion_error(self):
+        g = Digraph()
+        for i in range(5000):
+            g.add_edge(i, i + 1)
+        assert len(g.strongly_connected_components()) == 5001
+
+
+class TestDependencyGraph:
+    def test_regular_and_special_edges(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        graph = dependency_graph(rules)
+        kinds = sorted(e.label.kind for e in graph.edges())
+        assert kinds == [EdgeKind.REGULAR, EdgeKind.SPECIAL]
+
+    def test_non_frontier_variable_no_special_edge_in_plain_graph(self):
+        # Y is universally quantified but not in the head: the plain
+        # dependency graph must NOT add a special edge from p[1].
+        rules = parse_program("p(X, Y) -> exists Z . q(X, Z)")
+        graph = dependency_graph(rules)
+        sources = {
+            str(e.source) for e in graph.edges()
+            if e.label.kind == EdgeKind.SPECIAL
+        }
+        assert sources == {"p[0]"}
+
+    def test_extended_graph_adds_non_frontier_special_edges(self):
+        rules = parse_program("p(X, Y) -> exists Z . q(X, Z)")
+        graph = extended_dependency_graph(rules)
+        sources = {
+            str(e.source) for e in graph.edges()
+            if e.label.kind == EdgeKind.SPECIAL
+        }
+        assert sources == {"p[0]", "p[1]"}
+
+    def test_edge_labels_carry_rules(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        graph = dependency_graph(rules)
+        assert all(e.label.rule == rules[0] for e in graph.edges())
+
+
+class TestWeakAcyclicity:
+    def test_example_2_not_weakly_acyclic(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        assert not is_weakly_acyclic(rules)
+
+    def test_chain_weakly_acyclic(self):
+        rules = parse_program(
+            "p(X) -> exists Z . q(X, Z)\nq(X, Y) -> r(Y)"
+        )
+        assert is_weakly_acyclic(rules)
+
+    def test_full_rules_always_weakly_acyclic(self):
+        rules = parse_program("p(X, Y) -> p(Y, X)\np(X, Y) -> q(X)")
+        assert is_weakly_acyclic(rules)
+        assert is_richly_acyclic(rules)
+
+    def test_regular_cycle_alone_is_harmless(self):
+        rules = parse_program("p(X) -> q(X)\nq(X) -> p(X)")
+        assert is_weakly_acyclic(rules)
+
+    def test_witness_contains_special_edge(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        witness = weak_acyclicity_witness(rules)
+        assert witness is not None
+        assert witness.special.label.kind == EdgeKind.SPECIAL
+        assert witness.special in witness.edges
+
+    def test_witness_cycle_closes(self):
+        rules = parse_program(
+            "p(X) -> exists Z . q(X, Z)\nq(X, Y) -> exists W . p(W), r(X)"
+        )
+        witness = weak_acyclicity_witness(rules)
+        assert witness is not None
+        assert witness.edges[-1].target == witness.edges[0].source
+
+    def test_witness_rules_accessible(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        witness = weak_acyclicity_witness(rules)
+        assert rules[0] in witness.rules()
+
+
+class TestRichAcyclicity:
+    def test_ra_implies_wa(self):
+        # RA ⊆ WA (the extended graph only adds edges).
+        programs = [
+            "p(X) -> exists Z . q(X, Z)\nq(X, Y) -> r(Y)",
+            "p(X, Y) -> exists Z . p(Y, Z)",
+            "p(X, Y) -> exists Z . q(X, Z)\nq(X, Y) -> p(X, Y)",
+            "a(X) -> exists Y . b(X, Y)\nb(X, Y) -> a(Y)",
+        ]
+        for text in programs:
+            rules = parse_program(text)
+            if is_richly_acyclic(rules):
+                assert is_weakly_acyclic(rules)
+
+    def test_separation_wa_but_not_ra(self):
+        # p(X, Y) -> exists Z . p(X, Z): the frontier X never reaches
+        # the existential position through regular edges (WA holds),
+        # but the non-frontier Y at p[1] feeds Z at p[1] in the
+        # extended graph (RA fails) — the o/so separation of Theorem 1.
+        rules = parse_program("p(X, Y) -> exists Z . p(X, Z)")
+        assert is_weakly_acyclic(rules)
+        assert not is_richly_acyclic(rules)
+        witness = rich_acyclicity_witness(rules)
+        assert witness is not None
+
+    def test_dl_lite_style_chain_richly_acyclic(self):
+        rules = parse_program(
+            "c1(X) -> exists Y . role1(X, Y)\nrole1(X, Y) -> c2(Y)"
+        )
+        assert is_richly_acyclic(rules)
+
+    def test_example_1_not_richly_acyclic(self):
+        rules = parse_program(
+            "person(X) -> exists Y . hasFather(X, Y), person(Y)"
+        )
+        assert not is_richly_acyclic(rules)
+        assert not is_weakly_acyclic(rules)

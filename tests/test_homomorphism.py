@@ -1,0 +1,150 @@
+"""Unit tests for repro.model.homomorphism."""
+
+import pytest
+
+from repro.model import (
+    Atom,
+    Constant,
+    Instance,
+    Null,
+    Predicate,
+    Variable,
+    apply_assignment,
+    has_homomorphism,
+    homomorphisms,
+    instance_homomorphism,
+    is_homomorphically_equivalent,
+    match_atom,
+)
+from tests.conftest import atom
+
+
+class TestMatchAtom:
+    def test_simple_binding(self):
+        result = match_atom(atom("p", "X", "Y"), atom("p", "a", "b"), {})
+        assert result == {Variable("X"): Constant("a"),
+                          Variable("Y"): Constant("b")}
+
+    def test_predicate_mismatch(self):
+        assert match_atom(atom("p", "X"), atom("q", "a"), {}) is None
+
+    def test_repeated_variable_consistency(self):
+        assert match_atom(atom("p", "X", "X"), atom("p", "a", "b"), {}) is None
+        assert match_atom(atom("p", "X", "X"), atom("p", "a", "a"), {}) is not None
+
+    def test_respects_prior_bindings(self):
+        prior = {Variable("X"): Constant("b")}
+        assert match_atom(atom("p", "X"), atom("p", "a"), prior) is None
+        assert match_atom(atom("p", "X"), atom("p", "b"), prior) is not None
+
+    def test_constant_in_pattern_must_match(self):
+        assert match_atom(atom("p", "a", "X"), atom("p", "a", "b"), {}) is not None
+        assert match_atom(atom("p", "a", "X"), atom("p", "c", "b"), {}) is None
+
+    def test_input_assignment_not_mutated(self):
+        prior = {}
+        match_atom(atom("p", "X"), atom("p", "a"), prior)
+        assert prior == {}
+
+
+class TestHomomorphisms:
+    def test_single_atom_all_matches(self):
+        inst = Instance([atom("p", "a"), atom("p", "b")])
+        homs = list(homomorphisms([atom("p", "X")], inst))
+        values = {h[Variable("X")] for h in homs}
+        assert values == {Constant("a"), Constant("b")}
+
+    def test_join_across_atoms(self):
+        inst = Instance([atom("e", "a", "b"), atom("e", "b", "c")])
+        homs = list(
+            homomorphisms([atom("e", "X", "Y"), atom("e", "Y", "Z")], inst)
+        )
+        chains = {
+            (h[Variable("X")].name, h[Variable("Y")].name, h[Variable("Z")].name)
+            for h in homs
+        }
+        assert chains == {("a", "b", "c")}
+
+    def test_empty_conjunction_yields_empty_assignment(self):
+        assert list(homomorphisms([], Instance())) == [{}]
+
+    def test_partial_assignment_respected(self):
+        inst = Instance([atom("p", "a"), atom("p", "b")])
+        homs = list(
+            homomorphisms(
+                [atom("p", "X")], inst, {Variable("X"): Constant("b")}
+            )
+        )
+        assert len(homs) == 1
+        assert homs[0][Variable("X")] == Constant("b")
+
+    def test_no_match_yields_nothing(self):
+        inst = Instance([atom("p", "a")])
+        assert list(homomorphisms([atom("q", "X")], inst)) == []
+
+    def test_has_homomorphism(self):
+        inst = Instance([atom("p", "a")])
+        assert has_homomorphism([atom("p", "X")], inst)
+        assert not has_homomorphism([atom("p", "X"), atom("q", "X")], inst)
+
+    def test_cartesian_product_counted(self):
+        inst = Instance([atom("p", "a"), atom("p", "b")])
+        homs = list(homomorphisms([atom("p", "X"), atom("p", "Y")], inst))
+        assert len(homs) == 4
+
+    def test_nulls_matchable_by_variables(self):
+        null_fact = Atom(Predicate("p", 1), [Null(1)])
+        inst = Instance([null_fact])
+        homs = list(homomorphisms([atom("p", "X")], inst))
+        assert homs[0][Variable("X")] == Null(1)
+
+
+class TestApplyAssignment:
+    def test_grounds_atoms(self):
+        assignment = {Variable("X"): Constant("a")}
+        out = apply_assignment([atom("p", "X", "X")], assignment)
+        assert out == [atom("p", "a", "a")]
+
+    def test_uncovered_variables_survive(self):
+        out = apply_assignment([atom("p", "X", "Y")],
+                               {Variable("X"): Constant("a")})
+        assert out[0].terms[1] == Variable("Y")
+
+
+class TestInstanceHomomorphism:
+    def test_constants_map_identically(self):
+        source = Instance([atom("p", "a")])
+        target = Instance([atom("p", "a"), atom("p", "b")])
+        mapping = instance_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Constant("a")] == Constant("a")
+
+    def test_constant_mismatch_fails(self):
+        source = Instance([atom("p", "a")])
+        target = Instance([atom("p", "b")])
+        assert instance_homomorphism(source, target) is None
+
+    def test_nulls_can_map_to_constants(self):
+        source = Instance([Atom(Predicate("p", 1), [Null(1)])])
+        target = Instance([atom("p", "a")])
+        mapping = instance_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Null(1)] == Constant("a")
+
+    def test_null_identity_consistent(self):
+        p2 = Predicate("p", 2)
+        source = Instance([Atom(p2, [Null(1), Null(1)])])
+        target = Instance([atom("p", "a", "b")])
+        assert instance_homomorphism(source, target) is None
+        target2 = Instance([atom("p", "a", "a")])
+        assert instance_homomorphism(source, target2) is not None
+
+    def test_equivalence(self):
+        a = Instance([atom("p", "a"), Atom(Predicate("p", 1), [Null(1)])])
+        b = Instance([atom("p", "a")])
+        assert is_homomorphically_equivalent(a, b)
+
+    def test_non_equivalence(self):
+        a = Instance([atom("p", "a")])
+        b = Instance([atom("p", "a"), atom("q", "b")])
+        assert not is_homomorphically_equivalent(a, b)

@@ -1,0 +1,81 @@
+"""Tests for per-database termination (guarded rules)."""
+
+import pytest
+
+from repro.chase import ChaseVariant, run_chase
+from repro.errors import UnsupportedClassError
+from repro.parser import parse_database, parse_program
+from repro.termination import decide_termination_on
+
+EX1 = parse_program("person(X) -> exists Y . hasFather(X, Y), person(Y)")
+
+
+class TestInstanceLevel:
+    def test_example1_diverges_with_a_person(self):
+        verdict = decide_termination_on(EX1, parse_database("person(bob)"))
+        assert not verdict.terminating
+        assert verdict.method == "instance_type_graph"
+
+    def test_example1_terminates_without_persons(self):
+        verdict = decide_termination_on(
+            EX1, parse_database("hasFather(a, b)")
+        )
+        assert verdict.terminating
+
+    def test_empty_database_terminates(self):
+        verdict = decide_termination_on(EX1, parse_database(""))
+        assert verdict.terminating
+
+    def test_constant_sensitive_program(self):
+        rules = parse_program("start(go, X) -> exists Z . start(go, Z)")
+        # Oblivious chase: diverges only when the 'go' constant occurs.
+        yes = decide_termination_on(
+            rules, parse_database("start(go, a)"),
+            variant=ChaseVariant.OBLIVIOUS,
+        )
+        no = decide_termination_on(
+            rules, parse_database("start(stop, a)"),
+            variant=ChaseVariant.OBLIVIOUS,
+        )
+        assert not yes.terminating
+        assert no.terminating
+
+    def test_agrees_with_concrete_chase(self):
+        cases = [
+            (EX1, "person(bob)", False),
+            (EX1, "hasFather(a, b)", True),
+            (parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z), q(Z)"),
+             "g(a, b)\nq(b)", False),
+            (parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z)"),
+             "g(a, b)\nq(b)", True),
+        ]
+        for rules, db_text, expected in cases:
+            db = parse_database(db_text)
+            verdict = decide_termination_on(rules, db)
+            assert verdict.terminating == expected, db_text
+            result = run_chase(
+                db, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=400
+            )
+            assert result.terminated == expected, db_text
+
+    def test_rejects_unguarded(self):
+        rules = parse_program("p(X, Y), q(Y, Z) -> exists W . r(X, W)")
+        with pytest.raises(UnsupportedClassError):
+            decide_termination_on(rules, parse_database("p(a, b)"))
+
+    def test_rejects_restricted_variant(self):
+        with pytest.raises(UnsupportedClassError):
+            decide_termination_on(
+                EX1, parse_database(""), variant=ChaseVariant.RESTRICTED
+            )
+
+    def test_finer_than_all_instance_question(self):
+        from repro.termination import decide_termination
+
+        # All-instance: diverging; on a person-free database: fine.
+        assert not decide_termination(
+            EX1, variant=ChaseVariant.SEMI_OBLIVIOUS
+        ).terminating
+        assert decide_termination_on(
+            EX1, parse_database("hasFather(x, y)")
+        ).terminating

@@ -1,0 +1,108 @@
+"""Unit tests for repro.model.instances."""
+
+import pytest
+
+from repro.model import Atom, Constant, Database, Instance, Null, Predicate, Variable, union
+from tests.conftest import atom
+
+
+class TestInstance:
+    def test_add_and_contains(self):
+        inst = Instance()
+        assert inst.add(atom("p", "a"))
+        assert atom("p", "a") in inst
+        assert atom("p", "b") not in inst
+
+    def test_add_duplicate_returns_false(self):
+        inst = Instance([atom("p", "a")])
+        assert not inst.add(atom("p", "a"))
+        assert len(inst) == 1
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(ValueError):
+            Instance().add(atom("p", "X"))
+
+    def test_nulls_allowed(self):
+        inst = Instance()
+        fact = Atom(Predicate("p", 1), [Null(1)])
+        assert inst.add(fact)
+        assert inst.nulls() == {Null(1)}
+
+    def test_add_all_counts_new(self):
+        inst = Instance([atom("p", "a")])
+        added = inst.add_all([atom("p", "a"), atom("p", "b"), atom("q", "c")])
+        assert added == 2
+
+    def test_insertion_order_preserved(self):
+        inst = Instance([atom("p", "b"), atom("p", "a")])
+        assert list(inst.facts()) == [atom("p", "b"), atom("p", "a")]
+
+    def test_facts_with_predicate(self):
+        inst = Instance([atom("p", "a"), atom("q", "a", "b"), atom("p", "c")])
+        p_facts = inst.facts_with_predicate(Predicate("p", 1))
+        assert p_facts == (atom("p", "a"), atom("p", "c"))
+        assert inst.facts_with_predicate(Predicate("zz", 1)) == ()
+
+    def test_predicates_and_schema(self):
+        inst = Instance([atom("p", "a"), atom("q", "a", "b")])
+        assert {p.name for p in inst.predicates()} == {"p", "q"}
+        assert inst.schema().predicate_names() == {"p", "q"}
+
+    def test_active_domain(self):
+        inst = Instance([atom("p", "a", "b")])
+        assert inst.active_domain() == {Constant("a"), Constant("b")}
+
+    def test_constants_vs_nulls_partition(self):
+        inst = Instance([Atom(Predicate("p", 2), [Constant("a"), Null(3)])])
+        assert inst.constants() == {Constant("a")}
+        assert inst.nulls() == {Null(3)}
+
+    def test_is_database(self):
+        assert Instance([atom("p", "a")]).is_database()
+        assert not Instance(
+            [Atom(Predicate("p", 1), [Null(1)])]
+        ).is_database()
+
+    def test_copy_is_independent(self):
+        inst = Instance([atom("p", "a")])
+        clone = inst.copy()
+        clone.add(atom("p", "b"))
+        assert len(inst) == 1
+        assert len(clone) == 2
+
+    def test_equality_ignores_order(self):
+        a = Instance([atom("p", "a"), atom("p", "b")])
+        b = Instance([atom("p", "b"), atom("p", "a")])
+        assert a == b
+
+    def test_frozen_snapshot(self):
+        inst = Instance([atom("p", "a")])
+        snap = inst.frozen()
+        inst.add(atom("p", "b"))
+        assert len(snap) == 1
+
+
+class TestDatabase:
+    def test_rejects_nulls(self):
+        with pytest.raises(ValueError):
+            Database().add(Atom(Predicate("p", 1), [Null(1)]))
+
+    def test_accepts_constants(self):
+        db = Database([atom("p", "a")])
+        assert len(db) == 1
+
+    def test_copy_returns_database(self):
+        assert isinstance(Database([atom("p", "a")]).copy(), Database)
+
+
+class TestUnion:
+    def test_union_merges_and_dedups(self):
+        a = Instance([atom("p", "a")])
+        b = Instance([atom("p", "a"), atom("q", "b")])
+        merged = union(a, b)
+        assert len(merged) == 2
+
+    def test_union_leaves_inputs_untouched(self):
+        a = Instance([atom("p", "a")])
+        union(a, Instance([atom("q", "b")]))
+        assert len(a) == 1

@@ -1,0 +1,152 @@
+"""Tests for the looping operator (the paper's lower-bound technique)."""
+
+import pytest
+
+from repro.classes import is_guarded
+from repro.chase import ChaseVariant, standard_critical_instance, run_chase
+from repro.errors import UnsupportedClassError
+from repro.entailment import (
+    entails_atom,
+    looping_operator,
+    tag_predicate,
+    tag_rule,
+)
+from repro.model import Predicate, Variable
+from repro.parser import parse_atom, parse_database, parse_program
+from repro.termination import decide_termination
+
+
+BASE = parse_program(
+    """
+    admin(X) -> canWrite(X)
+    canWrite(X), audited(X) -> alert()
+    """
+)
+GOAL = Predicate("alert", 0)
+DB_POSITIVE = parse_database("admin(root)\naudited(root)")
+DB_NEGATIVE = parse_database("admin(root)\naudited(visitor)")
+
+
+class TestTagging:
+    def test_tag_predicate_adds_position(self):
+        tagged = tag_predicate(Predicate("p", 2))
+        assert tagged.arity == 3
+        assert tagged.name.endswith("__t")
+
+    def test_tag_rule_shares_one_tag_variable(self):
+        rule = parse_program("p(X), q(X) -> exists Z . r(X, Z)")[0]
+        tagged = tag_rule(rule)
+        tags = {atom.terms[0] for atom in tagged.body + tagged.head}
+        assert len(tags) == 1
+
+    def test_tagging_preserves_guardedness(self):
+        rule = parse_program("g(X, Y), q(Y) -> exists Z . r(Y, Z)")[0]
+        assert tag_rule(rule).is_guarded()
+
+    def test_tagging_preserves_linearity_and_frontier_growth(self):
+        rule = parse_program("p(X, Y) -> exists Z . q(Y, Z)")[0]
+        tagged = tag_rule(rule)
+        assert tagged.is_linear()
+        assert len(tagged.frontier) == len(rule.frontier) + 1
+
+    def test_tag_variable_collision_avoided(self):
+        rule = parse_program("p(LoopTag) -> q(LoopTag)")[0]
+        tagged = tag_rule(rule)
+        assert len(tagged.body[0].terms) == 2
+        assert len(set(tagged.body[0].terms)) == 2
+
+
+class TestOperatorConstruction:
+    def test_output_is_guarded(self):
+        program = looping_operator(BASE, DB_POSITIVE, GOAL,
+                                   check_termination=False)
+        assert is_guarded(program.rules)
+
+    def test_rule_count(self):
+        program = looping_operator(BASE, DB_POSITIVE, GOAL,
+                                   check_termination=False)
+        # start + layout + 2 facts + 2 tagged rules + restart
+        assert len(program) == 7
+
+    def test_goal_must_be_propositional(self):
+        with pytest.raises(UnsupportedClassError):
+            looping_operator(BASE, DB_POSITIVE, Predicate("alert", 1),
+                             check_termination=False)
+
+    def test_unguarded_base_rejected(self):
+        bad = parse_program("p(X, Y), q(Y, Z) -> alert()")
+        with pytest.raises(UnsupportedClassError):
+            looping_operator(bad, DB_POSITIVE, GOAL,
+                             check_termination=False)
+
+    def test_diverging_base_rejected_by_precondition(self):
+        diverging = parse_program(
+            "p(X, Y) -> exists Z . p(Y, Z)\np(X, Y) -> alert()"
+        )
+        with pytest.raises(UnsupportedClassError, match="terminating"):
+            looping_operator(diverging, parse_database("p(a, b)"), GOAL)
+
+    def test_empty_database_supported(self):
+        program = looping_operator(BASE, parse_database(""), GOAL,
+                                   check_termination=False)
+        assert program.dom_predicate.arity == 1  # just the tag
+
+
+class TestReduction:
+    """The headline property:  D ∧ Σ ⊨ p  ⇔  loop(Σ,D,p) ∉ CT."""
+
+    def test_entailed_goal_gives_divergence(self):
+        assert entails_atom(BASE, DB_POSITIVE, parse_atom("alert()"))
+        program = looping_operator(BASE, DB_POSITIVE, GOAL)
+        for variant in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS):
+            verdict = decide_termination(program.rules, variant=variant)
+            assert not verdict.terminating, variant
+
+    def test_non_entailed_goal_gives_termination(self):
+        assert not entails_atom(BASE, DB_NEGATIVE, parse_atom("alert()"))
+        program = looping_operator(BASE, DB_NEGATIVE, GOAL)
+        for variant in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS):
+            verdict = decide_termination(program.rules, variant=variant)
+            assert verdict.terminating, variant
+
+    def test_concrete_chase_on_minimal_standard_database(self):
+        # Positive case: the chase of the minimal standard DB diverges.
+        program = looping_operator(BASE, DB_POSITIVE, GOAL)
+        db = parse_database("zero(0)\none(1)")
+        result = run_chase(db, program.rules,
+                           ChaseVariant.SEMI_OBLIVIOUS, max_steps=300)
+        assert not result.terminated
+        # Negative case: it terminates.
+        program2 = looping_operator(BASE, DB_NEGATIVE, GOAL)
+        result2 = run_chase(db, program2.rules,
+                            ChaseVariant.SEMI_OBLIVIOUS, max_steps=300)
+        assert result2.terminated
+
+    def test_junk_goal_atom_cannot_refuel_the_loop(self):
+        """A database that plants the tagged goal and a dom tuple gets
+        one spurious restart, after which the genuine (non-entailed)
+        simulation stops — Σ' stays in CT."""
+        program = looping_operator(BASE, DB_NEGATIVE, GOAL)
+        k = program.dom_predicate.arity - 1
+        junk_lines = ["zero(0)", "one(1)", "alert__t(evil)"]
+        junk_lines.append(
+            f"{program.dom_predicate.name}({', '.join(['evil'] + ['x'] * k)})"
+        )
+        db = parse_database("\n".join(junk_lines))
+        result = run_chase(db, program.rules,
+                           ChaseVariant.SEMI_OBLIVIOUS, max_steps=500)
+        assert result.terminated
+
+    def test_reduction_with_linear_base(self):
+        base = parse_program("a(X) -> b(X)\nb(X) -> goal()")
+        goal = Predicate("goal", 0)
+        db_yes = parse_database("a(c)")
+        db_no = parse_database("b2(c)")
+        yes = looping_operator(base, db_yes, goal)
+        no = looping_operator(base, db_no, goal)
+        assert not decide_termination(
+            yes.rules, variant="semi_oblivious"
+        ).terminating
+        assert decide_termination(
+            no.rules, variant="semi_oblivious"
+        ).terminating

@@ -1,0 +1,178 @@
+"""Unit tests for the rule/database text format."""
+
+import pytest
+
+from repro.model import Atom, Constant, Predicate, Variable
+from repro.parser import (
+    ParseError,
+    atom_to_text,
+    instance_to_text,
+    parse_atom,
+    parse_database,
+    parse_fact,
+    parse_program,
+    parse_rule,
+    program_to_text,
+    rule_to_text,
+)
+
+
+class TestParseAtom:
+    def test_variables_uppercase(self):
+        a = parse_atom("p(X, Y1)")
+        assert a.variables() == {Variable("X"), Variable("Y1")}
+
+    def test_constants_lowercase_and_numbers(self):
+        a = parse_atom("p(bob, 42)")
+        assert a.constants() == {Constant("bob"), Constant("42")}
+
+    def test_quoted_constants(self):
+        a = parse_atom("p('Hello World')")
+        assert a.terms[0] == Constant("Hello World")
+
+    def test_underscore_prefix_is_variable(self):
+        assert parse_atom("p(_x)").variables() == {Variable("_x")}
+
+    def test_zero_ary(self):
+        a = parse_atom("goal()")
+        assert a.predicate == Predicate("goal", 0)
+
+    def test_trailing_dot_tolerated(self):
+        assert parse_atom("p(a).") == parse_atom("p(a)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a) q(b)")
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a; b)")
+
+
+class TestParseFact:
+    def test_ground_ok(self):
+        assert parse_fact("p(a, b)").is_ground()
+
+    def test_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fact("p(X)")
+
+
+class TestParseRule:
+    def test_basic(self):
+        rule = parse_rule("p(X, Y) -> q(Y)")
+        assert len(rule.body) == 1
+        assert len(rule.head) == 1
+        assert rule.frontier == {Variable("Y")}
+
+    def test_multi_atom_body_and_head(self):
+        rule = parse_rule("p(X), r(X, Y) -> q(X), s(Y)")
+        assert len(rule.body) == 2
+        assert len(rule.head) == 2
+
+    def test_exists_prefix(self):
+        rule = parse_rule("p(X) -> exists Y . q(X, Y)")
+        assert rule.existential_variables == {Variable("Y")}
+
+    def test_exists_multiple(self):
+        rule = parse_rule("p(X) -> exists Y, Z . q(X, Y), r(Z)")
+        assert rule.existential_variables == {Variable("Y"), Variable("Z")}
+
+    def test_implicit_existentials_without_prefix(self):
+        rule = parse_rule("p(X) -> q(X, Y)")
+        assert rule.existential_variables == {Variable("Y")}
+
+    def test_wrong_exists_declaration_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) -> exists Y . q(X)")
+        with pytest.raises(ParseError):
+            parse_rule("p(X) -> exists X . q(X, Y)")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) q(X)")
+
+    def test_constants_in_rules(self):
+        rule = parse_rule("p(X, admin) -> q(X)")
+        assert Constant("admin") in rule.constants()
+
+    def test_label_attached(self):
+        assert parse_rule("p(X) -> q(X)", label="r7").label == "r7"
+
+    def test_exists_as_predicate_name_not_confused(self):
+        # 'exists' only has meaning right after '->'.
+        rule = parse_rule("exists(X) -> q(X)")
+        assert rule.body[0].predicate.name == "exists"
+
+
+class TestParseProgram:
+    def test_multiple_lines_with_comments(self):
+        rules = parse_program(
+            """
+            % a comment
+            p(X) -> q(X)
+
+            q(X) -> exists Y . r(X, Y)  % trailing comment
+            """
+        )
+        assert len(rules) == 2
+        assert rules[0].label == "r1"
+        assert rules[1].label == "r2"
+
+    def test_empty_program(self):
+        assert parse_program("  \n % nothing \n") == []
+
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_program("p(X) -> q(X)\np(X) -> ")
+
+
+class TestParseDatabase:
+    def test_facts(self):
+        db = parse_database("p(a)\nq(a, b)")
+        assert len(db) == 2
+
+    def test_rejects_rules(self):
+        with pytest.raises(ParseError):
+            parse_database("p(X) -> q(X)")
+
+    def test_duplicates_collapse(self):
+        db = parse_database("p(a)\np(a)")
+        assert len(db) == 1
+
+
+class TestRoundTrip:
+    RULES = [
+        "p(X, Y) -> q(Y)",
+        "p(X) -> exists Y . q(X, Y)",
+        "p(X), r(X, Y) -> exists Z . q(Y, Z), s(Z)",
+        "p(X, X) -> exists Z . p(X, Z)",
+        "p(X, bob) -> q(bob)",
+        "goal() -> exists T . run(T)",
+    ]
+
+    @pytest.mark.parametrize("text", RULES)
+    def test_rule_round_trip(self, text):
+        rule = parse_rule(text)
+        assert parse_rule(rule_to_text(rule)) == rule
+
+    def test_program_round_trip(self):
+        rules = parse_program("\n".join(self.RULES))
+        again = parse_program(program_to_text(rules))
+        assert again == rules
+
+    def test_quoted_constant_round_trip(self):
+        rule = parse_rule("p(X, 'Strange Name') -> q(X)")
+        assert parse_rule(rule_to_text(rule)) == rule
+
+    def test_instance_to_text_sorted(self):
+        db = parse_database("q(b)\np(a)")
+        assert instance_to_text(db).splitlines() == ["p(a)", "q(b)"]
+
+    def test_atom_to_text_quotes_uppercase_constants(self):
+        atom = parse_atom("p('Bob')")
+        assert atom_to_text(atom) == "p('Bob')"

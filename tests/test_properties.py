@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.chase import ChaseVariant, run_chase
+from repro.cq import is_model_of
+from repro.graphs import is_richly_acyclic, is_weakly_acyclic
+from repro.model import (
+    Atom,
+    Constant,
+    Database,
+    Predicate,
+    Variable,
+    instance_homomorphism,
+)
+from repro.parser import parse_rule, rule_to_text
+from repro.termination import decide_termination
+from repro.termination.abstraction import BagType
+from repro.workloads import random_database, random_simple_linear
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# -- strategies ------------------------------------------------------------
+
+names = st.sampled_from(["p", "q", "r", "s"])
+variables = st.sampled_from([Variable(n) for n in ("X", "Y", "Z", "W")])
+constants = st.sampled_from([Constant(n) for n in ("a", "b", "c")])
+
+
+@st.composite
+def ground_atoms(draw):
+    name = draw(names)
+    arity = draw(st.integers(min_value=1, max_value=3))
+    terms = draw(
+        st.lists(constants, min_size=arity, max_size=arity)
+    )
+    return Atom(Predicate(name + str(arity), arity), terms)
+
+
+@st.composite
+def rule_texts(draw):
+    """Random simple-linear rule text via the seeded generator."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=1, max_value=4))
+    return random_simple_linear(count, seed=seed)
+
+
+# -- chase invariants -------------------------------------------------------
+
+
+class TestChaseInvariants:
+    @SETTINGS
+    @given(rules=rule_texts(), seed=st.integers(0, 100))
+    def test_terminated_chase_is_model(self, rules, seed):
+        database = random_database(rules, seed=seed)
+        result = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=200
+        )
+        if result.terminated:
+            assert is_model_of(result.instance, database, rules)
+
+    @SETTINGS
+    @given(rules=rule_texts(), seed=st.integers(0, 100))
+    def test_oblivious_result_contains_semi_oblivious(self, rules, seed):
+        database = random_database(rules, seed=seed)
+        o = run_chase(database, rules, ChaseVariant.OBLIVIOUS, max_steps=200)
+        so = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=200
+        )
+        if o.terminated and so.terminated:
+            # Same termination status and the so result embeds into the
+            # o result (both are universal models).
+            assert instance_homomorphism(so.instance, o.instance) is not None
+
+    @SETTINGS
+    @given(rules=rule_texts(), seed=st.integers(0, 100))
+    def test_restricted_result_embeds_into_semi_oblivious(self, rules, seed):
+        database = random_database(rules, seed=seed)
+        so = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=300
+        )
+        restricted = run_chase(
+            database, rules, ChaseVariant.RESTRICTED, max_steps=300
+        )
+        if so.terminated and restricted.terminated:
+            assert len(restricted.instance) <= len(so.instance)
+            assert instance_homomorphism(
+                restricted.instance, so.instance
+            ) is not None
+
+    @SETTINGS
+    @given(rules=rule_texts(), seed=st.integers(0, 100))
+    def test_chase_monotone_in_database(self, rules, seed):
+        database = random_database(rules, seed=seed)
+        result = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=200
+        )
+        for fact in database:
+            assert fact in result.instance
+
+
+class TestTerminationInvariants:
+    @SETTINGS
+    @given(rules=rule_texts())
+    def test_ct_o_subset_ct_so(self, rules):
+        o = decide_termination(rules, variant=ChaseVariant.OBLIVIOUS)
+        so = decide_termination(rules, variant=ChaseVariant.SEMI_OBLIVIOUS)
+        if o.terminating:
+            assert so.terminating
+
+    @SETTINGS
+    @given(rules=rule_texts())
+    def test_thm1_identity_on_sl(self, rules):
+        o = decide_termination(rules, variant=ChaseVariant.OBLIVIOUS)
+        so = decide_termination(rules, variant=ChaseVariant.SEMI_OBLIVIOUS)
+        assert o.terminating == is_richly_acyclic(rules)
+        assert so.terminating == is_weakly_acyclic(rules)
+
+    @SETTINGS
+    @given(rules=rule_texts())
+    def test_verdict_stable_across_calls(self, rules):
+        first = decide_termination(rules, variant=ChaseVariant.OBLIVIOUS)
+        second = decide_termination(rules, variant=ChaseVariant.OBLIVIOUS)
+        assert first.terminating == second.terminating
+
+
+class TestParserRoundTrip:
+    @SETTINGS
+    @given(rules=rule_texts())
+    def test_rule_text_round_trips(self, rules):
+        for rule in rules:
+            assert parse_rule(rule_to_text(rule)) == rule
+
+
+class TestBagTypeCanonicalization:
+    @SETTINGS
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        permutation_seed=st.integers(0, 1000),
+    )
+    def test_invariant_under_null_permutation(self, data, permutation_seed):
+        """Relabelling null classes must not change the canonical type."""
+        import random as random_module
+
+        predicate = Predicate("p", 2)
+        num_constants = 1
+        cloud = [
+            (predicate, (num_constants + a, num_constants + b))
+            for a, b in data
+        ]
+        null_ids = list(range(num_constants, num_constants + 4))
+        shuffled = list(null_ids)
+        random_module.Random(permutation_seed).shuffle(shuffled)
+        relabel = dict(zip(null_ids, shuffled))
+        permuted = [
+            (pred, tuple(relabel[c] for c in classes))
+            for pred, classes in cloud
+        ]
+        assert BagType(num_constants, 4, cloud) == BagType(
+            num_constants, 4, permuted
+        )
+
+
+class TestInstanceHomomorphismProperties:
+    @SETTINGS
+    @given(facts=st.lists(ground_atoms(), min_size=0, max_size=8))
+    def test_reflexive(self, facts):
+        instance = Database(facts)
+        assert instance_homomorphism(instance, instance) is not None
+
+    @SETTINGS
+    @given(
+        facts=st.lists(ground_atoms(), min_size=1, max_size=8),
+        extra=ground_atoms(),
+    )
+    def test_monotone_target(self, facts, extra):
+        source = Database(facts)
+        target = Database(facts + [extra])
+        assert instance_homomorphism(source, target) is not None

@@ -1,0 +1,114 @@
+"""Further property-based tests: Skolem/so correspondence, monotonicity
+of termination under rule removal, and zoo hierarchy invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.chase import ChaseVariant, critical_instance, run_chase
+from repro.graphs import is_jointly_acyclic, is_weakly_acyclic
+from repro.termination import decide_termination, is_mfa, skolem_chase
+from repro.workloads import random_linear, random_simple_linear
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def sl_sets(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=1, max_value=4))
+    return random_simple_linear(count, seed=seed)
+
+
+@st.composite
+def linear_sets(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    count = draw(st.integers(min_value=1, max_value=3))
+    return random_linear(count, repeat_prob=0.5, seed=seed)
+
+
+class TestSkolemSemiObliviousCorrespondence:
+    """The Skolem chase is the semi-oblivious chase with memoised
+    witnesses: on terminating inputs both derive the same number of
+    facts (terms differ — structured Skolem terms vs flat nulls)."""
+
+    @SETTINGS
+    @given(rules=sl_sets())
+    def test_fact_counts_agree_on_termination(self, rules):
+        database = critical_instance(rules)
+        so = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=400
+        )
+        instance, cyclic, fixpoint = skolem_chase(
+            database, rules, max_steps=2000
+        )
+        if so.terminated and fixpoint:
+            assert len(instance) == len(so.instance)
+
+    @SETTINGS
+    @given(rules=sl_sets())
+    def test_cyclic_skolem_term_implies_chase_divergence(self, rules):
+        database = critical_instance(rules)
+        _, cyclic, _ = skolem_chase(database, rules, max_steps=2000)
+        if cyclic is not None:
+            # MFA refuted; the exact decider may still terminate, but
+            # in SL the Skolem cycle means WA fails too.
+            assert not is_mfa(rules)
+
+
+class TestMonotonicity:
+    @SETTINGS
+    @given(rules=sl_sets(), drop=st.integers(min_value=0, max_value=3))
+    def test_termination_antitone_under_rule_addition(self, rules, drop):
+        """Removing rules can only help termination: if Σ terminates,
+        every subset of Σ terminates."""
+        if decide_termination(
+            rules, variant=ChaseVariant.SEMI_OBLIVIOUS
+        ).terminating:
+            subset = [r for i, r in enumerate(rules) if i != drop % len(rules)]
+            if subset:
+                assert decide_termination(
+                    subset, variant=ChaseVariant.SEMI_OBLIVIOUS
+                ).terminating
+
+    @SETTINGS
+    @given(rules=linear_sets())
+    def test_zoo_hierarchy_on_linear(self, rules):
+        wa = is_weakly_acyclic(rules)
+        ja = is_jointly_acyclic(rules)
+        mfa = is_mfa(rules)
+        exact = decide_termination(
+            rules, variant=ChaseVariant.SEMI_OBLIVIOUS
+        ).terminating
+        if wa:
+            assert ja
+        if ja:
+            assert mfa
+        if mfa:
+            assert exact
+
+
+class TestCriticalInstanceSemantics:
+    @SETTINGS
+    @given(rules=sl_sets())
+    def test_critical_termination_transfers_to_samples(self, rules):
+        """Marnette's direction observed concretely: if the critical
+        chase terminates, the chase on sampled databases does too."""
+        from repro.workloads import random_database
+
+        critical_result = run_chase(
+            critical_instance(rules), rules,
+            ChaseVariant.SEMI_OBLIVIOUS, max_steps=400,
+        )
+        if not critical_result.terminated:
+            return
+        for seed in (0, 1):
+            db = random_database(rules, seed=seed)
+            result = run_chase(
+                db, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=2000
+            )
+            assert result.terminated

@@ -1,0 +1,142 @@
+"""Unit tests for pumpable-cycle detection."""
+
+import pytest
+
+from repro.chase import ChaseVariant
+from repro.parser import parse_program
+from repro.termination import (
+    TransitionGraph,
+    TypeAnalysis,
+    alive_edge_fixpoint,
+    find_pumping_witness,
+    renewable_classes,
+    verify_cyclic_walk,
+)
+
+
+def graph_for(text: str) -> TransitionGraph:
+    return TransitionGraph(TypeAnalysis(parse_program(text)))
+
+
+class TestRenewableClasses:
+    def test_fresh_classes_seed_renewal(self):
+        graph = graph_for("p(X, Y) -> exists Z . p(Y, Z)")
+        renewal = renewable_classes(graph.edges)
+        assert any(classes for classes in renewal.values())
+
+    def test_no_existentials_no_renewal(self):
+        graph = graph_for("p(X, Y) -> q(Y, X)")
+        assert graph.edges == []
+        assert renewable_classes(graph.edges) == {}
+
+
+class TestAliveFixpoint:
+    def test_constant_trigger_edges_die(self):
+        # p(X, X) -> exists Z . p(X, Z): the only self-transition has an
+        # all-constant trigger image and must be pruned.
+        graph = graph_for("p(X, X) -> exists Z . p(X, Z)")
+        for component in graph.strongly_connected_components():
+            internal = [
+                e for node in component for e in graph.out_edges(node)
+                if e.target in component
+            ]
+            alive = alive_edge_fixpoint(internal, ChaseVariant.OBLIVIOUS)
+            assert alive == []
+
+    def test_renewing_edges_survive(self):
+        graph = graph_for("p(X, Y) -> exists Z . p(Y, Z)")
+        survivors = []
+        for component in graph.strongly_connected_components():
+            internal = [
+                e for node in component for e in graph.out_edges(node)
+                if e.target in component
+            ]
+            survivors.extend(
+                alive_edge_fixpoint(internal, ChaseVariant.SEMI_OBLIVIOUS)
+            )
+        assert survivors
+
+
+class TestVerifyCyclicWalk:
+    def test_rejects_empty_walk(self):
+        assert not verify_cyclic_walk([], ChaseVariant.OBLIVIOUS, 1)
+
+    def test_rejects_non_closing_walk(self):
+        graph = graph_for(
+            "p(X) -> exists Z . q(X, Z)\nq(X, Y) -> exists W . r(Y, W)"
+        )
+        e1 = next(e for e in graph.edges if e.rule.label == "r1")
+        e2 = next(e for e in graph.edges if e.rule.label == "r2")
+        with pytest.raises(ValueError):
+            verify_cyclic_walk([e1, e2], ChaseVariant.OBLIVIOUS,
+                               graph.analysis.num_constants)
+
+    def test_verifies_genuine_pump(self):
+        graph = graph_for("p(X, Y) -> exists Z . p(Y, Z)")
+        witness = find_pumping_witness(graph, ChaseVariant.SEMI_OBLIVIOUS)
+        assert witness is not None
+        assert witness.verified
+        assert verify_cyclic_walk(
+            witness.walk, ChaseVariant.SEMI_OBLIVIOUS,
+            graph.analysis.num_constants,
+        )
+
+
+class TestFindPumpingWitness:
+    def test_terminating_program_has_no_witness(self):
+        graph = graph_for("p(X) -> exists Z . q(X, Z)\nq(X, Y) -> r(Y)")
+        assert find_pumping_witness(graph, ChaseVariant.OBLIVIOUS) is None
+        assert find_pumping_witness(graph, ChaseVariant.SEMI_OBLIVIOUS) is None
+
+    def test_example_2_found_for_both_variants(self):
+        graph = graph_for("p(X, Y) -> exists Z . p(Y, Z)")
+        for variant in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS):
+            witness = find_pumping_witness(graph, variant)
+            assert witness is not None and witness.verified
+
+    def test_oblivious_only_divergence(self):
+        # p(X, Y) -> exists Z . p(X, Z): o diverges, so terminates.
+        graph = graph_for("p(X, Y) -> exists Z . p(X, Z)")
+        assert find_pumping_witness(graph, ChaseVariant.OBLIVIOUS) is not None
+        assert find_pumping_witness(graph, ChaseVariant.SEMI_OBLIVIOUS) is None
+
+    def test_mutually_sustaining_loops(self):
+        """Two rules, neither self-sufficient, whose composition pumps.
+
+        Under the semi-oblivious chase, r1 refreshes position 1 while
+        its trigger reads position 2, and r2 copies position 1 into
+        position 2 while reading position 1.  Each rule *alone*
+        terminates (their self-loops recycle — see the companion
+        oracle test in test_cross_validation), but alternating them
+        renews every trigger image — the case that forces candidate
+        walks beyond simple cycles (covering walks).
+        """
+        rules_text = """
+        p(X, Y, D) -> exists Z, D2 . p(Z, Y, D2)
+        p(X, Y, D) -> exists W . p(X, X, W)
+        """
+        rules = parse_program(rules_text)
+        # Each rule alone: terminating for the semi-oblivious chase.
+        for rule in rules:
+            solo = TransitionGraph(TypeAnalysis([rule]))
+            assert find_pumping_witness(
+                solo, ChaseVariant.SEMI_OBLIVIOUS
+            ) is None
+        # Together: a verified composite pump using both rules.
+        graph = graph_for(rules_text)
+        witness = find_pumping_witness(graph, ChaseVariant.SEMI_OBLIVIOUS)
+        assert witness is not None
+        assert witness.verified
+        labels = {e.rule.label for e in witness.walk}
+        assert labels == {"r1", "r2"}
+
+    def test_witness_describe_mentions_rules(self):
+        graph = graph_for("p(X, Y) -> exists Z . p(Y, Z)")
+        witness = find_pumping_witness(graph, ChaseVariant.OBLIVIOUS)
+        assert "r1" in witness.describe()
+        assert "oblivious" in witness.describe()
+
+    def test_witness_rules_method(self):
+        graph = graph_for("p(X, Y) -> exists Z . p(Y, Z)")
+        witness = find_pumping_witness(graph, ChaseVariant.OBLIVIOUS)
+        assert all(r.label == "r1" for r in witness.rules())

@@ -1,0 +1,93 @@
+"""Tests for termination reports and chase provenance."""
+
+import pytest
+
+from repro.chase import semi_oblivious_chase
+from repro.cli import main
+from repro.parser import parse_database, parse_program
+from repro.termination import termination_report
+
+
+class TestTerminationReport:
+    def test_terminating_sl_program(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        report = termination_report(rules)
+        assert report.narrowest == "simple_linear"
+        assert report.conditions["weak_acyclicity"] is True
+        assert report.conditions["mfa"] is True
+        assert report.oblivious.terminating
+        assert report.semi_oblivious.terminating
+
+    def test_diverging_program(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        report = termination_report(rules)
+        assert not report.oblivious.terminating
+        assert not report.semi_oblivious.terminating
+        assert report.conditions["joint_acyclicity"] is False
+
+    def test_separation_program(self):
+        rules = parse_program("p(X, X) -> exists Z . p(X, Z)")
+        report = termination_report(rules)
+        assert report.conditions["weak_acyclicity"] is False
+        assert report.conditions["joint_acyclicity"] is True
+        assert report.oblivious.terminating
+
+    def test_unguarded_program_has_no_exact_verdicts(self):
+        rules = parse_program("p(X, Y), q(Y, Z) -> exists W . r(X, W)")
+        report = termination_report(rules)
+        assert report.oblivious is None
+        assert report.semi_oblivious is None
+        # zoo conditions still computed
+        assert report.conditions["weak_acyclicity"] is True
+
+    def test_render_mentions_everything(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        text = termination_report(rules).render()
+        assert "narrowest class: simple_linear" in text
+        assert "weak_acyclicity: yes" in text
+        assert "oblivious: terminates" in text
+
+    def test_render_undecided(self):
+        rules = parse_program("p(X, Y), q(Y, Z) -> exists W . r(X, W)")
+        text = termination_report(rules).render()
+        assert "undecided" in text
+
+    def test_cli_full_flag(self, tmp_path, capsys):
+        path = tmp_path / "rules.tgd"
+        path.write_text("p(X) -> exists Z . q(X, Z)\n")
+        assert main(["check", str(path), "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "sufficient conditions" in out
+        assert "mfa: yes" in out
+
+    def test_cli_full_flag_undecided_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "rules.tgd"
+        path.write_text("p(X, Y), q(Y, Z) -> exists W . r(X, W)\n")
+        assert main(["check", str(path), "--full"]) == 2
+
+
+class TestProvenance:
+    RULES = parse_program(
+        "p(X) -> exists Z . q(X, Z)\nq(X, Y) -> r(X)"
+    )
+
+    def test_database_facts_have_no_provenance(self):
+        db = parse_database("p(a)")
+        result = semi_oblivious_chase(db, self.RULES)
+        assert result.provenance(next(iter(db))) is None
+
+    def test_derived_facts_point_to_their_step(self):
+        db = parse_database("p(a)")
+        result = semi_oblivious_chase(db, self.RULES)
+        r_fact = next(
+            f for f in result.instance if f.predicate.name == "r"
+        )
+        step = result.provenance(r_fact)
+        assert step is not None
+        assert step.trigger.rule.label == "r2"
+
+    def test_facts_by_rule(self):
+        db = parse_database("p(a)\np(b)")
+        result = semi_oblivious_chase(db, self.RULES)
+        contributions = result.facts_by_rule()
+        assert contributions == {"r1": 2, "r2": 2}

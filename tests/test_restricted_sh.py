@@ -1,0 +1,131 @@
+"""Tests for the §4 reconstruction: restricted-chase termination for
+single-head linear TGDs (each predicate in at most one head)."""
+
+import itertools
+
+import pytest
+
+from repro.chase import ChaseVariant, run_chase
+from repro.errors import UnsupportedClassError
+from repro.model import Atom, Constant, Database, Schema
+from repro.parser import parse_database, parse_program
+from repro.termination import (
+    decide_restricted_single_head,
+    restricted_rule_graph,
+)
+
+# (program, restricted chase terminates on all DBs)
+CURATED = [
+    # the self-satisfying rule: the produced atom satisfies its own
+    # next trigger, so the restricted chase stops where the
+    # (semi-)oblivious one diverges.
+    ("p(X, Y) -> exists Z . p(X, Z)", True),
+    # the genuine generator: the new atom demands an unseen head.
+    ("p(X, Y) -> exists Z . p(Y, Z)", False),
+    # Example 1, single-head split across two predicates.
+    (
+        "person(X) -> exists Y . father(X, Y)\nfather(X, Y) -> child(Y)",
+        True,
+    ),
+    # a fresh null relayed into a dead-end predicate: terminates.
+    (
+        "a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a2(Y)",
+        True,
+    ),
+    # a fresh null relayed back into the generator: diverges.  The
+    # relay is a *full* rule — the carry-edge case.
+    (
+        "a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a(Y)",
+        False,
+    ),
+    # chain without recursion.
+    ("p1(X) -> exists Y . p2(X, Y)\np2(X, Y) -> exists Z . p3(Y, Z)", True),
+]
+
+
+def distinct_database(rules) -> Database:
+    """Every predicate instantiated with pairwise-distinct constants —
+    the adversarial seed for the restricted chase (the critical
+    instance is useless here: over ``p(*,*)`` many heads are satisfied
+    outright)."""
+    database = Database()
+    counter = itertools.count(1)
+    for pred in Schema.from_rules(rules):
+        database.add(
+            Atom(pred, [Constant(f"c{next(counter)}")
+                        for _ in range(pred.arity)])
+        )
+    return database
+
+
+class TestDecider:
+    @pytest.mark.parametrize("text,expected", CURATED)
+    def test_curated(self, text, expected):
+        rules = parse_program(text)
+        verdict = decide_restricted_single_head(rules)
+        assert verdict.terminating == expected
+        assert verdict.variant == "restricted"
+
+    @pytest.mark.parametrize("text,expected", CURATED)
+    def test_against_budgeted_restricted_chase(self, text, expected):
+        """Empirical check on the all-distinct database."""
+        rules = parse_program(text)
+        result = run_chase(
+            distinct_database(rules), rules,
+            ChaseVariant.RESTRICTED, max_steps=300,
+        )
+        assert result.terminated == expected, text
+
+    def test_rejects_non_linear(self):
+        rules = parse_program("p(X), q(X) -> exists Z . r(X, Z)")
+        with pytest.raises(UnsupportedClassError):
+            decide_restricted_single_head(rules)
+
+    def test_rejects_repeated_head_predicates(self):
+        rules = parse_program("p(X) -> r(X)\nq(X) -> r(X)")
+        with pytest.raises(UnsupportedClassError):
+            decide_restricted_single_head(rules)
+
+    def test_witness_on_divergence(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        verdict = decide_restricted_single_head(rules)
+        assert verdict.witness is not None
+        assert rules[0] in verdict.witness
+
+    def test_polynomial_graph_size(self):
+        rules = parse_program(
+            "\n".join(
+                f"p{i}(X) -> exists Y . p{i + 1}(X, Y)" if i % 2 == 0
+                else f"p{i}(X, Y) -> p{i + 1}(Y)"
+                for i in range(10)
+            )
+        )
+        adjacency = restricted_rule_graph(rules)
+        assert sum(len(v) for v in adjacency.values()) <= len(rules) ** 2
+
+
+class TestRuleGraph:
+    def test_self_satisfying_rule_has_no_self_edge(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(X, Z)")
+        adjacency = restricted_rule_graph(rules)
+        assert adjacency[0] == {}
+
+    def test_generator_rule_has_fresh_self_edge(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        adjacency = restricted_rule_graph(rules)
+        assert adjacency[0].get(0) == "fresh"
+
+    def test_full_relay_is_a_carry_edge(self):
+        rules = parse_program("a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a(Y)")
+        adjacency = restricted_rule_graph(rules)
+        assert adjacency[0].get(1) == "fresh"
+        assert adjacency[1].get(0) == "carry"
+
+    def test_full_only_cycles_have_no_fresh_edge(self):
+        rules = parse_program("p(X) -> q(X)\nq(X) -> p(X)")
+        adjacency = restricted_rule_graph(rules)
+        kinds = {k for targets in adjacency.values()
+                 for k in targets.values()}
+        assert "fresh" not in kinds
+        verdict = decide_restricted_single_head(rules)
+        assert verdict.terminating

@@ -1,0 +1,144 @@
+"""Unit tests for repro.model.rules (TGD structure)."""
+
+import pytest
+
+from repro.model import (
+    Atom,
+    Constant,
+    Predicate,
+    TGD,
+    Variable,
+    program_constants,
+    program_predicates,
+    validate_program,
+)
+from repro.parser import parse_rule
+
+
+class TestConstruction:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            TGD([], [Atom(Predicate("p", 0), [])])
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValueError):
+            TGD([Atom(Predicate("p", 0), [])], [])
+
+    def test_equality_ignores_label(self):
+        a = parse_rule("p(X) -> q(X)", label="one")
+        b = parse_rule("p(X) -> q(X)", label="two")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestVariableStructure:
+    def test_frontier_is_shared_variables(self):
+        rule = parse_rule("p(X, Y) -> exists Z . q(Y, Z)")
+        assert rule.frontier == {Variable("Y")}
+
+    def test_existential_variables(self):
+        rule = parse_rule("p(X, Y) -> exists Z . q(Y, Z)")
+        assert rule.existential_variables == {Variable("Z")}
+
+    def test_body_variables(self):
+        rule = parse_rule("p(X, Y), r(Y, W) -> q(Y)")
+        assert rule.body_variables == {
+            Variable("X"), Variable("Y"), Variable("W")
+        }
+
+    def test_full_rule_has_no_existentials(self):
+        rule = parse_rule("p(X, Y) -> q(Y, X)")
+        assert rule.is_full()
+        assert rule.existential_variables == frozenset()
+
+    def test_head_only_variables_are_existential(self):
+        rule = parse_rule("p(X) -> q(Y)")
+        assert rule.existential_variables == {Variable("Y")}
+        assert rule.frontier == frozenset()
+
+
+class TestSyntacticClasses:
+    def test_linear(self):
+        assert parse_rule("p(X, Y) -> q(X)").is_linear()
+        assert not parse_rule("p(X), r(X) -> q(X)").is_linear()
+
+    def test_simple_linear_forbids_repeats(self):
+        assert parse_rule("p(X, Y) -> q(X)").is_simple_linear()
+        assert not parse_rule("p(X, X) -> q(X)").is_simple_linear()
+
+    def test_linear_rules_are_guarded(self):
+        assert parse_rule("p(X, Y) -> exists Z . q(Y, Z)").is_guarded()
+
+    def test_guard_detection_multi_atom(self):
+        rule = parse_rule("g(X, Y, W), p(X), q(Y) -> r(W)")
+        assert rule.is_guarded()
+        assert rule.guard().predicate.name == "g"
+
+    def test_unguarded_rule(self):
+        rule = parse_rule("p(X, Y), q(Y, Z) -> r(X, Z)")
+        assert not rule.is_guarded()
+        assert rule.guard() is None
+        assert rule.guards() == ()
+
+    def test_multiple_guards_all_reported(self):
+        rule = parse_rule("g(X, Y), h(Y, X) -> r(X)")
+        assert len(rule.guards()) == 2
+
+    def test_single_head(self):
+        assert parse_rule("p(X) -> q(X)").is_single_head()
+        assert not parse_rule("p(X) -> q(X), r(X)").is_single_head()
+
+
+class TestPositions:
+    def test_body_positions_of(self):
+        rule = parse_rule("p(X, X), q(X) -> r(X)")
+        positions = rule.body_positions_of(Variable("X"))
+        assert {str(p) for p in positions} == {"p[0]", "p[1]", "q[0]"}
+
+    def test_head_positions_of(self):
+        rule = parse_rule("p(X) -> exists Z . r(X, Z), s(Z)")
+        z_positions = rule.head_positions_of(Variable("Z"))
+        assert {str(p) for p in z_positions} == {"r[1]", "s[0]"}
+
+
+class TestRenameApart:
+    def test_variables_renamed(self):
+        rule = parse_rule("p(X) -> exists Z . q(X, Z)")
+        renamed = rule.rename_apart("_1")
+        assert renamed.body_variables == {Variable("X_1")}
+        assert renamed.existential_variables == {Variable("Z_1")}
+
+    def test_structure_preserved(self):
+        rule = parse_rule("p(X, X) -> q(X)")
+        renamed = rule.rename_apart("_a")
+        assert renamed.body[0].terms[0] == renamed.body[0].terms[1]
+
+    def test_constants_untouched(self):
+        rule = parse_rule("p(X, c) -> q(c)")
+        renamed = rule.rename_apart("_b")
+        assert Constant("c") in renamed.constants()
+
+
+class TestProgramHelpers:
+    def test_program_predicates(self):
+        rules = [parse_rule("p(X) -> q(X)"), parse_rule("q(X) -> r(X)")]
+        names = {p.name for p in program_predicates(rules)}
+        assert names == {"p", "q", "r"}
+
+    def test_program_constants(self):
+        rules = [parse_rule("p(X) -> q(X, a)")]
+        assert program_constants(rules) == {Constant("a")}
+
+    def test_validate_program_catches_arity_conflicts(self):
+        rules = [parse_rule("p(X) -> q(X)"), parse_rule("q(X, Y) -> p(X)")]
+        with pytest.raises(ValueError, match="arities"):
+            validate_program(rules)
+
+    def test_validate_program_accepts_consistent(self):
+        validate_program([parse_rule("p(X) -> q(X)"),
+                          parse_rule("q(X) -> p(X)")])
+
+    def test_str_rendering_mentions_exists(self):
+        rule = parse_rule("p(X) -> exists Z . q(X, Z)")
+        assert "exists" in str(rule)
+        assert "exists" not in str(parse_rule("p(X) -> q(X)"))

@@ -1,0 +1,65 @@
+"""Unit tests for repro.model.schema."""
+
+import pytest
+
+from repro.model import Predicate, Schema
+from repro.parser import parse_program
+
+
+class TestSchema:
+    def test_from_rules(self):
+        rules = parse_program("p(X) -> q(X, X)\nq(X, Y) -> r(Y)")
+        schema = Schema.from_rules(rules)
+        assert schema.predicate_names() == {"p", "q", "r"}
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([Predicate("p", 1), Predicate("p", 2)])
+
+    def test_duplicate_declarations_collapse(self):
+        schema = Schema([Predicate("p", 1), Predicate("p", 1)])
+        assert len(schema) == 1
+
+    def test_contains_predicate_and_name(self):
+        schema = Schema([Predicate("p", 2)])
+        assert Predicate("p", 2) in schema
+        assert Predicate("p", 3) not in schema
+        assert "p" in schema
+        assert "q" not in schema
+
+    def test_get(self):
+        schema = Schema([Predicate("p", 2)])
+        assert schema.get("p") == Predicate("p", 2)
+        assert schema.get("missing") is None
+
+    def test_iteration_sorted_by_name(self):
+        schema = Schema([Predicate("z", 1), Predicate("a", 1)])
+        assert [p.name for p in schema] == ["a", "z"]
+
+    def test_positions(self):
+        schema = Schema([Predicate("p", 2), Predicate("q", 1)])
+        assert len(schema.positions()) == 3
+
+    def test_max_arity(self):
+        assert Schema([Predicate("p", 3), Predicate("q", 1)]).max_arity() == 3
+        assert Schema().max_arity() == 0
+
+    def test_merge(self):
+        merged = Schema([Predicate("p", 1)]).merge(Schema([Predicate("q", 2)]))
+        assert merged.predicate_names() == {"p", "q"}
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError):
+            Schema([Predicate("p", 1)]).merge(Schema([Predicate("p", 2)]))
+
+    def test_equality_and_hash(self):
+        a = Schema([Predicate("p", 1), Predicate("q", 2)])
+        b = Schema([Predicate("q", 2), Predicate("p", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_from_atoms(self):
+        from tests.conftest import atom
+
+        schema = Schema.from_atoms([atom("p", "a"), atom("q", "a", "b")])
+        assert schema.predicate_names() == {"p", "q"}

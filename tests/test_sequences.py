@@ -1,0 +1,103 @@
+"""Order-independence of the (semi-)oblivious chase (§2).
+
+The paper recalls CT_∀ = CT_∃ for the oblivious and semi-oblivious
+chase: all fair sequences agree on termination — and in fact fire the
+same trigger set, so results coincide up to null renaming.  These
+tests shuffle the engine's per-round trigger order and check both
+claims empirically; the restricted chase's order-sensitivity is
+exhibited as the contrast.
+"""
+
+import pytest
+
+from repro.chase import ChaseVariant, run_chase
+from repro.model import instance_homomorphism
+from repro.parser import parse_database, parse_program
+from repro.workloads import random_database, random_simple_linear
+
+SEEDS = [None, 1, 2, 7, 42]
+
+
+class TestOrderIndependence:
+    @pytest.mark.parametrize(
+        "variant", [ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS]
+    )
+    def test_termination_status_stable_under_shuffles(self, variant):
+        rules = parse_program(
+            """
+            emp(X) -> exists D . works(X, D)
+            works(X, D) -> dept(D)
+            dept(D) -> exists M . head(D, M)
+            """
+        )
+        db = parse_database("emp(ada)\nemp(alan)")
+        outcomes = {
+            run_chase(db, rules, variant, order_seed=seed).terminated
+            for seed in SEEDS
+        }
+        assert outcomes == {True}
+
+    @pytest.mark.parametrize(
+        "variant", [ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS]
+    )
+    def test_results_homomorphically_equivalent_across_orders(self, variant):
+        rules = random_simple_linear(4, seed=11)
+        db = random_database(rules, seed=11)
+        results = [
+            run_chase(db, rules, variant, max_steps=300, order_seed=seed)
+            for seed in SEEDS
+        ]
+        terminated = {r.terminated for r in results}
+        assert len(terminated) == 1
+        if terminated == {True}:
+            reference = results[0].instance
+            for other in results[1:]:
+                assert len(other.instance) == len(reference)
+                assert instance_homomorphism(
+                    other.instance, reference
+                ) is not None
+                assert instance_homomorphism(
+                    reference, other.instance
+                ) is not None
+
+    @pytest.mark.parametrize(
+        "variant", [ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS]
+    )
+    def test_step_counts_identical_across_orders(self, variant):
+        # o/so chases apply the same trigger set in any fair order.
+        rules = parse_program(
+            "p(X, Y) -> exists Z . q(X, Z)\nq(X, Y) -> r(X)"
+        )
+        db = parse_database("p(a, b)\np(a, c)\np(d, d)")
+        counts = {
+            run_chase(db, rules, variant, order_seed=seed).step_count
+            for seed in SEEDS
+        }
+        assert len(counts) == 1
+
+    def test_restricted_chase_is_order_sensitive(self):
+        """The contrast case: the restricted chase may fire different
+        trigger sets in different orders (a satisfied head depends on
+        what was derived first).  Sizes may differ across orders —
+        here we only require all orders to terminate and produce a
+        model."""
+        from repro.cq import is_model
+
+        rules = parse_program(
+            """
+            a(X) -> exists Y . r(X, Y)
+            a(X) -> r(X, X)
+            """
+        )
+        db = parse_database("a(c)")
+        sizes = set()
+        for seed in SEEDS:
+            result = run_chase(
+                db, rules, ChaseVariant.RESTRICTED, order_seed=seed
+            )
+            assert result.terminated
+            assert is_model(result.instance, rules)
+            sizes.add(len(result.instance))
+        # All runs are correct models; at least one order skips the
+        # existential rule after deriving r(c, c) first.
+        assert min(sizes) == 2

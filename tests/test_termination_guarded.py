@@ -1,0 +1,181 @@
+"""Theorem 4 tests: the guarded decision procedure."""
+
+import pytest
+
+from repro.chase import ChaseVariant
+from repro.errors import UnsupportedClassError
+from repro.parser import parse_program
+from repro.termination import (
+    PumpingWitness,
+    critical_chase_terminates,
+    decide_guarded,
+    decide_termination,
+)
+
+# Curated guarded suite: (program, o-terminates, so-terminates)
+CURATED = [
+    # guard + side atom, self-feeding cycle: diverges
+    ("g(X, Y), q(Y) -> exists Z . g(Y, Z), q(Z)", False, False),
+    # side atom never re-satisfied on fresh nulls: terminates
+    ("g(X, Y), q(Y) -> exists Z . g(Y, Z)", True, True),
+    # feedback through a full rule: terminates
+    (
+        "r(X, Y), p(X) -> exists Z . s(Y, Z)\ns(X, Y) -> p(Y)",
+        True,
+        True,
+    ),
+    # feedback through a full rule closing the loop: diverges
+    (
+        "r(X, Y), p(X) -> exists Z . r(Y, Z), p2(Z)\np2(X) -> p(X)",
+        False,
+        False,
+    ),
+    # up-propagation enables the guard again: diverges
+    ("a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a(Y)", False, False),
+    # multi-guard rule, no feedback: terminates
+    ("g(X, Y), h(X, Y) -> exists Z . out(X, Z)", True, True),
+    # three-rule guarded loop: diverges
+    (
+        "a(X) -> exists Y . b(X, Y)\n"
+        "b(X, Y) -> exists Z . c(Y, Z)\n"
+        "c(X, Y) -> a(Y)",
+        False,
+        False,
+    ),
+    # a cycle that only recycles the original value: terminates
+    (
+        "a(X) -> exists Y . b(X, Y)\nb(X, Y) -> a(X)",
+        True,
+        True,
+    ),
+    # as above, but c keeps the fresh null in its first position, so
+    # the closing full rule re-feeds it into a: diverges
+    (
+        "a(X) -> exists Y . b(X, Y)\n"
+        "b(X, Y) -> exists Z . c(Y, Z)\n"
+        "c(X, Y) -> a(X)",
+        False,
+        False,
+    ),
+]
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_oblivious(self, text, o_expected, so_expected):
+        rules = parse_program(text)
+        verdict = decide_guarded(rules, ChaseVariant.OBLIVIOUS)
+        assert verdict.terminating == o_expected
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_semi_oblivious(self, text, o_expected, so_expected):
+        rules = parse_program(text)
+        verdict = decide_guarded(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert verdict.terminating == so_expected
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_oracle_agreement(self, text, o_expected, so_expected):
+        rules = parse_program(text)
+        for variant, expected in (
+            (ChaseVariant.OBLIVIOUS, o_expected),
+            (ChaseVariant.SEMI_OBLIVIOUS, so_expected),
+        ):
+            oracle = critical_chase_terminates(rules, variant, max_steps=600)
+            assert (oracle is True) == expected, (text, variant)
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_standard_databases_agree_here(
+        self, text, o_expected, so_expected
+    ):
+        """These programs do not mention zero/one, so the verdict over
+        standard databases coincides with the plain one (the standard
+        critical instance only adds constants the rules cannot
+        distinguish)."""
+        rules = parse_program(text)
+        verdict = decide_guarded(
+            rules, ChaseVariant.SEMI_OBLIVIOUS, standard=True
+        )
+        assert verdict.terminating == so_expected
+
+    def test_non_terminating_witness_is_pumping_walk(self):
+        rules = parse_program("a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a(Y)")
+        verdict = decide_guarded(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert isinstance(verdict.witness, PumpingWitness)
+        assert verdict.witness.verified
+
+    def test_stats_reported(self):
+        rules = parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z)")
+        verdict = decide_guarded(rules, ChaseVariant.OBLIVIOUS)
+        assert verdict.stats["types"] >= 1
+        assert "edges" in verdict.stats
+
+    def test_rejects_unguarded(self):
+        rules = parse_program("p(X, Y), q(Y, Z) -> r(X, Z)")
+        with pytest.raises(UnsupportedClassError):
+            decide_guarded(rules, ChaseVariant.OBLIVIOUS)
+
+    def test_rejects_restricted_variant(self):
+        rules = parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z)")
+        with pytest.raises(UnsupportedClassError):
+            decide_guarded(rules, ChaseVariant.RESTRICTED)
+
+
+class TestCloudSensitivity:
+    """The verdict must depend on the cloud (the atoms alongside the
+    guard), which is what distinguishes G from L."""
+
+    def test_side_atom_blocks_divergence(self):
+        diverging = parse_program("g(X, Y) -> exists Z . g(Y, Z)")
+        blocked = parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z)")
+        assert not decide_guarded(
+            diverging, ChaseVariant.SEMI_OBLIVIOUS
+        ).terminating
+        assert decide_guarded(
+            blocked, ChaseVariant.SEMI_OBLIVIOUS
+        ).terminating
+
+    def test_side_atom_resupplied_restores_divergence(self):
+        rules = parse_program(
+            "g(X, Y), q(Y) -> exists Z . g(Y, Z), q(Z)"
+        )
+        assert not decide_guarded(
+            rules, ChaseVariant.SEMI_OBLIVIOUS
+        ).terminating
+
+    def test_resupply_from_second_rule(self):
+        rules = parse_program(
+            """
+            g(X, Y), q(Y) -> exists Z . g(Y, Z), mark(Z)
+            mark(X) -> q(X)
+            """
+        )
+        assert not decide_guarded(
+            rules, ChaseVariant.SEMI_OBLIVIOUS
+        ).terminating
+        oracle = critical_chase_terminates(
+            rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps=400
+        )
+        assert oracle is None
+
+
+class TestStandardDatabaseSensitivity:
+    def test_zero_one_guarded_program(self):
+        """A rule keyed on the zero predicate: under plain critical
+        analysis the zero relation is still populated (any database may
+        contain it), so the verdict matches the standard one; this
+        pins the convention that 'standard' only *adds* the 0/1
+        constants."""
+        rules = parse_program("zero(X) -> exists Y . chain(X, Y)\n"
+                              "chain(X, Y) -> zero(Y)")
+        plain = decide_guarded(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        standard = decide_guarded(
+            rules, ChaseVariant.SEMI_OBLIVIOUS, standard=True
+        )
+        assert plain.terminating == standard.terminating == False
+
+
+class TestDispatch:
+    def test_auto_routes_guarded(self):
+        rules = parse_program("g(X, Y), q(Y) -> exists Z . g(Y, Z)")
+        verdict = decide_termination(rules, variant="semi_oblivious")
+        assert verdict.method == "guarded_type_graph"

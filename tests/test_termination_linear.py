@@ -1,0 +1,153 @@
+"""Theorem 2 tests: critical acyclicity for (non-simple) linear TGDs."""
+
+import pytest
+
+from repro.chase import ChaseVariant
+from repro.errors import UnsupportedClassError
+from repro.graphs import is_richly_acyclic, is_weakly_acyclic
+from repro.parser import parse_program
+from repro.termination import (
+    critical_chase_terminates,
+    decide_linear,
+    is_critically_richly_acyclic,
+    is_critically_weakly_acyclic,
+)
+from repro.workloads import diagonal_family
+
+# Curated linear suite: (program, o-terminates, so-terminates)
+CURATED = [
+    # the canonical Theorem 2 counterexample: dangerous cycle, but the
+    # repeated body variable makes it unrealizable.
+    ("p(X, X) -> exists Z . p(X, Z)", True, True),
+    # the head re-produces the diagonal, so the *oblivious* chase
+    # pumps it forever; the semi-oblivious key is the empty frontier
+    # (the head is purely existential), which fires exactly once.
+    ("p(X, X) -> exists Z . p(Z, Z)", False, True),
+    # repeated variable with the diagonal preserved via copying
+    ("p(X, X) -> exists Z . q(X, Z)\nq(X, Y) -> p(Y, Y)", False, False),
+    # repeated head use of a frontier var, terminating
+    ("p(X, Y) -> q(X, X)\nq(X, X) -> exists Z . r(X, Z)", True, True),
+    # non-simple body, o/so separation
+    ("p(X, X, Y) -> exists Z . p(X, X, Z)", False, True),
+    # triangle pattern that can never rebuild its body
+    ("t(X, X, X) -> exists Z . t(X, X, Z)", True, True),
+    # the diagonal survives one hop and returns
+    ("t(X, X) -> exists Z . u(X, Z)\nu(X, Y) -> t(X, X)", True, True),
+]
+
+
+class TestTheorem2Deciders:
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_oblivious(self, text, o_expected, so_expected):
+        rules = parse_program(text)
+        verdict = decide_linear(rules, ChaseVariant.OBLIVIOUS)
+        assert verdict.terminating == o_expected
+        assert verdict.method == "critical_rich_acyclicity"
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_semi_oblivious(self, text, o_expected, so_expected):
+        rules = parse_program(text)
+        verdict = decide_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert verdict.terminating == so_expected
+        assert verdict.method == "critical_weak_acyclicity"
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_oracle_agreement(self, text, o_expected, so_expected):
+        rules = parse_program(text)
+        for variant, expected in (
+            (ChaseVariant.OBLIVIOUS, o_expected),
+            (ChaseVariant.SEMI_OBLIVIOUS, so_expected),
+        ):
+            oracle = critical_chase_terminates(rules, variant, max_steps=400)
+            assert (oracle is True) == expected
+
+    def test_class_predicates(self):
+        rules = parse_program("p(X, X) -> exists Z . p(X, Z)")
+        assert is_critically_richly_acyclic(rules)
+        assert is_critically_weakly_acyclic(rules)
+
+
+class TestSeparationFromPlainAcyclicity:
+    """The paper's motivation for Theorem 2: a dangerous cycle does not
+    necessarily correspond to an infinite derivation for L."""
+
+    def test_counterexample_separates(self):
+        rules = parse_program("p(X, X) -> exists Z . p(X, Z)")
+        # syntactically dangerous...
+        assert not is_weakly_acyclic(rules)
+        assert not is_richly_acyclic(rules)
+        # ...semantically terminating.
+        assert is_critically_weakly_acyclic(rules)
+        assert is_critically_richly_acyclic(rules)
+        # ...and the chase really does terminate.
+        assert critical_chase_terminates(
+            rules, ChaseVariant.OBLIVIOUS
+        ) is True
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_diagonal_family_separates_at_every_arity(self, arity):
+        rules = diagonal_family(arity)
+        assert not is_weakly_acyclic(rules)
+        assert is_critically_weakly_acyclic(rules)
+        assert is_critically_richly_acyclic(rules)
+
+    def test_acyclicity_still_sound_on_linear(self):
+        # WA/RA remain *sufficient* on linear rules: whenever they
+        # accept, the critical deciders must accept too.
+        programs = [
+            "p(X, X) -> q(X)\nq(X) -> exists Z . r(X, Z)",
+            "p(X, Y) -> q(Y, Y)",
+            "p(X, X, Y) -> exists Z . q(X, Z)\nq(X, Y) -> r(X)",
+        ]
+        for text in programs:
+            rules = parse_program(text)
+            if is_weakly_acyclic(rules):
+                assert is_critically_weakly_acyclic(rules), text
+            if is_richly_acyclic(rules):
+                assert is_critically_richly_acyclic(rules), text
+
+
+class TestEqualityPatternSensitivity:
+    """Critical acyclicity must track *which* positions hold equal
+    values — the refinement plain dependency graphs cannot express."""
+
+    def test_equality_broken_by_one_hop(self):
+        # The cycle passes through q, losing the diagonal: terminating.
+        rules = parse_program(
+            "p(X, X) -> exists Z . q(X, Z)\nq(X, Y) -> p(X, Y)"
+        )
+        verdict = decide_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert verdict.terminating
+
+    def test_equality_restored_by_copy(self):
+        # The full rule rebuilds the diagonal: diverging.
+        rules = parse_program(
+            "p(X, X) -> exists Z . q(X, Z)\nq(X, Y) -> p(Y, Y)"
+        )
+        verdict = decide_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert not verdict.terminating
+
+    def test_constant_guard_blocks_cycle(self):
+        # The body demands the program constant; the head never
+        # reproduces it around the cycle.
+        rules = parse_program("p(a, X) -> exists Z . p(X, Z)")
+        verdict = decide_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert verdict.terminating
+
+    def test_constant_preserved_keeps_cycle_alive_obliviously(self):
+        # Every fresh null re-enters the body's X, so the oblivious
+        # chase diverges; the frontier is empty (the head's variables
+        # are the constant and the existential), so the semi-oblivious
+        # chase fires the rule once and stops.
+        rules = parse_program("p(a, X) -> exists Z . p(a, Z)")
+        o = decide_linear(rules, ChaseVariant.OBLIVIOUS)
+        so = decide_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert not o.terminating
+        assert so.terminating
+
+
+class TestInputValidation:
+    def test_rejects_non_linear(self):
+        rules = parse_program("p(X), q(X) -> r(X)")
+        with pytest.raises(UnsupportedClassError):
+            decide_linear(rules, ChaseVariant.OBLIVIOUS)

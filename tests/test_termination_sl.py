@@ -1,0 +1,146 @@
+"""Theorem 1 tests: SL termination ⇔ rich/weak acyclicity."""
+
+import pytest
+
+from repro.chase import ChaseVariant
+from repro.errors import UnsupportedClassError
+from repro.graphs import DangerousCycle, is_richly_acyclic, is_weakly_acyclic
+from repro.parser import parse_program
+from repro.termination import (
+    critical_chase_terminates,
+    decide_simple_linear,
+    decide_termination,
+)
+
+# Curated SL suite: (program, oblivious-terminates, semi-obl-terminates)
+CURATED = [
+    # plain chain
+    ("p(X) -> exists Z . q(X, Z)\nq(X, Y) -> r(Y)", True, True),
+    # Example 2: diverges for both
+    ("p(X, Y) -> exists Z . p(Y, Z)", False, False),
+    # the o/so separation: non-frontier variable feeds the existential
+    ("p(X, Y) -> exists Z . p(X, Z)", False, True),
+    # Example 1 (multi-atom head)
+    ("person(X) -> exists Y . hasFather(X, Y), person(Y)", False, False),
+    # full program
+    ("p(X, Y) -> q(Y, X)\nq(X, Y) -> p(X, Y)", True, True),
+    # DL-Lite chain
+    ("c1(X) -> exists Y . role1(X, Y)\nrole1(X, Y) -> c2(Y)", True, True),
+    # DL-Lite cycle
+    (
+        "c1(X) -> exists Y . role1(X, Y)\nrole1(X, Y) -> c1(Y)",
+        False,
+        False,
+    ),
+    # existential never feeds back
+    ("p(X) -> exists Z . q(X, Z)\nq(X, Y) -> p(X)", True, True),
+    # nulls reach rule 2's body, but rule 2 only re-derives a known
+    # fact: finitely many extra oblivious triggers, then a fixpoint.
+    (
+        "a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a(X)",
+        True,
+        True,
+    ),
+    # two-rule genuine cycle: diverges for both
+    (
+        "a(X) -> exists Y . e(X, Y)\ne(X, Y) -> a(Y)",
+        False,
+        False,
+    ),
+]
+
+
+class TestTheorem1Characterization:
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_oblivious_matches_rich_acyclicity(
+        self, text, o_expected, so_expected
+    ):
+        rules = parse_program(text)
+        assert is_richly_acyclic(rules) == o_expected
+        verdict = decide_simple_linear(rules, ChaseVariant.OBLIVIOUS)
+        assert verdict.terminating == o_expected
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_semi_oblivious_matches_weak_acyclicity(
+        self, text, o_expected, so_expected
+    ):
+        rules = parse_program(text)
+        assert is_weakly_acyclic(rules) == so_expected
+        verdict = decide_simple_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert verdict.terminating == so_expected
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_oracle_agrees_when_conclusive(
+        self, text, o_expected, so_expected
+    ):
+        rules = parse_program(text)
+        for variant, expected in (
+            (ChaseVariant.OBLIVIOUS, o_expected),
+            (ChaseVariant.SEMI_OBLIVIOUS, so_expected),
+        ):
+            oracle = critical_chase_terminates(rules, variant, max_steps=400)
+            if expected:
+                assert oracle is True
+            else:
+                assert oracle is None  # budget exhausted, as expected
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_guarded_procedure_agrees_on_sl(
+        self, text, o_expected, so_expected
+    ):
+        """Theorems 1 and 4 must coincide on SL — a strong internal
+        consistency check between the syntactic and semantic deciders."""
+        rules = parse_program(text)
+        for variant, expected in (
+            (ChaseVariant.OBLIVIOUS, o_expected),
+            (ChaseVariant.SEMI_OBLIVIOUS, so_expected),
+        ):
+            verdict = decide_termination(rules, variant=variant,
+                                         method="guarded")
+            assert verdict.terminating == expected, (text, variant)
+
+
+class TestVerdictContents:
+    def test_non_terminating_carries_dangerous_cycle(self):
+        rules = parse_program("p(X, Y) -> exists Z . p(Y, Z)")
+        verdict = decide_simple_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert isinstance(verdict.witness, DangerousCycle)
+
+    def test_terminating_reports_graph_stats(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        verdict = decide_simple_linear(rules, ChaseVariant.OBLIVIOUS)
+        assert verdict.stats["positions"] >= 3
+
+    def test_methods_named_after_acyclicity(self):
+        rules = parse_program("p(X) -> exists Z . q(X, Z)")
+        o = decide_simple_linear(rules, ChaseVariant.OBLIVIOUS)
+        so = decide_simple_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        assert o.method == "rich_acyclicity"
+        assert so.method == "weak_acyclicity"
+
+
+class TestInputValidation:
+    def test_rejects_non_simple_linear(self):
+        rules = parse_program("p(X, X) -> exists Z . q(X, Z)")
+        with pytest.raises(UnsupportedClassError):
+            decide_simple_linear(rules, ChaseVariant.OBLIVIOUS)
+
+    def test_rejects_restricted_variant(self):
+        rules = parse_program("p(X) -> q(X)")
+        with pytest.raises(UnsupportedClassError):
+            decide_simple_linear(rules, ChaseVariant.RESTRICTED)
+
+
+class TestContainments:
+    """CT_o ⊆ CT_so on SL (since RA ⊆ WA) — §2's containment."""
+
+    @pytest.mark.parametrize("text,o_expected,so_expected", CURATED)
+    def test_o_termination_implies_so_termination(
+        self, text, o_expected, so_expected
+    ):
+        assert not (o_expected and not so_expected)
+        rules = parse_program(text)
+        o = decide_simple_linear(rules, ChaseVariant.OBLIVIOUS)
+        so = decide_simple_linear(rules, ChaseVariant.SEMI_OBLIVIOUS)
+        if o.terminating:
+            assert so.terminating

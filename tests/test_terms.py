@@ -1,0 +1,111 @@
+"""Unit tests for repro.model.terms."""
+
+import pytest
+
+from repro.model import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    is_constant,
+    is_ground,
+    is_null,
+    is_variable,
+)
+
+
+class TestConstant:
+    def test_equality_by_name(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_not_equal_to_variable_of_same_name(self):
+        assert Constant("a") != Variable("a")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_ordering_is_by_string_name(self):
+        assert Constant("a") < Constant("b")
+        assert not Constant("b") < Constant("a")
+
+    def test_str_and_repr(self):
+        assert str(Constant("bob")) == "bob"
+        assert "bob" in repr(Constant("bob"))
+
+    def test_non_string_names_allowed(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant("3")
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_ordering(self):
+        assert Variable("A") < Variable("B")
+
+    def test_str(self):
+        assert str(Variable("X1")) == "X1"
+
+
+class TestNull:
+    def test_equality_by_index(self):
+        assert Null(1) == Null(1)
+        assert Null(1) != Null(2)
+
+    def test_origin_does_not_affect_identity(self):
+        assert Null(1, "r1:Z") == Null(1, "other")
+
+    def test_ordering_by_index(self):
+        assert Null(1) < Null(2)
+
+    def test_str_uses_z_prefix(self):
+        assert str(Null(7)) == "z7"
+
+    def test_distinct_from_constant(self):
+        assert Null(1) != Constant(1)
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct_and_increasing(self):
+        factory = NullFactory()
+        a, b, c = factory.fresh(), factory.fresh(), factory.fresh()
+        assert a != b != c
+        assert a.index < b.index < c.index
+
+    def test_fresh_many_returns_ordered(self):
+        nulls = NullFactory().fresh_many(5)
+        assert len(nulls) == 5
+        assert sorted(nulls) == nulls
+        assert len(set(nulls)) == 5
+
+    def test_custom_start(self):
+        assert NullFactory(start=100).fresh().index == 100
+
+    def test_origin_recorded(self):
+        assert NullFactory().fresh("r1:Z").origin == "r1:Z"
+
+    def test_independent_factories_reuse_indices(self):
+        assert NullFactory().fresh() == NullFactory().fresh()
+
+
+class TestKindPredicates:
+    def test_is_constant(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Variable("X"))
+        assert not is_constant(Null(1))
+
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant("a"))
+
+    def test_is_null(self):
+        assert is_null(Null(1))
+        assert not is_null(Constant("a"))
+
+    def test_is_ground(self):
+        assert is_ground(Constant("a"))
+        assert is_ground(Null(1))
+        assert not is_ground(Variable("X"))

@@ -1,0 +1,132 @@
+"""Unit tests for trigger computation and identification policies."""
+
+import pytest
+
+from repro.chase import (
+    ChaseVariant,
+    Trigger,
+    all_triggers,
+    apply_trigger,
+    head_satisfied,
+    triggers_for_rule,
+)
+from repro.model import Instance, NullFactory, Variable
+from repro.parser import parse_rule
+from tests.conftest import atom
+
+
+class TestTriggerEnumeration:
+    def test_one_trigger_per_body_match(self):
+        rule = parse_rule("p(X) -> q(X)")
+        inst = Instance([atom("p", "a"), atom("p", "b")])
+        triggers = list(triggers_for_rule(rule, 0, inst))
+        assert len(triggers) == 2
+
+    def test_join_body(self):
+        rule = parse_rule("e(X, Y), e(Y, Z) -> t(X, Z)")
+        inst = Instance([atom("e", "a", "b"), atom("e", "b", "c")])
+        triggers = list(triggers_for_rule(rule, 0, inst))
+        assert len(triggers) == 1
+
+    def test_all_triggers_across_rules(self):
+        rules = [parse_rule("p(X) -> q(X)"), parse_rule("p(X) -> r(X)")]
+        inst = Instance([atom("p", "a")])
+        assert len(list(all_triggers(rules, inst))) == 2
+
+
+class TestTriggerKeys:
+    def test_oblivious_distinguishes_non_frontier(self):
+        rule = parse_rule("p(X, Y) -> exists Z . q(X, Z)")
+        inst = Instance([atom("p", "a", "b"), atom("p", "a", "c")])
+        triggers = list(triggers_for_rule(rule, 0, inst))
+        o_keys = {t.key(ChaseVariant.OBLIVIOUS) for t in triggers}
+        so_keys = {t.key(ChaseVariant.SEMI_OBLIVIOUS) for t in triggers}
+        assert len(o_keys) == 2
+        assert len(so_keys) == 1  # both agree on the frontier X -> a
+
+    def test_restricted_key_matches_oblivious(self):
+        rule = parse_rule("p(X, Y) -> exists Z . q(X, Z)")
+        inst = Instance([atom("p", "a", "b")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        assert trigger.key(ChaseVariant.RESTRICTED) == trigger.key(
+            ChaseVariant.OBLIVIOUS
+        )
+
+    def test_keys_distinguish_rules(self):
+        rule_a = parse_rule("p(X) -> q(X)")
+        rule_b = parse_rule("p(X) -> r(X)")
+        inst = Instance([atom("p", "a")])
+        (ta,) = triggers_for_rule(rule_a, 0, inst)
+        (tb,) = triggers_for_rule(rule_b, 1, inst)
+        assert ta.key(ChaseVariant.OBLIVIOUS) != tb.key(ChaseVariant.OBLIVIOUS)
+
+    def test_frontier_image(self):
+        rule = parse_rule("p(X, Y) -> q(Y)")
+        inst = Instance([atom("p", "a", "b")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        ((name, value),) = trigger.frontier_image()
+        assert name == "Y" and str(value) == "b"
+
+
+class TestHeadSatisfied:
+    def test_satisfied_by_existing_atom(self):
+        rule = parse_rule("p(X) -> exists Z . q(X, Z)")
+        inst = Instance([atom("p", "a"), atom("q", "a", "b")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        assert head_satisfied(trigger, inst)
+
+    def test_not_satisfied(self):
+        rule = parse_rule("p(X) -> exists Z . q(X, Z)")
+        inst = Instance([atom("p", "a"), atom("q", "b", "b")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        assert not head_satisfied(trigger, inst)
+
+    def test_full_rule_satisfied_iff_head_present(self):
+        rule = parse_rule("p(X) -> q(X)")
+        inst = Instance([atom("p", "a")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        assert not head_satisfied(trigger, inst)
+        inst.add(atom("q", "a"))
+        assert head_satisfied(trigger, inst)
+
+
+class TestApplyTrigger:
+    def test_existentials_get_fresh_nulls(self):
+        rule = parse_rule("p(X) -> exists Z . q(X, Z)")
+        inst = Instance([atom("p", "a")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        new = apply_trigger(trigger, inst, NullFactory())
+        assert len(new) == 1
+        assert len(new[0].nulls()) == 1
+
+    def test_distinct_existentials_distinct_nulls(self):
+        rule = parse_rule("p(X) -> exists Y, Z . q(X, Y), q(X, Z)")
+        inst = Instance([atom("p", "a")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        new = apply_trigger(trigger, inst, NullFactory())
+        nulls = set()
+        for fact in new:
+            nulls |= fact.nulls()
+        assert len(nulls) == 2
+
+    def test_shared_existential_shares_null(self):
+        rule = parse_rule("p(X) -> exists Z . q(X, Z), r(Z)")
+        inst = Instance([atom("p", "a")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        new = apply_trigger(trigger, inst, NullFactory())
+        q_fact = next(f for f in new if f.predicate.name == "q")
+        r_fact = next(f for f in new if f.predicate.name == "r")
+        assert q_fact.terms[1] == r_fact.terms[0]
+
+    def test_full_rule_duplicate_head_adds_nothing(self):
+        rule = parse_rule("p(X) -> q(X)")
+        inst = Instance([atom("p", "a"), atom("q", "a")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        assert apply_trigger(trigger, inst, NullFactory()) == []
+
+    def test_facts_added_to_instance(self):
+        rule = parse_rule("p(X) -> q(X)")
+        inst = Instance([atom("p", "a")])
+        (trigger,) = triggers_for_rule(rule, 0, inst)
+        apply_trigger(trigger, inst, NullFactory())
+        assert atom("q", "a") in inst
