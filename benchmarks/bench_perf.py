@@ -1,0 +1,366 @@
+"""Chase performance harness — timed scenarios + ``BENCH_chase.json``.
+
+Measures the indexed join engine (term-level fact indexes + compiled
+join plans, PR 1) on four workload shapes:
+
+* **deep_chain** — path composition ``e(X,Y), e(Y,Z) → p(X,Z)`` over a
+  long chain: the canonical 2-atom join that is quadratic without
+  term-level indexes;
+* **wide_relation** — a skewed star join over wide fan-out relations;
+* **guarded_ontology** — ``guarded_tower_family`` from
+  :mod:`repro.workloads` (multi-atom guarded bodies, fresh nulls per
+  level);
+* **data_exchange** — an s-t TGD exchange step followed by
+  target-side joins, the E10-style workload.
+
+Each scenario reports wall time, facts/sec and triggers/sec.  The
+headline scenario (``deep_chain``) is additionally run through a
+faithful replica of the *seed* engine — the pre-index recursive
+backtracking join retained as
+:func:`repro.model.homomorphism.naive_homomorphisms` — and the JSON
+records the speedup so future PRs can track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py             # full run
+    PYTHONPATH=src python benchmarks/bench_perf.py --scale 0.2 # quicker
+    PYTHONPATH=src python benchmarks/bench_perf.py --no-compare
+
+writes ``BENCH_chase.json`` next to the repo root (override with
+``--output``).  ``benchmarks/test_perf_smoke.py`` runs the same
+scenarios at toy sizes inside tier-1 so the harness cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chase import ChaseVariant, run_chase
+from repro.chase.result import ChaseResult
+from repro.chase.triggers import Trigger, apply_trigger, head_satisfied
+from repro.model import (
+    Atom,
+    Constant,
+    Database,
+    Instance,
+    NullFactory,
+    Predicate,
+    TGD,
+    Variable,
+    match_atom,
+    naive_homomorphisms,
+)
+from repro.workloads import guarded_tower_family
+
+DEFAULT_OUTPUT = "BENCH_chase.json"
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+# -- scenarios -------------------------------------------------------------
+
+
+def deep_chain_scenario(scale: float) -> Dict:
+    """Path composition over a 2600·scale-edge chain (≥5k facts at
+    scale 1.0) — the headline semi-oblivious join scenario."""
+    n = max(4, int(2600 * scale))
+    e, p = Predicate("e", 2), Predicate("p", 2)
+    rules = [TGD([Atom(e, [X, Y]), Atom(e, [Y, Z])], [Atom(p, [X, Z])],
+                 label="compose")]
+    database = Database(
+        Atom(e, [Constant(f"c{i}"), Constant(f"c{i + 1}")])
+        for i in range(n)
+    )
+    return {
+        "name": "deep_chain",
+        "rules": rules,
+        "database": database,
+        "variant": ChaseVariant.SEMI_OBLIVIOUS,
+        "max_steps": 1_000_000,
+    }
+
+
+def wide_relation_scenario(scale: float) -> Dict:
+    """A skewed star join: many ``r`` tuples funnel through few hub
+    values into ``s``, then project through an existential."""
+    n = max(4, int(1800 * scale))
+    hubs = max(2, n // 60)
+    r, s, t, u = (Predicate("r", 2), Predicate("s", 2),
+                  Predicate("t", 2), Predicate("u", 2))
+    rules = [
+        TGD([Atom(r, [X, Y]), Atom(s, [Y, Z])], [Atom(t, [X, Z])],
+            label="star"),
+        TGD([Atom(t, [X, Z])], [Atom(u, [Z, W])], label="witness"),
+    ]
+    database = Database()
+    for i in range(n):
+        database.add(Atom(r, [Constant(f"a{i}"), Constant(f"h{i % hubs}")]))
+    for j in range(hubs):
+        database.add(Atom(s, [Constant(f"h{j}"), Constant(f"b{j}")]))
+    return {
+        "name": "wide_relation",
+        "rules": rules,
+        "database": database,
+        "variant": ChaseVariant.SEMI_OBLIVIOUS,
+        "max_steps": 1_000_000,
+    }
+
+
+def guarded_ontology_scenario(scale: float) -> Dict:
+    """``guarded_tower_family``: multi-atom guarded bodies, one fresh
+    null per level, seeded with a wide first level."""
+    levels = max(2, int(14 * scale))
+    width = max(2, int(700 * scale))
+    rules = guarded_tower_family(levels)
+    r1, m1 = Predicate("r1", 2), Predicate("m1", 1)
+    database = Database()
+    for i in range(width):
+        database.add(Atom(r1, [Constant(f"c{i}"), Constant(f"d{i}")]))
+        database.add(Atom(m1, [Constant(f"d{i}")]))
+    return {
+        "name": "guarded_ontology",
+        "rules": rules,
+        "database": database,
+        "variant": ChaseVariant.RESTRICTED,
+        "max_steps": 1_000_000,
+    }
+
+
+def data_exchange_scenario(scale: float) -> Dict:
+    """An exchange step: source ``emp``/``dept`` rows are translated to
+    the target schema with invented keys, then target TGDs join the
+    translated rows back together (the E10 workload shape)."""
+    n = max(4, int(1600 * scale))
+    depts = max(2, n // 40)
+    emp = Predicate("emp", 2)           # source: (employee, dept name)
+    dept = Predicate("dept", 1)         # source: dept names
+    works = Predicate("works", 2)       # target: (employee, dept key)
+    dkey = Predicate("dkey", 2)         # target: (dept name, dept key)
+    office = Predicate("office", 2)     # target: (dept key, office)
+    located = Predicate("located", 2)   # target: (employee, office)
+    D, K, O = Variable("D"), Variable("K"), Variable("O")
+    rules = [
+        TGD([Atom(dept, [D])], [Atom(dkey, [D, K])], label="st_dept"),
+        TGD([Atom(emp, [X, D]), Atom(dkey, [D, K])],
+            [Atom(works, [X, K])], label="st_emp"),
+        TGD([Atom(dkey, [D, K])], [Atom(office, [K, O])], label="t_office"),
+        TGD([Atom(works, [X, K]), Atom(office, [K, O])],
+            [Atom(located, [X, O])], label="t_located"),
+    ]
+    database = Database()
+    for j in range(depts):
+        database.add(Atom(dept, [Constant(f"d{j}")]))
+    for i in range(n):
+        database.add(Atom(emp, [Constant(f"e{i}"), Constant(f"d{i % depts}")]))
+    return {
+        "name": "data_exchange",
+        "rules": rules,
+        "database": database,
+        "variant": ChaseVariant.SEMI_OBLIVIOUS,
+        "max_steps": 1_000_000,
+    }
+
+
+SCENARIOS = (
+    deep_chain_scenario,
+    wide_relation_scenario,
+    guarded_ontology_scenario,
+    data_exchange_scenario,
+)
+
+HEADLINE = "deep_chain"
+
+
+# -- the seed engine, replicated ------------------------------------------
+#
+# A faithful copy of the seed's semi-naive round loop, driven by the
+# retained pre-index matcher (`naive_homomorphisms` + per-call
+# `match_atom` dict copies).  This is the baseline the speedup figure
+# in BENCH_chase.json is measured against.
+
+
+def _seed_incremental_triggers(rules, instance, new_facts):
+    new_by_predicate: Dict[Predicate, List[Atom]] = {}
+    for fact in new_facts:
+        new_by_predicate.setdefault(fact.predicate, []).append(fact)
+    for rule_index, rule in enumerate(rules):
+        for pivot, pivot_atom in enumerate(rule.body):
+            candidates = new_by_predicate.get(pivot_atom.predicate)
+            if not candidates:
+                continue
+            rest = [a for i, a in enumerate(rule.body) if i != pivot]
+            for fact in candidates:
+                partial = match_atom(pivot_atom, fact, {})
+                if partial is None:
+                    continue
+                for assignment in naive_homomorphisms(
+                    rest, instance, partial
+                ):
+                    yield Trigger(rule, rule_index, assignment)
+
+
+def seed_chase(
+    database: Instance,
+    rules: Sequence[TGD],
+    variant: str,
+    max_steps: int,
+) -> Tuple[Instance, int, bool]:
+    """Run the seed engine; returns ``(instance, steps, terminated)``."""
+    instance = Instance(database)
+    factory = NullFactory()
+    fired = set()
+    steps = 0
+    frontier: List[Atom] = list(instance)
+    while True:
+        round_triggers = list(
+            _seed_incremental_triggers(rules, instance, frontier)
+        )
+        frontier = []
+        fired_this_round = 0
+        for trigger in round_triggers:
+            key = trigger.key(variant)
+            if key in fired:
+                continue
+            if variant == ChaseVariant.RESTRICTED and head_satisfied(
+                trigger, instance
+            ):
+                fired.add(key)
+                continue
+            fired.add(key)
+            new_facts = apply_trigger(trigger, instance, factory)
+            frontier.extend(new_facts)
+            steps += 1
+            fired_this_round += 1
+            if steps >= max_steps:
+                return instance, steps, False
+        if fired_this_round == 0:
+            return instance, steps, True
+
+
+# -- measurement -----------------------------------------------------------
+
+
+def run_scenario(spec: Dict) -> Dict:
+    """Run one scenario through the indexed engine and report rates."""
+    start = time.perf_counter()
+    result: ChaseResult = run_chase(
+        spec["database"], spec["rules"], spec["variant"], spec["max_steps"]
+    )
+    wall = time.perf_counter() - start
+    facts_final = len(result.instance)
+    facts_created = facts_final - len(spec["database"])
+    triggers = result.step_count
+    return {
+        "name": spec["name"],
+        "variant": spec["variant"],
+        "database_facts": len(spec["database"]),
+        "facts_final": facts_final,
+        "facts_created": facts_created,
+        "triggers_fired": triggers,
+        "terminated": result.terminated,
+        "wall_s": round(wall, 6),
+        "facts_per_s": round(facts_created / wall, 1) if wall > 0 else None,
+        "triggers_per_s": round(triggers / wall, 1) if wall > 0 else None,
+    }
+
+
+def run_baseline_comparison(spec: Dict) -> Dict:
+    """Indexed engine vs the seed-engine replica on one scenario.
+
+    Both runs must produce the same number of facts and fire the same
+    number of triggers — the replica is a correctness check as well as
+    a baseline.
+    """
+    indexed_start = time.perf_counter()
+    indexed = run_chase(
+        spec["database"], spec["rules"], spec["variant"], spec["max_steps"]
+    )
+    indexed_wall = time.perf_counter() - indexed_start
+
+    seed_start = time.perf_counter()
+    seed_instance, seed_steps, seed_terminated = seed_chase(
+        spec["database"], spec["rules"], spec["variant"], spec["max_steps"]
+    )
+    seed_wall = time.perf_counter() - seed_start
+
+    if len(indexed.instance) != len(seed_instance):
+        raise AssertionError(
+            f"engine divergence on {spec['name']}: indexed produced "
+            f"{len(indexed.instance)} facts, seed {len(seed_instance)}"
+        )
+    if indexed.step_count != seed_steps:
+        raise AssertionError(
+            f"engine divergence on {spec['name']}: indexed fired "
+            f"{indexed.step_count} triggers, seed {seed_steps}"
+        )
+    return {
+        "scenario": spec["name"],
+        "variant": spec["variant"],
+        "facts_final": len(indexed.instance),
+        "triggers_fired": indexed.step_count,
+        "indexed_wall_s": round(indexed_wall, 6),
+        "seed_wall_s": round(seed_wall, 6),
+        "speedup": round(seed_wall / indexed_wall, 2)
+        if indexed_wall > 0 else None,
+    }
+
+
+def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
+    """Run every scenario; return the ``BENCH_chase.json`` payload."""
+    scenarios = [run_scenario(make(scale)) for make in SCENARIOS]
+    payload: Dict = {
+        "schema_version": 1,
+        "harness": "benchmarks/bench_perf.py",
+        "engine": "indexed-joinplan",
+        "scale": scale,
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+    }
+    if compare:
+        payload["baseline_comparison"] = run_baseline_comparison(
+            deep_chain_scenario(scale)
+        )
+    return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="size multiplier for every scenario")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the slow seed-engine baseline run")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scale=args.scale, compare=not args.no_compare)
+
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    header = ("scenario", "variant", "facts", "triggers", "wall_s",
+              "facts/s")
+    print(f"{' | '.join(header)}")
+    for row in payload["scenarios"]:
+        print(" | ".join(str(row[k]) for k in (
+            "name", "variant", "facts_final", "triggers_fired", "wall_s",
+            "facts_per_s")))
+    comparison = payload.get("baseline_comparison")
+    if comparison:
+        print(
+            f"baseline ({comparison['scenario']}): "
+            f"seed {comparison['seed_wall_s']}s vs indexed "
+            f"{comparison['indexed_wall_s']}s — "
+            f"{comparison['speedup']}x speedup"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Smoke mode for the perf harness — tiny sizes, no timing assertions.
+
+Runs every ``bench_perf`` scenario at a toy scale inside tier-1 so the
+harness itself cannot rot: scenario builders must keep producing valid
+programs, the indexed engine must terminate on them, and the
+seed-engine replica must still agree with the indexed engine
+fact-for-fact and trigger-for-trigger.  Timings are measured but never
+asserted on.
+"""
+
+import json
+
+import pytest
+
+import bench_perf
+
+SMOKE_SCALE = 0.01
+
+
+@pytest.mark.parametrize(
+    "make", bench_perf.SCENARIOS, ids=lambda make: make.__name__
+)
+def test_scenario_smoke(make):
+    spec = make(SMOKE_SCALE)
+    row = bench_perf.run_scenario(spec)
+    assert row["terminated"]
+    assert row["facts_created"] > 0
+    assert row["triggers_fired"] > 0
+    assert row["wall_s"] >= 0
+
+
+def test_baseline_comparison_agrees_on_every_scenario():
+    # run_baseline_comparison raises on any fact/trigger divergence
+    # between the indexed engine and the seed replica.
+    for make in bench_perf.SCENARIOS:
+        report = bench_perf.run_baseline_comparison(make(SMOKE_SCALE))
+        assert report["facts_final"] > 0
+
+
+def test_suite_payload_shape(tmp_path):
+    payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
+    assert payload["schema_version"] == 1
+    assert len(payload["scenarios"]) == len(bench_perf.SCENARIOS)
+    names = {row["name"] for row in payload["scenarios"]}
+    assert bench_perf.HEADLINE in names
+    for row in payload["scenarios"]:
+        for key in ("variant", "facts_final", "triggers_fired", "wall_s",
+                    "facts_per_s", "triggers_per_s", "terminated"):
+            assert key in row
+    # The payload must round-trip through JSON (that is the contract
+    # BENCH_chase.json consumers rely on).
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_main_writes_report(tmp_path):
+    out = tmp_path / "BENCH_chase.json"
+    assert bench_perf.main(
+        ["--scale", str(SMOKE_SCALE), "--output", str(out), "--no-compare"]
+    ) == 0
+    payload = json.loads(out.read_text())
+    assert payload["harness"] == "benchmarks/bench_perf.py"

@@ -25,8 +25,8 @@ from ..model import (
     NullFactory,
     Predicate,
     TGD,
-    homomorphisms,
-    match_atom,
+    atom_step,
+    plan_for,
     validate_program,
 )
 from .result import ChaseResult, ChaseStep
@@ -58,12 +58,23 @@ def _incremental_triggers(
             candidates = new_by_predicate.get(pivot_atom.predicate)
             if not candidates:
                 continue
+            pivot_step = atom_step(pivot_atom)
+            pivot_vars = pivot_step.variables()
             rest = [a for i, a in enumerate(rule.body) if i != pivot]
+            # The pivot's bindings seed the rest-of-body join: the plan
+            # treats them as bound and probes the term-level indexes
+            # with them.  One plan serves every candidate fact — the
+            # caller materializes all triggers before mutating the
+            # instance, so the join order cannot go stale mid-loop.
+            plan = plan_for(rest, instance, pivot_vars) if rest else None
             for fact in candidates:
-                partial = match_atom(pivot_atom, fact, {})
-                if partial is None:
+                partial: Dict = {}
+                if pivot_step.try_match(fact, partial) is None:
                     continue
-                for assignment in homomorphisms(rest, instance, partial):
+                if plan is None:
+                    yield Trigger(rule, rule_index, partial)
+                    continue
+                for assignment in plan.run(instance, partial):
                     yield Trigger(rule, rule_index, assignment)
 
 

@@ -8,7 +8,6 @@ from ..model import (
     Atom,
     Instance,
     TGD,
-    homomorphisms,
     instance_homomorphism,
 )
 from .triggers import Trigger
@@ -96,14 +95,9 @@ class ChaseResult:
         Holds for every terminated chase; used by tests as the paper's
         property (1) of chase results.
         """
-        for rule in rules:
-            for assignment in homomorphisms(rule.body, self.instance):
-                partial = {v: assignment[v] for v in rule.frontier}
-                if next(
-                    homomorphisms(rule.head, self.instance, partial), None
-                ) is None:
-                    return False
-        return True
+        from ..cq.universality import is_model
+
+        return is_model(self.instance, rules)
 
     def maps_into(self, model: Instance) -> bool:
         """True iff the result embeds homomorphically into ``model`` —

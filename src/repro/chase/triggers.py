@@ -27,6 +27,7 @@ from ..model import (
     Term,
     Variable,
     homomorphisms,
+    plan_for,
 )
 
 
@@ -58,23 +59,22 @@ class Trigger:
 
         The restricted chase identifies triggers the oblivious way; its
         extra head-satisfaction check happens at application time.
+        The rule's precomputed name-sorted variable orders make this a
+        single pass — no per-firing re-sort.
         """
         if variant == ChaseVariant.SEMI_OBLIVIOUS:
-            relevant = self.rule.frontier
+            relevant = self.rule.frontier_sorted
         else:
-            relevant = self.rule.body_variables
-        items = tuple(
-            sorted(
-                (var.name, self.assignment[var])
-                for var in relevant
-            )
-        )
+            relevant = self.rule.body_variables_sorted
+        assignment = self.assignment
+        items = tuple((var.name, assignment[var]) for var in relevant)
         return (self.rule_index, items)
 
     def frontier_image(self) -> Tuple[Tuple[str, Term], ...]:
-        """The frontier restriction of the homomorphism (sorted)."""
+        """The frontier restriction of the homomorphism (name-sorted)."""
+        assignment = self.assignment
         return tuple(
-            sorted((v.name, self.assignment[v]) for v in self.rule.frontier)
+            (v.name, assignment[v]) for v in self.rule.frontier_sorted
         )
 
     def __repr__(self) -> str:
@@ -104,13 +104,16 @@ def all_triggers(
 
 def head_satisfied(trigger: Trigger, instance: Instance) -> bool:
     """The restricted chase's applicability test: is there an extension
-    of the trigger's frontier image mapping the head into ``instance``?"""
-    partial = {
-        var: trigger.assignment[var] for var in trigger.rule.frontier
-    }
-    return next(
-        homomorphisms(trigger.rule.head, instance, partial), None
-    ) is not None
+    of the trigger's frontier image mapping the head into ``instance``?
+
+    Runs the rule's compiled head plan seeded with the frontier image,
+    so the probe starts from the term-level indexes rather than a scan.
+    """
+    rule = trigger.rule
+    assignment = trigger.assignment
+    partial = {var: assignment[var] for var in rule.frontier}
+    plan = plan_for(rule.head, instance, rule.frontier)
+    return plan.first(instance, partial) is not None
 
 
 def apply_trigger(
@@ -126,7 +129,7 @@ def apply_trigger(
     """
     extended: Dict[Variable, Term] = dict(trigger.assignment)
     label = trigger.rule.label or f"rule{trigger.rule_index}"
-    for var in sorted(trigger.rule.existential_variables):
+    for var in trigger.rule.existentials_sorted:
         extended[var] = null_factory.fresh(origin=f"{label}:{var.name}")
     new_atoms: List[Atom] = []
     mapping: Dict[Term, Term] = dict(extended)

@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 from ..model import (
     Instance,
     TGD,
+    has_homomorphism,
     homomorphisms,
     instance_homomorphism,
 )
@@ -23,9 +24,7 @@ def is_model(instance: Instance, rules: Sequence[TGD]) -> bool:
     for rule in rules:
         for assignment in homomorphisms(rule.body, instance):
             partial = {v: assignment[v] for v in rule.frontier}
-            if next(
-                homomorphisms(rule.head, instance, partial), None
-            ) is None:
+            if not has_homomorphism(rule.head, instance, partial):
                 return False
     return True
 

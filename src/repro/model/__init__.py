@@ -14,8 +14,17 @@ from .homomorphism import (
     instance_homomorphism,
     is_homomorphically_equivalent,
     match_atom,
+    naive_homomorphisms,
 )
 from .instances import Database, Instance, union
+from .joinplan import (
+    AtomStep,
+    JoinPlan,
+    atom_step,
+    compile_plan,
+    order_atoms,
+    plan_for,
+)
 from .rules import (
     TGD,
     program_constants,
@@ -38,9 +47,11 @@ from .terms import (
 __all__ = [
     "Assignment",
     "Atom",
+    "AtomStep",
     "Constant",
     "Database",
     "Instance",
+    "JoinPlan",
     "Null",
     "NullFactory",
     "Position",
@@ -50,7 +61,9 @@ __all__ = [
     "Term",
     "Variable",
     "apply_assignment",
+    "atom_step",
     "atoms_predicates",
+    "compile_plan",
     "has_homomorphism",
     "homomorphisms",
     "instance_homomorphism",
@@ -60,6 +73,9 @@ __all__ = [
     "is_null",
     "is_variable",
     "match_atom",
+    "naive_homomorphisms",
+    "order_atoms",
+    "plan_for",
     "program_constants",
     "program_predicates",
     "union",

@@ -12,18 +12,24 @@ Two flavours are needed by the library:
   that is the identity on constants and maps nulls to arbitrary terms;
   this is the universality test of chase results (§1 of the paper).
 
-The implementation is a deterministic backtracking join ordered by a
-most-constrained-first heuristic, with per-predicate fact indexing
-supplied by :class:`~repro.model.instances.Instance`.
+The implementation is a deterministic indexed join: conjunctions are
+ordered most-constrained-first, compiled once into a
+:class:`~repro.model.joinplan.JoinPlan`, and executed iteratively with
+term-level index probes supplied by
+:class:`~repro.model.instances.Instance`.  The pre-index backtracking
+matcher is retained as :func:`naive_homomorphisms` — it enumerates the
+same assignments in the same order and serves as the reference
+implementation for the equivalence tests and the benchmark baseline.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .atoms import Atom
 from .instances import Instance
-from .terms import Constant, Null, Term, Variable
+from .joinplan import order_atoms, plan_for
+from .terms import Null, Term, Variable
 
 
 Assignment = Dict[Variable, Term]
@@ -53,25 +59,6 @@ def match_atom(
     return out
 
 
-def _order_atoms(atoms: Sequence[Atom], instance: Instance) -> List[Atom]:
-    """Join order: fewest candidate facts first, sharing variables early."""
-    remaining = list(atoms)
-    ordered: List[Atom] = []
-    bound: set = set()
-    while remaining:
-
-        def cost(atom: Atom) -> Tuple[int, int]:
-            new_vars = len(atom.variables() - bound)
-            fan_out = len(instance.facts_with_predicate(atom.predicate))
-            return (new_vars > 0 and not (atom.variables() & bound), fan_out)
-
-        best = min(remaining, key=cost)
-        remaining.remove(best)
-        ordered.append(best)
-        bound |= best.variables()
-    return ordered
-
-
 def homomorphisms(
     atoms: Sequence[Atom],
     instance: Instance,
@@ -81,12 +68,38 @@ def homomorphisms(
 
     Each yielded assignment maps every variable of ``atoms`` to a term
     of the instance and extends ``partial`` if given.  Assignments are
-    yielded in a deterministic order.
+    yielded in a deterministic order (insertion order of the matched
+    facts under a most-constrained-first join order).
     """
     if not atoms:
         yield dict(partial or {})
         return
-    ordered = _order_atoms(atoms, instance)
+    if partial:
+        plan = plan_for(atoms, instance, frozenset(partial))
+        yield from plan.run(instance, dict(partial))
+    else:
+        yield from plan_for(atoms, instance).run(instance, {})
+
+
+def naive_homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    partial: Optional[Assignment] = None,
+) -> Iterator[Assignment]:
+    """The seed engine's recursive backtracking matcher, retained as the
+    reference implementation.
+
+    Scans every fact of each atom's relation and copies the assignment
+    per matched atom — no term-level indexes, no in-place binding.  It
+    uses the same join order as :func:`homomorphisms` and must yield
+    exactly the same assignments in the same order; the property tests
+    and the benchmark harness both hold it to that.
+    """
+    if not atoms:
+        yield dict(partial or {})
+        return
+    bound = frozenset(partial) if partial else frozenset()
+    ordered = order_atoms(atoms, instance, bound)
 
     def extend(idx: int, assignment: Assignment) -> Iterator[Assignment]:
         if idx == len(ordered):
@@ -107,7 +120,12 @@ def has_homomorphism(
     partial: Optional[Assignment] = None,
 ) -> bool:
     """True iff at least one homomorphism exists."""
-    return next(homomorphisms(atoms, instance, partial), None) is not None
+    if not atoms:
+        return True
+    if partial:
+        plan = plan_for(atoms, instance, frozenset(partial))
+        return plan.first(instance, dict(partial)) is not None
+    return plan_for(atoms, instance).first(instance, {}) is not None
 
 
 def apply_assignment(atoms: Sequence[Atom], assignment: Assignment) -> List[Atom]:

@@ -5,8 +5,17 @@ labelled nulls).  A *database* is an instance without nulls.  Instances
 are mutable (the chase grows them) but expose a frozen snapshot for
 hashing and comparison.
 
-Facts are indexed by predicate so that trigger computation — the hot
-loop of every chase engine — touches only the relevant relation.
+Facts are indexed two ways so that trigger computation — the hot loop
+of every chase engine — touches as few facts as possible:
+
+* by predicate, giving each relation's rows in insertion order; and
+* by ``(predicate, position, term)``, the term-level hash indexes that
+  the join engine (:mod:`repro.model.joinplan`) probes with the values
+  already bound by outer join levels.
+
+Both indexes are maintained incrementally by :meth:`Instance.add`;
+facts are never removed, so index rows are append-only and iterating a
+length-bounded prefix of a row list is a zero-copy snapshot.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Set,
     Tuple,
@@ -27,18 +37,25 @@ from .schema import Schema
 from .terms import Constant, Null, Term, is_ground
 
 
+_EMPTY_ROWS: List["Atom"] = []
+
+
 class Instance:
-    """A set of facts, indexed by predicate.
+    """A set of facts, indexed by predicate and by term occurrence.
 
     The iteration order is insertion order (deterministic chases need a
     deterministic fact order).
     """
 
-    __slots__ = ("_facts", "_by_predicate")
+    __slots__ = ("_facts", "_by_predicate", "_by_term", "_snapshots")
 
     def __init__(self, facts: Iterable[Atom] = ()):
         self._facts: Dict[Atom, None] = {}
         self._by_predicate: Dict[Predicate, List[Atom]] = {}
+        # (predicate, position, term) -> facts with `term` at `position`.
+        self._by_term: Dict[Tuple[Predicate, int, Term], List[Atom]] = {}
+        # Cached facts_with_predicate() tuples, invalidated by length.
+        self._snapshots: Dict[Predicate, Tuple[Atom, ...]] = {}
         for fact in facts:
             self.add(fact)
 
@@ -55,7 +72,11 @@ class Instance:
         if fact in self._facts:
             return False
         self._facts[fact] = None
-        self._by_predicate.setdefault(fact.predicate, []).append(fact)
+        predicate = fact.predicate
+        self._by_predicate.setdefault(predicate, []).append(fact)
+        by_term = self._by_term
+        for position, term in enumerate(fact.terms):
+            by_term.setdefault((predicate, position, term), []).append(fact)
         return True
 
     def add_all(self, facts: Iterable[Atom]) -> int:
@@ -89,8 +110,70 @@ class Instance:
         return tuple(self._facts)
 
     def facts_with_predicate(self, predicate: Predicate) -> Tuple[Atom, ...]:
-        """The facts of one relation, in insertion order."""
-        return tuple(self._by_predicate.get(predicate, ()))
+        """The facts of one relation, in insertion order.
+
+        The returned tuple is cached and only rebuilt after the
+        relation has grown, so calling this in a loop is cheap; callers
+        may hold on to it as an immutable snapshot.
+        """
+        rows = self._by_predicate.get(predicate)
+        if not rows:
+            return ()
+        cached = self._snapshots.get(predicate)
+        if cached is None or len(cached) != len(rows):
+            cached = tuple(rows)
+            self._snapshots[predicate] = cached
+        return cached
+
+    def count_with_predicate(self, predicate: Predicate) -> int:
+        """How many facts one relation holds (no allocation)."""
+        rows = self._by_predicate.get(predicate)
+        return len(rows) if rows else 0
+
+    def facts_matching(
+        self, predicate: Predicate, bindings: Mapping[int, Term]
+    ) -> List[Atom]:
+        """The facts of ``predicate`` carrying ``bindings[i]`` at every
+        position ``i``, in insertion order.
+
+        Probes the most selective term-level index among the bound
+        positions and filters the remainder; with empty ``bindings``
+        this is the whole relation.  Returns a fresh list the caller
+        may keep.
+        """
+        items = list(bindings.items())
+        if not items:
+            return list(self._by_predicate.get(predicate, ()))
+        by_term = self._by_term
+        best: Optional[List[Atom]] = None
+        for position, term in items:
+            rows = by_term.get((predicate, position, term))
+            if rows is None:
+                return []
+            if best is None or len(rows) < len(best):
+                best = rows
+        assert best is not None
+        if len(items) == 1:
+            return list(best)
+        return [
+            fact
+            for fact in best
+            if all(fact.terms[pos] == term for pos, term in items)
+        ]
+
+    # -- join-engine accessors (internal, zero-copy) -----------------------
+
+    def _rows(self, predicate: Predicate) -> List[Atom]:
+        """Live insertion-ordered row list of one relation (do not
+        mutate; may be empty and unregistered)."""
+        return self._by_predicate.get(predicate, _EMPTY_ROWS)
+
+    def _probe(
+        self, predicate: Predicate, position: int, term: Term
+    ) -> List[Atom]:
+        """Live row list of the ``(predicate, position, term)`` index
+        (do not mutate)."""
+        return self._by_term.get((predicate, position, term), _EMPTY_ROWS)
 
     def predicates(self) -> FrozenSet[Predicate]:
         """The predicates with at least one fact."""

@@ -1,0 +1,315 @@
+"""Compiled join plans: the indexed evaluation engine for conjunctions.
+
+Enumerating homomorphisms of a rule body (or CQ body, or head) into an
+instance is the hot loop of everything in this library — trigger
+discovery, the restricted chase's applicability test, CQ evaluation,
+the MFA-style deciders.  This module compiles a conjunction of atoms
+once into a :class:`JoinPlan` and then executes it iteratively:
+
+* **per-atom compilation** (:class:`AtomStep`) — the constant checks,
+  the variable positions (grouped so repeated variables are verified
+  in one pass), and which positions can seed a term-level index probe
+  are all precomputed, so matching a candidate fact touches no Python
+  introspection;
+* **index probing** — at each join level the step asks the instance
+  for the smallest ``(predicate, position, term)`` index row among the
+  positions whose value is already known (a bound variable or a
+  pattern constant), falling back to the whole relation;
+* **iterative execution** — a single mutable assignment dict with an
+  explicit unbind trail replaces the seed engine's
+  ``dict(assignment)`` copy per matched atom and its recursion.
+
+Determinism: index rows and relation rows are append-only and kept in
+insertion order, and every candidate iterator is bounded by the row
+count observed when the join level was entered.  The plan therefore
+enumerates exactly the matches the naive insertion-order scan
+enumerates, in the same order — a property the restricted chase and
+the sequence-level tests rely on, and which
+``tests/test_join_equivalence.py`` checks against the retained naive
+reference implementation.
+
+Plans and per-atom steps are cached globally, keyed by the ordered
+atom tuple / the atom (capped — bodies synthesised from whole
+instances, as in ``instance_homomorphism``, would otherwise
+accumulate forever).  A given rule body stabilises to a handful of
+distinct orders, so steady-state lookups are two dict hits.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .atoms import Atom
+from .instances import Instance
+from .terms import Term, Variable
+
+Assignment = Dict[Variable, Term]
+
+
+class AtomStep:
+    """One compiled body atom: matcher + index-probe menu."""
+
+    __slots__ = ("atom", "predicate", "const_checks", "var_groups")
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+        self.predicate = atom.predicate
+        const_checks: List[Tuple[int, Term]] = []
+        positions_of: Dict[Variable, List[int]] = {}
+        order: List[Variable] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                if term not in positions_of:
+                    positions_of[term] = []
+                    order.append(term)
+                positions_of[term].append(position)
+            else:
+                # Constants (and nulls embedded in patterns) match
+                # themselves.
+                const_checks.append((position, term))
+        self.const_checks: Tuple[Tuple[int, Term], ...] = tuple(const_checks)
+        self.var_groups: Tuple[Tuple[Variable, Tuple[int, ...]], ...] = tuple(
+            (var, tuple(positions_of[var])) for var in order
+        )
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(var for var, _ in self.var_groups)
+
+    def candidates(self, instance: Instance, assignment: Assignment):
+        """Candidate facts for this step under ``assignment``.
+
+        Probes the most selective available index: pattern constants
+        always seed a probe; a variable seeds one when an outer level
+        already bound it.  Iteration is bounded by the row count at
+        call time, which snapshots the relation without copying (rows
+        are append-only).
+        """
+        best = instance._rows(self.predicate)
+        for position, term in self.const_checks:
+            rows = instance._probe(self.predicate, position, term)
+            if len(rows) < len(best):
+                best = rows
+        for var, positions in self.var_groups:
+            bound = assignment.get(var)
+            if bound is not None:
+                rows = instance._probe(self.predicate, positions[0], bound)
+                if len(rows) < len(best):
+                    best = rows
+        return _bounded_iter(best)
+
+    def try_match(
+        self, fact: Atom, assignment: Assignment
+    ) -> Optional[Tuple[Variable, ...]]:
+        """Extend ``assignment`` in place so the step's atom maps onto
+        ``fact``.
+
+        Precondition: ``fact.predicate == self.predicate`` — unlike
+        :func:`repro.model.homomorphism.match_atom` there is no
+        predicate guard here, because every caller draws facts from a
+        per-predicate row list (:meth:`candidates`, or the engine's
+        per-predicate pivot buckets) and the check would be pure
+        overhead in the innermost join loop.
+
+        Returns the variables newly bound by this match (possibly
+        empty) or ``None`` on failure, in which case ``assignment`` is
+        left untouched.
+        """
+        terms = fact.terms
+        for position, term in self.const_checks:
+            if terms[position] != term:
+                return None
+        newly: List[Variable] = []
+        for var, positions in self.var_groups:
+            value = terms[positions[0]]
+            bound = assignment.get(var)
+            if bound is None:
+                ok = all(terms[p] == value for p in positions[1:])
+                if ok:
+                    assignment[var] = value
+                    newly.append(var)
+            else:
+                ok = bound == value and all(
+                    terms[p] == bound for p in positions[1:]
+                )
+            if not ok:
+                for v in newly:
+                    del assignment[v]
+                return None
+        return tuple(newly)
+
+
+def _bounded_iter(rows: Sequence[Atom]) -> Iterator[Atom]:
+    """Iterate ``rows`` up to its length *now*.
+
+    Rows are append-only, so this is an O(1) snapshot: facts added to
+    the instance while a homomorphism generator is suspended (the MFA
+    Skolem chase does this) are not seen by already-entered join
+    levels — exactly the seed engine's copy-on-read semantics, minus
+    the copy.
+    """
+    for i in range(len(rows)):
+        yield rows[i]
+
+
+class JoinPlan:
+    """A compiled conjunction: ordered steps ready for execution.
+
+    ``cache_steps=False`` builds the per-atom steps without touching
+    the shared step cache — used for oversized one-shot conjunctions
+    that would otherwise flood it (see :data:`_PLAN_ATOM_CAP`).
+    """
+
+    __slots__ = ("steps", "variables")
+
+    def __init__(self, ordered_atoms: Sequence[Atom], cache_steps: bool = True):
+        make = atom_step if cache_steps else AtomStep
+        self.steps: Tuple[AtomStep, ...] = tuple(
+            make(atom) for atom in ordered_atoms
+        )
+        vars_: Set[Variable] = set()
+        for step in self.steps:
+            vars_ |= step.variables()
+        self.variables: FrozenSet[Variable] = frozenset(vars_)
+
+    def run(
+        self, instance: Instance, assignment: Assignment
+    ) -> Iterator[Assignment]:
+        """Yield one dict per homomorphism extending ``assignment``.
+
+        ``assignment`` is used as the working scratch dict and mutated
+        during enumeration; it is restored to its input state when the
+        generator is exhausted.  Yielded dicts are fresh copies.
+        """
+        steps = self.steps
+        n = len(steps)
+        if n == 0:
+            yield dict(assignment)
+            return
+        iters: List[Optional[Iterator[Atom]]] = [None] * n
+        trail: List[Tuple[Variable, ...]] = [()] * n
+        depth = 0
+        iters[0] = steps[0].candidates(instance, assignment)
+        last = n - 1
+        while True:
+            step = steps[depth]
+            newly: Optional[Tuple[Variable, ...]] = None
+            for fact in iters[depth]:  # type: ignore[union-attr]
+                newly = step.try_match(fact, assignment)
+                if newly is not None:
+                    break
+            if newly is None:
+                depth -= 1
+                if depth < 0:
+                    return
+                for v in trail[depth]:
+                    del assignment[v]
+                continue
+            if depth == last:
+                yield dict(assignment)
+                for v in newly:
+                    del assignment[v]
+            else:
+                trail[depth] = newly
+                depth += 1
+                iters[depth] = steps[depth].candidates(instance, assignment)
+
+    def first(
+        self, instance: Instance, assignment: Assignment
+    ) -> Optional[Assignment]:
+        """The first homomorphism, or ``None`` — the applicability test
+        of the restricted chase and of head-satisfaction checks."""
+        return next(self.run(instance, assignment), None)
+
+
+def order_atoms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    bound: FrozenSet[Variable] = frozenset(),
+) -> Tuple[Atom, ...]:
+    """Join order: connected atoms first, then fewest candidate facts,
+    then fewest new variables (most-constrained-first).
+
+    ``bound`` are the variables an outer context has already fixed
+    (e.g. a semi-naive pivot's bindings) — atoms sharing them count as
+    connected and can seed index probes immediately.
+    """
+    remaining = [
+        (atom, atom.variables(), instance.count_with_predicate(atom.predicate))
+        for atom in atoms
+    ]
+    ordered: List[Atom] = []
+    seen: Set[Variable] = set(bound)
+    while remaining:
+
+        def cost(entry: Tuple[Atom, Set[Variable], int]) -> Tuple[bool, int, int]:
+            _, atom_vars, fan_out = entry
+            disconnected = bool(atom_vars) and not (atom_vars & seen)
+            return (disconnected, fan_out, len(atom_vars - seen))
+
+        best = min(remaining, key=cost)
+        remaining.remove(best)
+        ordered.append(best[0])
+        seen |= best[1]
+    return tuple(ordered)
+
+
+# -- caches ----------------------------------------------------------------
+
+_STEP_CACHE: Dict[Atom, AtomStep] = {}
+_PLAN_CACHE: Dict[Tuple[Atom, ...], JoinPlan] = {}
+_CACHE_CAP = 4096
+_PLAN_ATOM_CAP = 32
+"""Conjunctions longer than this (instance-sized bodies synthesised by
+``instance_homomorphism``) are compiled fresh each call instead of
+cached: they would pin large plans and, on hitting the entry cap,
+evict every small hot rule plan at once."""
+
+
+def atom_step(atom: Atom) -> AtomStep:
+    """The (cached) compiled step for one atom — the building block the
+    chase engine uses for semi-naive pivot matching."""
+    step = _STEP_CACHE.get(atom)
+    if step is None:
+        if len(_STEP_CACHE) >= _CACHE_CAP:
+            _STEP_CACHE.clear()
+        step = AtomStep(atom)
+        _STEP_CACHE[atom] = step
+    return step
+
+
+def compile_plan(ordered_atoms: Sequence[Atom]) -> JoinPlan:
+    """The (cached) plan executing ``ordered_atoms`` in the given order."""
+    key = tuple(ordered_atoms)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(key) > _PLAN_ATOM_CAP:
+            return JoinPlan(key, cache_steps=False)
+        if len(_PLAN_CACHE) >= _CACHE_CAP:
+            _PLAN_CACHE.clear()
+        plan = JoinPlan(key)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def plan_for(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    bound: FrozenSet[Variable] = frozenset(),
+) -> JoinPlan:
+    """Order ``atoms`` for ``instance`` and return the compiled plan.
+
+    Ordering is a cheap O(k²) pass over the conjunction (fan-outs are
+    O(1) lookups); the expensive per-atom compilation is cached, and a
+    given conjunction stabilises to a handful of distinct orders, so
+    in the steady state this is two dict hits.
+    """
+    return compile_plan(order_atoms(atoms, instance, bound))

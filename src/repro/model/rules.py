@@ -41,6 +41,9 @@ class TGD:
         "_existential",
         "_body_vars",
         "_head_vars",
+        "_frontier_sorted",
+        "_existential_sorted",
+        "_body_vars_sorted",
     )
 
     def __init__(
@@ -69,6 +72,12 @@ class TGD:
         self._head_vars = frozenset(head_vars)
         self._frontier = frozenset(body_vars & head_vars)
         self._existential = frozenset(head_vars - body_vars)
+        # Sorted orders, precomputed once: trigger keys, frontier
+        # images, and existential-null creation all need a canonical
+        # variable order and used to re-sort on every firing.
+        self._frontier_sorted = tuple(sorted(self._frontier))
+        self._existential_sorted = tuple(sorted(self._existential))
+        self._body_vars_sorted = tuple(sorted(self._body_vars))
 
     # -- identity --------------------------------------------------------
 
@@ -114,6 +123,21 @@ class TGD:
     def existential_variables(self) -> FrozenSet[Variable]:
         """Head variables bound by the existential quantifier."""
         return self._existential
+
+    @property
+    def frontier_sorted(self) -> Tuple[Variable, ...]:
+        """The frontier in name order (precomputed)."""
+        return self._frontier_sorted
+
+    @property
+    def existentials_sorted(self) -> Tuple[Variable, ...]:
+        """The existential variables in name order (precomputed)."""
+        return self._existential_sorted
+
+    @property
+    def body_variables_sorted(self) -> Tuple[Variable, ...]:
+        """All body variables in name order (precomputed)."""
+        return self._body_vars_sorted
 
     def is_full(self) -> bool:
         """True iff the TGD has no existential variables (a full TGD)."""

@@ -97,13 +97,12 @@ def skolem_chase(
         new_round: List[Atom] = []
         seen_assignments: Set[Tuple] = set()
         for index, rule in enumerate(rules):
+            frontier_sorted = rule.frontier_sorted
             for assignment in homomorphisms(rule.body, instance):
                 key = (
                     index,
                     tuple(
-                        sorted(
-                            (v.name, assignment[v]) for v in rule.frontier
-                        )
+                        (v.name, assignment[v]) for v in frontier_sorted
                     ),
                 )
                 if key in seen_assignments:
@@ -112,11 +111,11 @@ def skolem_chase(
                 mapping: Dict[Term, Term] = {
                     v: assignment[v] for v in rule.frontier
                 }
-                for var in sorted(rule.existential_variables):
+                for var in rule.existentials_sorted:
                     term = SkolemTerm(
                         (index, var.name),
                         tuple(
-                            assignment[v] for v in sorted(rule.frontier)
+                            assignment[v] for v in frontier_sorted
                         ),
                     )
                     if term.is_cyclic():

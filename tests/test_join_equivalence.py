@@ -1,0 +1,195 @@
+"""Indexed join engine ≡ naive reference — assignment-for-assignment.
+
+The indexed engine (:func:`repro.model.homomorphisms`, compiled join
+plans over term-level indexes) must yield *exactly* the same
+assignments in *exactly* the same order as the retained seed matcher
+(:func:`repro.model.naive_homomorphisms`).  Order matters: the
+restricted chase is order-sensitive and the sequence-level tests pin
+the canonical fair order, so "same set" is not enough.
+
+Checked three ways:
+
+* property-based (hypothesis) over random programs, databases, and
+  chase-grown instances with nulls;
+* seeded sweeps over the workload generators (SL / linear / guarded,
+  with and without rule constants);
+* handwritten adversarial conjunctions (repeated variables, pattern
+  constants, cross-products, partial assignments).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.chase import ChaseVariant, run_chase
+from repro.model import (
+    Atom,
+    Constant,
+    Instance,
+    Null,
+    Predicate,
+    Variable,
+    homomorphisms,
+    naive_homomorphisms,
+)
+from repro.workloads import (
+    random_database,
+    random_guarded,
+    random_linear,
+    random_simple_linear,
+)
+from tests.conftest import atom
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def assert_same_enumeration(atoms, instance, partial=None):
+    indexed = list(homomorphisms(atoms, instance, partial))
+    naive = list(naive_homomorphisms(atoms, instance, partial))
+    assert indexed == naive
+
+
+def grown_instance(rules, seed=0):
+    """A chase-grown instance (contains nulls when rules invent them)."""
+    db = random_database(rules, num_constants=3, facts_per_predicate=2,
+                         seed=seed)
+    result = run_chase(db, rules, ChaseVariant.SEMI_OBLIVIOUS,
+                       max_steps=120)
+    return result.instance
+
+
+GENERATORS = [
+    lambda seed: random_simple_linear(4, seed=seed),
+    lambda seed: random_simple_linear(4, seed=seed, constant_prob=0.3),
+    lambda seed: random_linear(4, seed=seed),
+    lambda seed: random_guarded(3, side_atoms=2, seed=seed),
+]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+@pytest.mark.parametrize("seed", range(8))
+def test_rule_bodies_enumerate_identically(generator, seed):
+    rules = generator(seed)
+    instance = grown_instance(rules, seed)
+    for rule in rules:
+        assert_same_enumeration(rule.body, instance)
+        assert_same_enumeration(rule.head, instance)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_partial_assignments_enumerate_identically(seed):
+    rules = random_guarded(3, side_atoms=2, seed=seed)
+    instance = grown_instance(rules, seed)
+    for rule in rules:
+        first = next(naive_homomorphisms(rule.body, instance), None)
+        if first is None:
+            continue
+        # Pin each variable of the first match in turn and compare the
+        # constrained enumerations.
+        for var, term in first.items():
+            assert_same_enumeration(rule.body, instance, {var: term})
+
+
+class TestAdversarialConjunctions:
+    def setup_method(self):
+        self.instance = Instance([
+            atom("e", "a", "b"), atom("e", "b", "c"), atom("e", "c", "a"),
+            atom("e", "a", "a"),
+            atom("p", "a"), atom("p", "b"),
+            atom("q", "a", "a", "b"), atom("q", "b", "b", "b"),
+            Atom(Predicate("p", 1), [Null(7)]),
+            Atom(Predicate("e", 2), [Null(7), Constant("a")]),
+        ])
+
+    def test_repeated_variables(self):
+        assert_same_enumeration(
+            [atom("q", "X", "X", "Y"), atom("e", "Y", "Y")], self.instance
+        )
+
+    def test_pattern_constants(self):
+        assert_same_enumeration(
+            [atom("e", "a", "X"), atom("e", "X", "Y")], self.instance
+        )
+
+    def test_cross_product(self):
+        assert_same_enumeration(
+            [atom("p", "X"), atom("p", "Y"), atom("p", "Z")], self.instance
+        )
+
+    def test_triangle(self):
+        assert_same_enumeration(
+            [atom("e", "X", "Y"), atom("e", "Y", "Z"), atom("e", "Z", "X")],
+            self.instance,
+        )
+
+    def test_partial_with_unused_binding(self):
+        # A partial binding for a variable not occurring in the atoms
+        # must survive into every yielded assignment.
+        partial = {Variable("Unused"): Constant("a")}
+        assert_same_enumeration([atom("p", "X")], self.instance, partial)
+
+    def test_null_valued_partial(self):
+        assert_same_enumeration(
+            [atom("e", "X", "Y")], self.instance, {Variable("X"): Null(7)}
+        )
+
+    def test_empty_conjunction(self):
+        assert_same_enumeration([], self.instance)
+        assert_same_enumeration([], self.instance,
+                                {Variable("X"): Constant("a")})
+
+    def test_unsatisfiable(self):
+        assert_same_enumeration([atom("zz", "X")], self.instance)
+
+
+# -- property-based --------------------------------------------------------
+
+names = st.sampled_from(["p2", "q2", "r3"])
+variables = st.sampled_from([Variable(n) for n in ("X", "Y", "Z")])
+constants = st.sampled_from([Constant(n) for n in ("a", "b", "c")])
+
+
+@st.composite
+def pattern_atoms(draw):
+    name = draw(names)
+    arity = int(name[-1])
+    terms = draw(
+        st.lists(st.one_of(variables, constants),
+                 min_size=arity, max_size=arity)
+    )
+    return Atom(Predicate(name, arity), terms)
+
+
+@st.composite
+def ground_atoms(draw):
+    name = draw(names)
+    arity = int(name[-1])
+    terms = draw(
+        st.lists(constants, min_size=arity, max_size=arity)
+    )
+    return Atom(Predicate(name, arity), terms)
+
+
+@given(
+    body=st.lists(pattern_atoms(), min_size=1, max_size=3),
+    facts=st.lists(ground_atoms(), min_size=0, max_size=12),
+)
+@SETTINGS
+def test_property_same_assignments_same_order(body, facts):
+    instance = Instance(facts)
+    assert_same_enumeration(body, instance)
+
+
+@given(
+    body=st.lists(pattern_atoms(), min_size=1, max_size=3),
+    facts=st.lists(ground_atoms(), min_size=1, max_size=12),
+    pinned=constants,
+)
+@SETTINGS
+def test_property_partial_respected(body, facts, pinned):
+    instance = Instance(facts)
+    assert_same_enumeration(body, instance, {Variable("X"): pinned})

@@ -1,0 +1,206 @@
+"""Unit tests for the term-level indexes and compiled join plans."""
+
+import pytest
+
+from repro.model import (
+    Atom,
+    Constant,
+    Instance,
+    Null,
+    Predicate,
+    TGD,
+    Variable,
+    compile_plan,
+    order_atoms,
+    plan_for,
+)
+from repro.model.joinplan import AtomStep
+from tests.conftest import atom, tgd
+
+
+class TestFactsMatching:
+    def setup_method(self):
+        self.inst = Instance([
+            atom("e", "a", "b"), atom("e", "a", "c"), atom("e", "b", "c"),
+            atom("p", "a"),
+        ])
+        self.e = Predicate("e", 2)
+
+    def test_empty_bindings_is_whole_relation(self):
+        assert self.inst.facts_matching(self.e, {}) == [
+            atom("e", "a", "b"), atom("e", "a", "c"), atom("e", "b", "c"),
+        ]
+
+    def test_single_position_probe(self):
+        assert self.inst.facts_matching(self.e, {0: Constant("a")}) == [
+            atom("e", "a", "b"), atom("e", "a", "c"),
+        ]
+        assert self.inst.facts_matching(self.e, {1: Constant("c")}) == [
+            atom("e", "a", "c"), atom("e", "b", "c"),
+        ]
+
+    def test_multi_position_probe_filters(self):
+        assert self.inst.facts_matching(
+            self.e, {0: Constant("a"), 1: Constant("c")}
+        ) == [atom("e", "a", "c")]
+
+    def test_miss_returns_empty(self):
+        assert self.inst.facts_matching(self.e, {0: Constant("zz")}) == []
+        assert self.inst.facts_matching(Predicate("zz", 1),
+                                        {0: Constant("a")}) == []
+
+    def test_insertion_order_preserved(self):
+        inst = Instance()
+        facts = [atom("e", "x", str(i)) for i in (3, 1, 2)]
+        for f in facts:
+            inst.add(f)
+        assert inst.facts_matching(self.e, {0: Constant("x")}) == facts
+
+    def test_index_tracks_additions(self):
+        self.inst.add(atom("e", "a", "d"))
+        assert self.inst.facts_matching(self.e, {0: Constant("a")}) == [
+            atom("e", "a", "b"), atom("e", "a", "c"), atom("e", "a", "d"),
+        ]
+
+
+class TestFactsWithPredicateCaching:
+    def test_snapshot_is_cached_until_growth(self):
+        inst = Instance([atom("p", "a"), atom("p", "b")])
+        p = Predicate("p", 1)
+        first = inst.facts_with_predicate(p)
+        assert inst.facts_with_predicate(p) is first
+        inst.add(atom("p", "c"))
+        rebuilt = inst.facts_with_predicate(p)
+        assert rebuilt is not first
+        assert rebuilt == (atom("p", "a"), atom("p", "b"), atom("p", "c"))
+        # The old snapshot is immutable and unchanged.
+        assert first == (atom("p", "a"), atom("p", "b"))
+
+    def test_count_with_predicate(self):
+        inst = Instance([atom("p", "a"), atom("p", "b")])
+        assert inst.count_with_predicate(Predicate("p", 1)) == 2
+        assert inst.count_with_predicate(Predicate("q", 1)) == 0
+
+
+class TestAtomStep:
+    def test_try_match_binds_in_place(self):
+        step = AtomStep(atom("e", "X", "Y"))
+        assignment = {}
+        newly = step.try_match(atom("e", "a", "b"), assignment)
+        assert newly == (Variable("X"), Variable("Y"))
+        assert assignment == {Variable("X"): Constant("a"),
+                              Variable("Y"): Constant("b")}
+
+    def test_failed_match_leaves_assignment_untouched(self):
+        step = AtomStep(atom("q", "X", "X", "Y"))
+        assignment = {Variable("Y"): Constant("z")}
+        assert step.try_match(atom("q", "a", "b", "c"), assignment) is None
+        assert assignment == {Variable("Y"): Constant("z")}
+
+    def test_repeated_variable_checked(self):
+        step = AtomStep(atom("e", "X", "X"))
+        assert step.try_match(atom("e", "a", "b"), {}) is None
+        assert step.try_match(atom("e", "a", "a"), {}) == (Variable("X"),)
+
+    def test_bound_variable_respected(self):
+        step = AtomStep(atom("e", "X", "Y"))
+        assignment = {Variable("X"): Constant("b")}
+        assert step.try_match(atom("e", "a", "c"), assignment) is None
+        assert step.try_match(atom("e", "b", "c"), assignment) == (
+            Variable("Y"),
+        )
+
+    def test_constant_positions_checked(self):
+        step = AtomStep(atom("e", "a", "X"))
+        assert step.try_match(atom("e", "b", "c"), {}) is None
+        assert step.try_match(atom("e", "a", "c"), {}) == (Variable("X"),)
+
+    def test_candidates_probe_bound_positions(self):
+        inst = Instance([atom("e", "a", "b"), atom("e", "b", "c"),
+                         atom("e", "b", "d")])
+        step = AtomStep(atom("e", "X", "Y"))
+        unbound = list(step.candidates(inst, {}))
+        assert len(unbound) == 3
+        probed = list(step.candidates(inst, {Variable("X"): Constant("b")}))
+        assert probed == [atom("e", "b", "c"), atom("e", "b", "d")]
+
+
+class TestOrderAtoms:
+    def test_most_constrained_first(self):
+        inst = Instance(
+            [atom("big", str(i), str(i + 1)) for i in range(10)]
+            + [atom("small", "1")]
+        )
+        ordered = order_atoms(
+            [atom("big", "X", "Y"), atom("small", "X")], inst
+        )
+        assert ordered[0] == atom("small", "X")
+
+    def test_connected_atoms_preferred_over_smaller_disconnected(self):
+        inst = Instance(
+            [atom("big", str(i), str(i + 1)) for i in range(10)]
+            + [atom("small", "1")]
+        )
+        # With X pre-bound, big shares a variable while small does not:
+        # the join must not start a cross-product with small.
+        ordered = order_atoms(
+            [atom("small", "Z"), atom("big", "X", "Y")],
+            inst,
+            bound=frozenset({Variable("X")}),
+        )
+        assert ordered[0] == atom("big", "X", "Y")
+
+    def test_new_vars_breaks_fan_out_ties(self):
+        # Same relation (same fan-out): the atom introducing fewer new
+        # variables is the more constrained join step.
+        inst = Instance([atom("e", "a", "b"), atom("e", "b", "c")])
+        ordered = order_atoms(
+            [atom("e", "X", "Y"), atom("e", "Z", "Z")], inst
+        )
+        assert ordered[0] == atom("e", "Z", "Z")
+
+
+class TestPlanCaching:
+    def test_plan_cached_by_ordered_atoms(self):
+        body = (atom("e", "X", "Y"), atom("e", "Y", "Z"))
+        assert compile_plan(body) is compile_plan(body)
+
+    def test_plan_for_executes(self):
+        inst = Instance([atom("e", "a", "b"), atom("e", "b", "c")])
+        plan = plan_for([atom("e", "X", "Y"), atom("e", "Y", "Z")], inst)
+        results = list(plan.run(inst, {}))
+        assert results == [{
+            Variable("X"): Constant("a"),
+            Variable("Y"): Constant("b"),
+            Variable("Z"): Constant("c"),
+        }]
+
+    def test_run_restores_scratch_assignment(self):
+        inst = Instance([atom("e", "a", "b"), atom("e", "b", "c")])
+        plan = plan_for([atom("e", "X", "Y")], inst)
+        scratch = {}
+        list(plan.run(inst, scratch))
+        assert scratch == {}
+
+    def test_first_finds_existence(self):
+        inst = Instance([atom("e", "a", "b")])
+        plan = plan_for([atom("e", "X", "Y")], inst)
+        assert plan.first(inst, {}) is not None
+        assert plan.first(inst, {Variable("X"): Constant("zz")}) is None
+
+
+class TestRuleSortedOrders:
+    def test_sorted_orders_precomputed(self):
+        rule = tgd(
+            [atom("e", "Yb", "Xa")],
+            [atom("p", "Xa", "Yb", "Zc", "Za")],
+        )
+        assert rule.frontier_sorted == (Variable("Xa"), Variable("Yb"))
+        assert rule.existentials_sorted == (Variable("Za"), Variable("Zc"))
+        assert rule.body_variables_sorted == (Variable("Xa"), Variable("Yb"))
+
+    def test_sorted_orders_survive_rename(self):
+        rule = tgd([atom("e", "X", "Y")], [atom("p", "Y", "Z")])
+        renamed = rule.rename_apart("_1")
+        assert renamed.frontier_sorted == (Variable("Y_1"),)
+        assert renamed.existentials_sorted == (Variable("Z_1"),)
