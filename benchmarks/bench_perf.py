@@ -20,6 +20,16 @@ backtracking join retained as
 :func:`repro.model.homomorphism.naive_homomorphisms` — and the JSON
 records the speedup so future PRs can track the perf trajectory.
 
+PR 2 adds two **decider** scenarios, each timed against a faithful
+replica of its pre-PR-2 baseline:
+
+* **mfa_decider** (headline) — the MFA Skolem chase over the critical
+  instance of an existential tower, new delta-driven engine vs the old
+  full-reenumeration-per-round loop (with its per-round seen-set and
+  lazy mid-enumeration discovery);
+* **guarded_decider** — Theorem 4's type-graph procedure, compiled
+  class-indexed pattern joins vs the retained naive backtracking scan.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py             # full run
@@ -39,7 +49,7 @@ import platform
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.chase import ChaseVariant, run_chase
+from repro.chase import ChaseVariant, critical_instance, run_chase
 from repro.chase.result import ChaseResult
 from repro.chase.triggers import Trigger, apply_trigger, head_satisfied
 from repro.model import (
@@ -51,9 +61,12 @@ from repro.model import (
     Predicate,
     TGD,
     Variable,
+    homomorphisms,
     match_atom,
     naive_homomorphisms,
 )
+from repro.termination import decide_guarded, skolem_chase
+from repro.termination.mfa import SkolemTerm
 from repro.workloads import guarded_tower_family
 
 DEFAULT_OUTPUT = "BENCH_chase.json"
@@ -241,6 +254,237 @@ def seed_chase(
             return instance, steps, True
 
 
+# -- decider scenarios -----------------------------------------------------
+
+
+def mfa_decider_scenario(scale: float) -> Dict:
+    """MFA over an existential tower: level ``i`` joins ``s_i`` with
+    ``t_i`` and invents the next level's member, so the Skolem chase of
+    the critical instance runs ~``levels`` rounds and builds
+    ~``levels²/2`` nested Skolem terms.  Rules are listed top level
+    first, which keeps the round structure identical for the delta
+    engine and the pre-PR-2 baseline."""
+    levels = max(3, int(40 * scale))
+    rules: List[TGD] = []
+    for i in reversed(range(levels)):
+        s_i = Predicate(f"s{i + 1}", 1)
+        t_i = Predicate(f"t{i + 1}", 1)
+        r_i = Predicate(f"r{i + 1}", 2)
+        s_next = Predicate(f"s{i + 2}", 1)
+        t_next = Predicate(f"t{i + 2}", 1)
+        rules.append(
+            TGD(
+                [Atom(s_i, [X]), Atom(t_i, [X])],
+                [Atom(r_i, [X, Z]), Atom(s_next, [Z]), Atom(t_next, [Z])],
+                label=f"level{i + 1}",
+            )
+        )
+    return {"name": "mfa_decider", "rules": rules, "max_steps": 1_000_000}
+
+
+def guarded_decider_scenario(scale: float) -> Dict:
+    """Theorem 4 on a join-heavy guarded tower.
+
+    Six rule constants widen the critical domain to seven values, so
+    every ternary relation holds 343 patterns in every bag cloud; each
+    level's *full* rule joins three atoms of that relation with bound
+    repeats and constants — selective joins over wide relations, which
+    the naive per-atom scan pays for in full while the class-indexed
+    plans probe.  A single existential spawn rule keeps the type space
+    (and hence canonicalization work) small, so the body-vs-cloud joins
+    dominate the decider's runtime."""
+    levels = max(2, int(8 * scale))
+    c1, c2, c3, c4, c5, c6 = (Constant(f"gc{i}") for i in range(1, 7))
+    rules: List[TGD] = []
+    for i in range(levels):
+        g_i = Predicate(f"g{i + 1}", 3)
+        g_next = Predicate(f"g{i + 2}", 3)
+        rules.append(
+            TGD(
+                [
+                    Atom(g_i, [X, Y, Z]),
+                    Atom(g_i, [Y, c1, Z]),
+                    Atom(g_i, [Z, X, c2]),
+                ],
+                [Atom(g_next, [X, Y, Z])],
+                label=f"join{i + 1}",
+            )
+        )
+    mk = Predicate("mk", 1)
+    p, q = Predicate("p", 2), Predicate("q", 1)
+    rules.append(
+        TGD([Atom(mk, [X])], [Atom(Predicate("g1", 3), [X, c1, c2])],
+            label="anchor_a")
+    )
+    rules.append(
+        TGD([Atom(mk, [X])], [Atom(Predicate("g1", 3), [c3, c4, X])],
+            label="anchor_b")
+    )
+    rules.append(
+        TGD([Atom(mk, [X])], [Atom(Predicate("g1", 3), [c5, X, c6])],
+            label="anchor_c")
+    )
+    # The spawn rule is deliberately frontier-free: it creates exactly
+    # one child type, so bag creation — and with it canonicalization —
+    # stays cheap and the decider's runtime is dominated by the join
+    # rules above.
+    rules.append(
+        TGD(
+            [Atom(Predicate(f"g{levels + 1}", 3), [c3, c4, c5])],
+            [Atom(p, [c6, W])],
+            label="spawn",
+        )
+    )
+    rules.append(TGD([Atom(p, [X, Y])], [Atom(q, [Y])], label="collect"))
+    return {
+        "name": "guarded_decider",
+        "rules": rules,
+        "variant": ChaseVariant.SEMI_OBLIVIOUS,
+        "max_types": 100_000,
+    }
+
+
+HEADLINE_DECIDER = "mfa_decider"
+
+
+# -- the pre-PR-2 MFA Skolem chase, replicated -----------------------------
+#
+# A faithful copy of the decider loop this PR replaced: every round
+# re-enumerates every rule body over the full instance (no delta), the
+# seen-key set is rebuilt from scratch each round (so every historical
+# trigger is re-keyed and its Skolem terms rebuilt and re-cycle-checked),
+# and — the bug — facts are added while `homomorphisms` is still being
+# enumerated.
+
+
+def seed_skolem_chase(
+    database: Instance,
+    rules: Sequence[TGD],
+    max_steps: int,
+) -> Tuple[Instance, Optional[SkolemTerm], bool]:
+    instance = Instance(database)
+    steps = 0
+    frontier: List[Atom] = list(instance)
+    while frontier:
+        new_round: List[Atom] = []
+        seen_assignments = set()
+        for index, rule in enumerate(rules):
+            frontier_sorted = rule.frontier_sorted
+            for assignment in homomorphisms(rule.body, instance):
+                key = (
+                    index,
+                    tuple((v.name, assignment[v]) for v in frontier_sorted),
+                )
+                if key in seen_assignments:
+                    continue
+                seen_assignments.add(key)
+                mapping = {v: assignment[v] for v in rule.frontier}
+                for var in rule.existentials_sorted:
+                    term = SkolemTerm(
+                        (index, var.name),
+                        tuple(assignment[v] for v in frontier_sorted),
+                    )
+                    if term.is_cyclic():
+                        return instance, term, False
+                    mapping[var] = term
+                for head_atom in rule.head:
+                    fact = head_atom.substitute(mapping)
+                    if instance.add(fact):
+                        new_round.append(fact)
+                        steps += 1
+                        if steps >= max_steps:
+                            return instance, None, False
+        frontier = new_round
+    return instance, None, True
+
+
+def run_mfa_decider(spec: Dict) -> Dict:
+    """Delta-driven Skolem chase vs the pre-PR-2 replica.
+
+    Both runs must reach the same verdict with the same number of
+    facts — the replica doubles as a correctness check."""
+    rules = spec["rules"]
+    database = critical_instance(rules)
+
+    start = time.perf_counter()
+    instance, cyclic, fixpoint = skolem_chase(
+        database, rules, spec["max_steps"]
+    )
+    wall = time.perf_counter() - start
+
+    seed_start = time.perf_counter()
+    seed_instance, seed_cyclic, seed_fixpoint = seed_skolem_chase(
+        database, rules, spec["max_steps"]
+    )
+    seed_wall = time.perf_counter() - seed_start
+
+    if fixpoint != seed_fixpoint or (cyclic is None) != (seed_cyclic is None):
+        raise AssertionError(
+            f"decider divergence on {spec['name']}: delta reported "
+            f"(cyclic={cyclic}, fixpoint={fixpoint}), seed "
+            f"(cyclic={seed_cyclic}, fixpoint={seed_fixpoint})"
+        )
+    if fixpoint and len(instance) != len(seed_instance):
+        raise AssertionError(
+            f"decider divergence on {spec['name']}: delta produced "
+            f"{len(instance)} facts, seed {len(seed_instance)}"
+        )
+    return {
+        "name": spec["name"],
+        "rules": len(rules),
+        "database_facts": len(database),
+        "facts_final": len(instance),
+        "mfa": fixpoint,
+        "wall_s": round(wall, 6),
+        "baseline_wall_s": round(seed_wall, 6),
+        "speedup": round(seed_wall / wall, 2) if wall > 0 else None,
+    }
+
+
+def run_guarded_decider(spec: Dict) -> Dict:
+    """Theorem 4 with compiled class-indexed pattern joins vs the
+    retained naive scan; verdicts must agree."""
+    rules = spec["rules"]
+
+    start = time.perf_counter()
+    indexed = decide_guarded(
+        rules, spec["variant"], max_types=spec["max_types"]
+    )
+    wall = time.perf_counter() - start
+
+    naive_start = time.perf_counter()
+    naive = decide_guarded(
+        rules,
+        spec["variant"],
+        max_types=spec["max_types"],
+        pattern_engine="naive",
+    )
+    naive_wall = time.perf_counter() - naive_start
+
+    if indexed.terminating != naive.terminating:
+        raise AssertionError(
+            f"decider divergence on {spec['name']}: indexed says "
+            f"{indexed.terminating}, naive says {naive.terminating}"
+        )
+    return {
+        "name": spec["name"],
+        "rules": len(rules),
+        "terminating": indexed.terminating,
+        "types": indexed.stats.get("types"),
+        "edges": indexed.stats.get("edges"),
+        "pattern_joins": indexed.stats.get("pattern_joins"),
+        "wall_s": round(wall, 6),
+        "baseline_wall_s": round(naive_wall, 6),
+        "speedup": round(naive_wall / wall, 2) if wall > 0 else None,
+    }
+
+
+DECIDERS = (
+    (mfa_decider_scenario, run_mfa_decider),
+    (guarded_decider_scenario, run_guarded_decider),
+)
+
+
 # -- measurement -----------------------------------------------------------
 
 
@@ -319,6 +563,10 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
         "scale": scale,
         "python": platform.python_version(),
         "scenarios": scenarios,
+        # Decider scenarios always carry their before/after comparison:
+        # the baseline replicas double as correctness checks.
+        "deciders": [run(make(scale)) for make, run in DECIDERS],
+        "headline_decider": HEADLINE_DECIDER,
     }
     if compare:
         payload["baseline_comparison"] = run_baseline_comparison(
@@ -357,6 +605,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"seed {comparison['seed_wall_s']}s vs indexed "
             f"{comparison['indexed_wall_s']}s — "
             f"{comparison['speedup']}x speedup"
+        )
+    for row in payload["deciders"]:
+        print(
+            f"decider {row['name']}: baseline {row['baseline_wall_s']}s "
+            f"vs {row['wall_s']}s — {row['speedup']}x speedup"
         )
     print(f"wrote {args.output}")
     return 0

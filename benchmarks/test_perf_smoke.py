@@ -37,6 +37,37 @@ def test_baseline_comparison_agrees_on_every_scenario():
         assert report["facts_final"] > 0
 
 
+@pytest.mark.parametrize(
+    "make,run",
+    bench_perf.DECIDERS,
+    ids=lambda arg: arg.__name__ if callable(arg) else str(arg),
+)
+def test_decider_scenarios_smoke(make, run):
+    # The decider runners raise on any verdict/fact divergence between
+    # the new engines and their pre-PR-2 baseline replicas.
+    row = run(make(SMOKE_SCALE))
+    assert row["wall_s"] >= 0
+    assert row["baseline_wall_s"] >= 0
+    assert row["speedup"] is not None
+    assert row["rules"] > 0
+
+
+def test_mfa_decider_scenario_is_mfa_at_smoke_scale():
+    row = bench_perf.run_mfa_decider(
+        bench_perf.mfa_decider_scenario(SMOKE_SCALE)
+    )
+    assert row["mfa"] is True
+    assert row["facts_final"] > row["database_facts"]
+
+
+def test_guarded_decider_scenario_terminates_at_smoke_scale():
+    row = bench_perf.run_guarded_decider(
+        bench_perf.guarded_decider_scenario(SMOKE_SCALE)
+    )
+    assert row["terminating"] is True
+    assert row["pattern_joins"] > 0
+
+
 def test_suite_payload_shape(tmp_path):
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     assert payload["schema_version"] == 1
@@ -46,6 +77,12 @@ def test_suite_payload_shape(tmp_path):
     for row in payload["scenarios"]:
         for key in ("variant", "facts_final", "triggers_fired", "wall_s",
                     "facts_per_s", "triggers_per_s", "terminated"):
+            assert key in row
+    decider_names = {row["name"] for row in payload["deciders"]}
+    assert decider_names == {"mfa_decider", "guarded_decider"}
+    assert payload["headline_decider"] in decider_names
+    for row in payload["deciders"]:
+        for key in ("wall_s", "baseline_wall_s", "speedup"):
             assert key in row
     # The payload must round-trip through JSON (that is the contract
     # BENCH_chase.json consumers rely on).

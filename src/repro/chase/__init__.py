@@ -11,6 +11,7 @@ from .critical import (
     critical_instance,
     standard_critical_instance,
 )
+from .delta import DeltaEngine, delta_triggers
 from .engine import (
     DEFAULT_MAX_STEPS,
     oblivious_chase,
@@ -34,6 +35,7 @@ __all__ = [
     "ChaseStep",
     "ChaseVariant",
     "DEFAULT_MAX_STEPS",
+    "DeltaEngine",
     "ONE_CONSTANT",
     "ONE_PREDICATE",
     "Trigger",
@@ -43,6 +45,7 @@ __all__ = [
     "apply_trigger",
     "critical_domain",
     "critical_instance",
+    "delta_triggers",
     "head_satisfied",
     "oblivious_chase",
     "restricted_chase",

@@ -1,0 +1,147 @@
+"""Semi-naive delta evaluation — the shared round engine.
+
+Every round-based fixpoint computation in this library has the same
+skeleton: discover the triggers enabled by the facts added in the
+previous round, fire the not-yet-fired ones, collect the new facts,
+repeat.  PR 1 gave the chase engine pivot-seeded indexed discovery;
+this module extracts that machinery so the chase engines *and* the
+termination deciders (the MFA Skolem chase, see
+:mod:`repro.termination.mfa`) run on one implementation with one
+invariant:
+
+    **a round's triggers are materialized before any of them is
+    applied.**
+
+Discovering triggers lazily while mutating the instance lets facts
+added by one firing leak into join levels of the *same* enumeration
+(iterators entered later see them) — the pre-PR-2 MFA chase did
+exactly that, making its round structure ill-defined.  Materializing
+first makes rounds well-defined, engine-independent units, which is
+also the prerequisite for batching and parallelising them (ROADMAP).
+
+Two pieces live here:
+
+* :func:`delta_triggers` — one discovery pass: triggers whose body
+  match involves at least one fact of the delta, found via compiled
+  pivot-seeded join plans;
+* :class:`DeltaEngine` — the round driver owning the state that must
+  survive across rounds: the frontier and the persistent fired-key
+  set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Sequence, Set
+
+from ..model import Atom, Instance, Predicate, TGD, atom_step, plan_for
+from .triggers import Trigger
+
+
+def delta_triggers(
+    rules: Sequence[TGD],
+    instance: Instance,
+    new_facts: Sequence[Atom],
+) -> Iterator[Trigger]:
+    """Triggers whose body match involves at least one fact from
+    ``new_facts``.  May repeat a trigger (when several body atoms hit
+    new facts); the caller's fired-key set deduplicates."""
+    new_by_predicate: Dict[Predicate, List[Atom]] = {}
+    for fact in new_facts:
+        new_by_predicate.setdefault(fact.predicate, []).append(fact)
+    for rule_index, rule in enumerate(rules):
+        for pivot, pivot_atom in enumerate(rule.body):
+            candidates = new_by_predicate.get(pivot_atom.predicate)
+            if not candidates:
+                continue
+            pivot_step = atom_step(pivot_atom)
+            pivot_vars = pivot_step.variables()
+            rest = [a for i, a in enumerate(rule.body) if i != pivot]
+            # The pivot's bindings seed the rest-of-body join: the plan
+            # treats them as bound and probes the term-level indexes
+            # with them.  One plan serves every candidate fact — the
+            # caller materializes all triggers before mutating the
+            # instance, so the join order cannot go stale mid-loop.
+            plan = plan_for(rest, instance, pivot_vars) if rest else None
+            for fact in candidates:
+                partial: Dict = {}
+                if pivot_step.try_match(fact, partial) is None:
+                    continue
+                if plan is None:
+                    yield Trigger(rule, rule_index, partial)
+                    continue
+                for assignment in plan.run(instance, partial):
+                    yield Trigger(rule, rule_index, assignment)
+
+
+class DeltaEngine:
+    """Round-structured semi-naive trigger discovery.
+
+    Owns the evaluation state that must survive across rounds:
+
+    * the *frontier* — facts added since the last discovery pass; and
+    * the *fired-key set* — the identification key of every trigger
+      ever handed out, so historical triggers are neither re-discovered
+      nor re-keyed round after round.
+
+    ``key`` maps a trigger to its identification key (typically
+    ``Trigger.key(variant)``); a trigger whose key was already handed
+    out is dropped at discovery time, so each round is a duplicate-free
+    materialized batch.  Protocol::
+
+        engine = DeltaEngine(rules, instance, key=...)
+        while True:
+            triggers = engine.next_round()    # materialized, deduped
+            if not triggers:
+                break                         # fixpoint
+            for trigger in triggers:
+                ...apply, then engine.notify(new_facts)...
+
+    The instance is shared with the caller and must only be mutated
+    *between* ``next_round`` calls — i.e. while applying a materialized
+    round — never during one (``next_round`` itself never mutates it).
+    """
+
+    __slots__ = ("rules", "instance", "fired", "_key", "_frontier")
+
+    def __init__(
+        self,
+        rules: Sequence[TGD],
+        instance: Instance,
+        key: Callable[[Trigger], Hashable],
+    ):
+        self.rules: List[TGD] = list(rules)
+        self.instance = instance
+        self.fired: Set[Hashable] = set()
+        self._key = key
+        # The first round treats every existing fact as new.
+        self._frontier: List[Atom] = list(instance)
+
+    def notify(self, facts: Iterable[Atom]) -> None:
+        """Report facts added to the instance; they seed the next
+        round's discovery pass."""
+        self._frontier.extend(facts)
+
+    def pending_facts(self) -> int:
+        """How many facts await the next discovery pass."""
+        return len(self._frontier)
+
+    def next_round(self) -> List[Trigger]:
+        """Materialize the next round: every not-yet-fired trigger whose
+        body match involves a frontier fact, in deterministic discovery
+        order (rule-major, then pivot position, then fact insertion
+        order).  Returned triggers are marked fired.  An empty list
+        means fixpoint — no frontier, or nothing new matched it."""
+        frontier = self._frontier
+        if not frontier:
+            return []
+        self._frontier = []
+        fired = self.fired
+        key = self._key
+        out: List[Trigger] = []
+        for trigger in delta_triggers(self.rules, self.instance, frontier):
+            k = key(trigger)
+            if k in fired:
+                continue
+            fired.add(k)
+            out.append(trigger)
+        return out

@@ -9,6 +9,10 @@ Every trigger that ever becomes available is applied after finitely
 many rounds, so the produced sequence satisfies the fairness condition
 of §2.
 
+The round machinery itself — pivot-seeded discovery, the frontier, the
+persistent fired-key set — lives in :mod:`repro.chase.delta` and is
+shared with the termination deciders' Skolem chase.
+
 Termination is detected when a full round fires nothing.  A
 ``max_steps`` budget makes the engine total on non-terminating inputs
 (the result then reports ``terminated=False``); the all-instance
@@ -17,65 +21,27 @@ termination *deciders* live in :mod:`repro.termination`, not here.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence
 
 from ..model import (
-    Atom,
     Instance,
     NullFactory,
-    Predicate,
     TGD,
-    atom_step,
-    plan_for,
     validate_program,
 )
+from .delta import DeltaEngine, delta_triggers
 from .result import ChaseResult, ChaseStep
 from .triggers import (
     ChaseVariant,
-    Trigger,
-    TriggerKey,
     apply_trigger,
     head_satisfied,
-    triggers_for_rule,
 )
 
 DEFAULT_MAX_STEPS = 10_000
 
-
-def _incremental_triggers(
-    rules: Sequence[TGD],
-    instance: Instance,
-    new_facts: Sequence[Atom],
-) -> Iterator[Trigger]:
-    """Triggers whose body match involves at least one fact from
-    ``new_facts``.  May repeat a trigger (when several body atoms hit
-    new facts); the caller's fired-key set deduplicates."""
-    new_by_predicate: Dict[Predicate, List[Atom]] = {}
-    for fact in new_facts:
-        new_by_predicate.setdefault(fact.predicate, []).append(fact)
-    for rule_index, rule in enumerate(rules):
-        for pivot, pivot_atom in enumerate(rule.body):
-            candidates = new_by_predicate.get(pivot_atom.predicate)
-            if not candidates:
-                continue
-            pivot_step = atom_step(pivot_atom)
-            pivot_vars = pivot_step.variables()
-            rest = [a for i, a in enumerate(rule.body) if i != pivot]
-            # The pivot's bindings seed the rest-of-body join: the plan
-            # treats them as bound and probes the term-level indexes
-            # with them.  One plan serves every candidate fact — the
-            # caller materializes all triggers before mutating the
-            # instance, so the join order cannot go stale mid-loop.
-            plan = plan_for(rest, instance, pivot_vars) if rest else None
-            for fact in candidates:
-                partial: Dict = {}
-                if pivot_step.try_match(fact, partial) is None:
-                    continue
-                if plan is None:
-                    yield Trigger(rule, rule_index, partial)
-                    continue
-                for assignment in plan.run(instance, partial):
-                    yield Trigger(rule, rule_index, assignment)
+# Backwards-compatible alias: the discovery pass moved to
+# repro.chase.delta so the deciders can share it.
+_incremental_triggers = delta_triggers
 
 
 def run_chase(
@@ -108,9 +74,10 @@ def run_chase(
     validate_program(rules)
     instance = Instance(database)
     factory = null_factory or NullFactory()
-    fired: Set[TriggerKey] = set()
+    engine = DeltaEngine(
+        rules, instance, key=lambda trigger: trigger.key(variant)
+    )
     steps: List[ChaseStep] = []
-    frontier: List[Atom] = list(instance)
     rng = None
     if order_seed is not None:
         import random
@@ -118,32 +85,21 @@ def run_chase(
         rng = random.Random(order_seed)
 
     while True:
-        round_triggers = list(
-            _incremental_triggers(rules, instance, frontier)
-        )
+        round_triggers = engine.next_round()
         if rng is not None:
             rng.shuffle(round_triggers)
-        frontier = []
         fired_this_round = 0
         for trigger in round_triggers:
-            key = trigger.key(variant)
-            if key in fired:
-                # Duplicate discovery, or subsumed by a trigger fired
-                # earlier this round (possible for the semi-oblivious
-                # key).
-                continue
             if variant == ChaseVariant.RESTRICTED and head_satisfied(
                 trigger, instance
             ):
                 # Satisfied triggers never become unsatisfied (instances
-                # only grow), so marking them fired is safe and keeps
-                # the round loop linear.
-                fired.add(key)
+                # only grow), so skipping them for good — they are
+                # already in the engine's fired-key set — is safe.
                 continue
-            fired.add(key)
             new_facts = apply_trigger(trigger, instance, factory)
             steps.append(ChaseStep(trigger, new_facts))
-            frontier.extend(new_facts)
+            engine.notify(new_facts)
             fired_this_round += 1
             if len(steps) >= max_steps:
                 return ChaseResult(instance, False, steps, variant, max_steps)

@@ -37,7 +37,15 @@ class ChaseResult:
     deciders exist.
     """
 
-    __slots__ = ("instance", "terminated", "steps", "variant", "max_steps")
+    __slots__ = (
+        "instance",
+        "terminated",
+        "steps",
+        "variant",
+        "max_steps",
+        "_provenance",
+        "_provenance_built",
+    )
 
     def __init__(
         self,
@@ -52,6 +60,10 @@ class ChaseResult:
         self.steps = steps
         self.variant = variant
         self.max_steps = max_steps
+        # fact -> creating step, built lazily on the first provenance
+        # lookup (and extended if steps were appended since).
+        self._provenance: Dict[Atom, ChaseStep] = {}
+        self._provenance_built = 0
 
     @property
     def step_count(self) -> int:
@@ -65,11 +77,21 @@ class ChaseResult:
 
     def provenance(self, fact: Atom) -> Optional[ChaseStep]:
         """The step that created ``fact``, or ``None`` for database
-        facts (and facts not in the result)."""
-        for step in self.steps:
-            if fact in step.new_facts:
-                return step
-        return None
+        facts (and facts not in the result).
+
+        Backed by a lazily built fact→step map, so batch provenance
+        queries (the E-suite runs one per derived fact) cost O(1) each
+        after a single O(steps) build instead of O(steps) per lookup.
+        """
+        built = self._provenance_built
+        steps = self.steps
+        if built < len(steps):
+            table = self._provenance
+            for step in steps[built:]:
+                for produced in step.new_facts:
+                    table.setdefault(produced, step)
+            self._provenance_built = len(steps)
+        return self._provenance.get(fact)
 
     def facts_by_rule(self) -> Dict[str, int]:
         """How many facts each rule contributed (by label or index)."""

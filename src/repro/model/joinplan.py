@@ -87,12 +87,30 @@ class AtomStep:
     def candidates(self, instance: Instance, assignment: Assignment):
         """Candidate facts for this step under ``assignment``.
 
-        Probes the most selective available index: pattern constants
-        always seed a probe; a variable seeds one when an outer level
-        already bound it.  Iteration is bounded by the row count at
-        call time, which snapshots the relation without copying (rows
-        are append-only).
+        A step whose variables are all bound determines a single ground
+        fact, so the search collapses to one O(1) membership probe —
+        the hot case of selective multi-atom joins (and of
+        head-satisfaction checks on full TGDs), where scanning even the
+        best index row would touch every fact sharing one term.
+
+        Otherwise probes the most selective available index: pattern
+        constants always seed a probe; a variable seeds one when an
+        outer level already bound it.  Iteration is bounded by the row
+        count at call time, which snapshots the relation without
+        copying (rows are append-only).
         """
+        for var, _ in self.var_groups:
+            if var not in assignment:
+                break
+        else:
+            fact = Atom(
+                self.predicate,
+                [
+                    assignment[t] if isinstance(t, Variable) else t
+                    for t in self.atom.terms
+                ],
+            )
+            return iter((fact,)) if fact in instance else iter(())
         best = instance._rows(self.predicate)
         for position, term in self.const_checks:
             rows = instance._probe(self.predicate, position, term)

@@ -1,6 +1,13 @@
 """The paper's termination deciders and their machinery."""
 
-from .abstraction import FRESH, AtomPattern, BagType
+from .abstraction import (
+    FRESH,
+    AtomPattern,
+    BagType,
+    PatternCloud,
+    naive_pattern_homomorphisms,
+    pattern_homomorphisms,
+)
 from .decider import decide_termination
 from .guarded import decide_guarded
 from .instance_level import decide_termination_on
@@ -47,6 +54,7 @@ __all__ = [
     "DEFAULT_MFA_STEPS",
     "DEFAULT_ORACLE_STEPS",
     "FRESH",
+    "PatternCloud",
     "SkolemTerm",
     "PumpingWitness",
     "ReplayResult",
@@ -66,6 +74,8 @@ __all__ = [
     "find_pumping_witness",
     "is_mfa",
     "mfa_witness",
+    "naive_pattern_homomorphisms",
+    "pattern_homomorphisms",
     "skolem_chase",
     "is_critically_richly_acyclic",
     "is_critically_weakly_acyclic",

@@ -23,9 +23,19 @@ are the bag's nulls.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from ..model import Atom, Constant, Predicate, TGD, Variable
+from ..model import Atom, Constant, Instance, Predicate, TGD, Variable, plan_for
 
 # An atom over term classes: (predicate, class ids).
 AtomPattern = Tuple[Predicate, Tuple[int, ...]]
@@ -186,18 +196,149 @@ def atom_to_pattern(
     return (atom.predicate, tuple(classes))
 
 
+# -- the pattern-level join engine -----------------------------------------
+#
+# Patterns are just atoms over ints, so pattern-level joins can run on
+# the same compiled, index-probing machinery as fact-level ones
+# (:mod:`repro.model.joinplan`): each class id is interned as a ground
+# *class term*, a cloud becomes an ordinary :class:`Instance` over
+# class terms, and a rule body becomes a conjunction whose constants
+# are rewritten to their constant-class terms.  The pre-index
+# backtracking scan is retained as
+# :func:`naive_pattern_homomorphisms`, the reference implementation
+# the equivalence tests and the benchmark baseline run against.
+
+_CLASS_TERMS: List[Constant] = []
+
+
+def class_term(cls: int) -> Constant:
+    """The interned ground term standing for class id ``cls``."""
+    while cls >= len(_CLASS_TERMS):
+        _CLASS_TERMS.append(Constant(("cls", len(_CLASS_TERMS))))
+    return _CLASS_TERMS[cls]
+
+
+def _pattern_sort_key(pattern: AtomPattern) -> Tuple:
+    pred, classes = pattern
+    return (pred.name, pred.arity, classes)
+
+
+class PatternCloud:
+    """A class-indexed bag cloud: the patterns materialized as ground
+    atoms over class terms inside an :class:`Instance`, so pattern
+    joins probe term-level indexes instead of scanning per atom.
+
+    Patterns are inserted in a canonical sorted order — frozenset
+    iteration order is hash-randomized across processes, sorted
+    insertion is not — keeping enumeration deterministic run to run.
+    """
+
+    __slots__ = ("patterns", "instance")
+
+    def __init__(self, patterns: Iterable[AtomPattern]):
+        self.patterns: FrozenSet[AtomPattern] = frozenset(patterns)
+        self.instance = Instance()
+        for pred, classes in sorted(self.patterns, key=_pattern_sort_key):
+            self.instance.add(
+                Atom(pred, [class_term(c) for c in classes])
+            )
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+_CLOUD_CACHE: Dict[FrozenSet[AtomPattern], PatternCloud] = {}
+_CLOUD_CACHE_CAP = 64
+"""Saturation asks for the same cloud once per rule per fixpoint
+iteration; the cache turns those repeats into one index build.  Capped
+because clouds can be large and mostly do not repeat across types."""
+
+
+def cloud_index(cloud: FrozenSet[AtomPattern]) -> PatternCloud:
+    """The (cached) class-indexed form of ``cloud``."""
+    index = _CLOUD_CACHE.get(cloud)
+    if index is None:
+        if len(_CLOUD_CACHE) >= _CLOUD_CACHE_CAP:
+            _CLOUD_CACHE.clear()
+        index = PatternCloud(cloud)
+        _CLOUD_CACHE[cloud] = index
+    return index
+
+
+_BODY_CACHE: Dict[Tuple, Optional[Tuple[Atom, ...]]] = {}
+_BODY_CACHE_CAP = 1024
+"""Saturation joins the same (rule body, constant-class map) pair once
+per rule per fixpoint iteration; caching the rewrite spares the
+per-join atom reconstruction and re-hashing."""
+
+
+def _pattern_body(
+    body: Sequence[Atom], constant_class: Dict[Constant, int]
+) -> Optional[Tuple[Atom, ...]]:
+    """``body`` with constants rewritten to their constant-class terms,
+    or ``None`` when some constant has no class (then no assignment can
+    exist)."""
+    key = (tuple(body), tuple(sorted(constant_class.items())))
+    if key in _BODY_CACHE:
+        return _BODY_CACHE[key]
+    out: Optional[List[Atom]] = []
+    for atom in key[0]:
+        terms: List = []
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                terms.append(term)
+            elif isinstance(term, Constant) and term in constant_class:
+                terms.append(class_term(constant_class[term]))
+            else:
+                terms = None
+                break
+        if terms is None:
+            out = None
+            break
+        out.append(Atom(atom.predicate, terms))
+    result = tuple(out) if out is not None else None
+    if len(_BODY_CACHE) >= _BODY_CACHE_CAP:
+        _BODY_CACHE.clear()
+    _BODY_CACHE[key] = result
+    return result
+
+
 def pattern_homomorphisms(
     body: Sequence[Atom],
-    cloud: FrozenSet[AtomPattern],
+    cloud: Union[FrozenSet[AtomPattern], PatternCloud],
     constant_class: Dict[Constant, int],
-) -> Iterable[Dict[Variable, int]]:
+) -> Iterator[Dict[Variable, int]]:
     """All assignments of the body's variables to classes such that
     every body atom maps to a cloud pattern.
 
     The pattern-level analogue of
     :func:`repro.model.homomorphism.homomorphisms`; rule constants must
-    land on their own constant class.
+    land on their own constant class.  ``cloud`` may be a raw frozenset
+    of patterns or an already-built :class:`PatternCloud`; assignments
+    are yielded in the compiled plan's deterministic order (which
+    differs from the naive reference's order — callers treat the result
+    as a set).
     """
+    index = cloud if isinstance(cloud, PatternCloud) else cloud_index(cloud)
+    pattern_body = _pattern_body(body, constant_class)
+    if pattern_body is None:
+        return
+    plan = plan_for(pattern_body, index.instance)
+    for assignment in plan.run(index.instance, {}):
+        yield {var: term.name[1] for var, term in assignment.items()}
+
+
+def naive_pattern_homomorphisms(
+    body: Sequence[Atom],
+    cloud: Union[FrozenSet[AtomPattern], PatternCloud],
+    constant_class: Dict[Constant, int],
+) -> Iterable[Dict[Variable, int]]:
+    """The pre-index backtracking pattern matcher, retained as the
+    reference implementation for equivalence tests and the benchmark
+    baseline.  Yields the same assignments as
+    :func:`pattern_homomorphisms` (possibly in a different order)."""
+    if isinstance(cloud, PatternCloud):
+        cloud = cloud.patterns
     by_predicate: Dict[Predicate, List[Tuple[int, ...]]] = {}
     for pred, classes in cloud:
         by_predicate.setdefault(pred, []).append(classes)

@@ -29,12 +29,20 @@ def decide_guarded(
     variant: str,
     standard: bool = False,
     max_types: int = DEFAULT_MAX_TYPES,
+    pattern_engine: str = "indexed",
 ) -> TerminationVerdict:
     """Decide ``Σ ∈ CT_variant`` for guarded Σ (Theorem 4).
 
     Raises :class:`~repro.errors.UnsupportedClassError` on non-guarded
     input and :class:`~repro.errors.BudgetExceededError` if the type
     space outgrows ``max_types`` (the procedure is 2EXPTIME-complete).
+
+    ``pattern_engine`` selects the body-vs-cloud join implementation
+    used by saturation (see
+    :data:`~repro.termination.saturation.PATTERN_ENGINES`); the default
+    compiled class-indexed plans and the retained ``"naive"`` scan
+    produce the same verdict — the latter exists for equivalence tests
+    and as the benchmark baseline.
     """
     rules = list(rules)
     if not is_guarded(rules):
@@ -47,7 +55,12 @@ def decide_guarded(
             f"Theorem 4 covers the oblivious and semi-oblivious chase, "
             f"not {variant!r}"
         )
-    analysis = TypeAnalysis(rules, standard=standard, max_types=max_types)
+    analysis = TypeAnalysis(
+        rules,
+        standard=standard,
+        max_types=max_types,
+        pattern_engine=pattern_engine,
+    )
     graph = TransitionGraph(analysis)
     stats = graph.stats()
     witness = find_pumping_witness(graph, variant)

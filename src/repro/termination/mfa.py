@@ -13,6 +13,17 @@ The Skolem chase *is* the semi-oblivious chase with memoised witnesses
 (two triggers agreeing on the frontier build the same Skolem terms),
 which is why MFA under-approximates CT_so specifically.
 
+Evaluation runs on the shared semi-naive round engine
+(:class:`repro.chase.delta.DeltaEngine`): each round's triggers are
+discovered from the previous round's delta via compiled pivot-seeded
+join plans and **materialized before any fact is added** — the
+pre-delta implementation mutated the instance while the body
+homomorphisms were still being enumerated, so facts added by one
+firing could leak into later join levels of the same enumeration.  The
+``(rule, frontier-image)`` fired-key set persists across rounds, so a
+historical trigger is never re-keyed and its Skolem terms never
+rebuilt.
+
 Hierarchy validated by the test-suite and measured by the E11 ablation
 benchmark:  WA ⊆ JA ⊆ MFA ⊆ CT_so.
 """
@@ -22,15 +33,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..chase.critical import critical_instance
+from ..chase.delta import DeltaEngine
+from ..chase.triggers import ChaseVariant
 from ..errors import BudgetExceededError
 from ..model import (
-    Atom,
     Constant,
     Instance,
     TGD,
     Term,
-    Variable,
-    homomorphisms,
     validate_program,
 )
 
@@ -44,14 +54,32 @@ class SkolemTerm(Constant):
     instances; equality/hash go through the structured name, so two
     triggers with equal frontier images build identical terms — the
     semi-oblivious identification, for free.
+
+    Terms are immutable and built bottom-up, so the nesting depth and
+    the set of Skolem symbols occurring inside the arguments are
+    computed once at construction from the (already computed) caches of
+    the argument terms.  This keeps :meth:`contains_symbol`,
+    :meth:`is_cyclic` and :meth:`depth` O(1) and recursion-free — the
+    recursive originals blew the interpreter's recursion limit on terms
+    nested a few hundred levels deep, well inside the step budget.
     """
 
-    __slots__ = ("symbol", "args")
+    __slots__ = ("symbol", "args", "_depth", "_nested_symbols")
 
     def __init__(self, symbol: Tuple[int, str], args: Tuple[Term, ...]):
         super().__init__(("skolem", symbol, args))
         self.symbol = symbol
         self.args = args
+        depth = 1
+        nested: Set[Tuple[int, str]] = set()
+        for arg in args:
+            if isinstance(arg, SkolemTerm):
+                if arg._depth >= depth:
+                    depth = arg._depth + 1
+                nested.add(arg.symbol)
+                nested |= arg._nested_symbols
+        self._depth = depth
+        self._nested_symbols = frozenset(nested)
 
     def __str__(self) -> str:
         rule_index, var = self.symbol
@@ -60,20 +88,30 @@ class SkolemTerm(Constant):
 
     def contains_symbol(self, symbol: Tuple[int, str]) -> bool:
         """Does ``symbol`` occur anywhere inside this term's arguments?"""
-        for arg in self.args:
-            if isinstance(arg, SkolemTerm):
-                if arg.symbol == symbol or arg.contains_symbol(symbol):
-                    return True
-        return False
+        return symbol in self._nested_symbols
 
     def is_cyclic(self) -> bool:
         """True iff this term's own symbol occurs nested inside it."""
-        return self.contains_symbol(self.symbol)
+        return self.symbol in self._nested_symbols
 
     def depth(self) -> int:
         """Nesting depth (1 for a term over base constants)."""
-        inner = [a.depth() for a in self.args if isinstance(a, SkolemTerm)]
-        return 1 + max(inner, default=0)
+        return self._depth
+
+
+def _witness_key(term: SkolemTerm) -> Tuple:
+    """A total, recursion-free order on Skolem terms, used to pick the
+    canonical (least) cyclic witness of a round."""
+    encoding: List[Tuple] = []
+    stack: List[Term] = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, SkolemTerm):
+            encoding.append(("f", t.symbol))
+            stack.extend(reversed(t.args))
+        else:
+            encoding.append(("c", str(t)))
+    return (term.depth(), tuple(encoding))
 
 
 def skolem_chase(
@@ -84,52 +122,63 @@ def skolem_chase(
     """Run the Skolem chase.
 
     Returns ``(instance, first_cyclic_term, reached_fixpoint)``; the
-    run stops at the first cyclic term (MFA is already refuted), at a
-    fixpoint, or on budget (then both flags are falsy and the caller
-    should raise).
+    run stops at the first round producing a cyclic term (MFA is
+    already refuted), at a fixpoint, or on budget (then both flags are
+    falsy and the caller should raise).
+
+    The witness is canonical: rounds are well-defined units (each
+    round's triggers are materialized against the round-start instance
+    before any fact is added), so the set of cyclic terms a round
+    produces does not depend on intra-round enumeration order, and the
+    least such term of the earliest cyclic round is returned.  Once a
+    round turns up a cyclic term, the remaining triggers of that round
+    are only scanned for further witnesses, not applied.
     """
     rules = list(rules)
     validate_program(rules)
     instance = Instance(database)
+    engine = DeltaEngine(
+        rules,
+        instance,
+        key=lambda trigger: trigger.key(ChaseVariant.SEMI_OBLIVIOUS),
+    )
     steps = 0
-    frontier: List[Atom] = list(instance)
-    while frontier:
-        new_round: List[Atom] = []
-        seen_assignments: Set[Tuple] = set()
-        for index, rule in enumerate(rules):
-            frontier_sorted = rule.frontier_sorted
-            for assignment in homomorphisms(rule.body, instance):
-                key = (
-                    index,
-                    tuple(
-                        (v.name, assignment[v]) for v in frontier_sorted
-                    ),
-                )
-                if key in seen_assignments:
-                    continue
-                seen_assignments.add(key)
-                mapping: Dict[Term, Term] = {
-                    v: assignment[v] for v in rule.frontier
-                }
-                for var in rule.existentials_sorted:
-                    term = SkolemTerm(
-                        (index, var.name),
-                        tuple(
-                            assignment[v] for v in frontier_sorted
-                        ),
-                    )
-                    if term.is_cyclic():
-                        return instance, term, False
-                    mapping[var] = term
-                for atom in rule.head:
-                    fact = atom.substitute(mapping)
-                    if instance.add(fact):
-                        new_round.append(fact)
-                        steps += 1
-                        if steps >= max_steps:
-                            return instance, None, False
-        frontier = new_round
-    return instance, None, True
+    while True:
+        triggers = engine.next_round()
+        if not triggers:
+            return instance, None, True
+        cyclic: List[SkolemTerm] = []
+        for trigger in triggers:
+            rule = trigger.rule
+            assignment = trigger.assignment
+            skolem_args = tuple(
+                assignment[v] for v in rule.frontier_sorted
+            )
+            terms: List[SkolemTerm] = []
+            for var in rule.existentials_sorted:
+                term = SkolemTerm((trigger.rule_index, var.name), skolem_args)
+                if term.is_cyclic():
+                    cyclic.append(term)
+                terms.append(term)
+            if cyclic:
+                # Witness-scan mode: keep checking the round's remaining
+                # triggers for cyclic terms, but stop growing the
+                # instance.
+                continue
+            mapping: Dict[Term, Term] = {
+                v: assignment[v] for v in rule.frontier
+            }
+            for var, term in zip(rule.existentials_sorted, terms):
+                mapping[var] = term
+            for atom in rule.head:
+                fact = atom.substitute(mapping)
+                if instance.add(fact):
+                    engine.notify((fact,))
+                    steps += 1
+                    if steps >= max_steps:
+                        return instance, None, False
+        if cyclic:
+            return instance, min(cyclic, key=_witness_key), False
 
 
 def is_mfa(

@@ -45,10 +45,18 @@ from .abstraction import (
     AtomPattern,
     BagType,
     atom_to_pattern,
+    cloud_index,
+    naive_pattern_homomorphisms,
     pattern_homomorphisms,
 )
 
 DEFAULT_MAX_TYPES = 20_000
+
+PATTERN_ENGINES = ("indexed", "naive")
+"""Pattern-join engines: ``indexed`` runs bodies through the compiled
+class-indexed join plans of :mod:`repro.termination.abstraction`;
+``naive`` is the retained backtracking scan, kept selectable for
+equivalence tests and as the benchmark baseline."""
 
 
 class ChildEdge:
@@ -118,11 +126,16 @@ class TypeAnalysis:
         standard: bool = False,
         max_types: int = DEFAULT_MAX_TYPES,
         database: Optional[Instance] = None,
+        pattern_engine: str = "indexed",
     ):
         """Analyse ``rules`` over the critical instance (default), the
         *standard* critical instance (``standard=True``), or a concrete
         ``database`` root — the latter turns saturation into the
-        guarded atom-entailment engine of :mod:`repro.entailment`."""
+        guarded atom-entailment engine of :mod:`repro.entailment`.
+
+        ``pattern_engine`` selects how rule bodies are joined against
+        clouds (see :data:`PATTERN_ENGINES`); both engines compute the
+        same assignment sets."""
         rules = list(rules)
         validate_program(rules)
         for rule in rules:
@@ -132,10 +145,24 @@ class TypeAnalysis:
                 )
         if standard and database is not None:
             raise ValueError("standard and database roots are exclusive")
+        if pattern_engine not in PATTERN_ENGINES:
+            raise ValueError(
+                f"unknown pattern engine {pattern_engine!r}; "
+                f"expected one of {PATTERN_ENGINES}"
+            )
         self.rules = rules
         self.standard = standard
         self.database = database
         self.max_types = max_types
+        self.pattern_engine = pattern_engine
+        self._pattern_homs = (
+            pattern_homomorphisms
+            if pattern_engine == "indexed"
+            else naive_pattern_homomorphisms
+        )
+        # How many body-vs-cloud joins saturation executed — surfaced
+        # through TransitionGraph.stats() for certificates/benchmarks.
+        self.pattern_joins = 0
         constants: Set[Constant] = set(program_constants(rules))
         schema = Schema.from_rules(rules)
         if database is not None:
@@ -210,22 +237,34 @@ class TypeAnalysis:
                 )
             self.table[bag_type] = bag_type.cloud
 
+    def _snapshot(self, cloud: FrozenSet[AtomPattern]):
+        """The pattern-join input for the configured engine: the
+        class-indexed form (built once, cached) for ``indexed``, the
+        raw frozenset for ``naive``."""
+        if self.pattern_engine == "indexed":
+            return cloud_index(cloud)
+        return cloud
+
     def _saturate_one(self, bag_type: BagType) -> FrozenSet[AtomPattern]:
         """One saturation pass for a single type, against the current
         global table.  Registers newly discovered child types."""
         cloud: Set[AtomPattern] = set(self.table[bag_type])
         while True:
             before = len(cloud)
-            frozen = frozenset(cloud)
+            # One snapshot per fixpoint iteration: every rule joins
+            # against the iteration-start cloud (additions made while a
+            # rule's assignments are enumerated become visible next
+            # iteration, never mid-enumeration).
+            snapshot = self._snapshot(frozenset(cloud))
             for rule_index, rule in enumerate(self.rules):
-                for assignment in pattern_homomorphisms(
-                    rule.body, frozen, self.constant_class
+                self.pattern_joins += 1
+                for assignment in self._pattern_homs(
+                    rule.body, snapshot, self.constant_class
                 ):
                     self._apply_local(rule, assignment, cloud)
                     if rule.existential_variables:
                         edge = self._make_child(
-                            bag_type, frozenset(cloud), rule, rule_index,
-                            assignment,
+                            bag_type, cloud, rule, rule_index, assignment
                         )
                         self._register(edge.target)
                         self._lift_child_atoms(edge, cloud)
@@ -249,13 +288,14 @@ class TypeAnalysis:
     def _make_child(
         self,
         parent: BagType,
-        parent_cloud: FrozenSet[AtomPattern],
+        parent_cloud: Iterable[AtomPattern],
         rule: TGD,
         rule_index: int,
         assignment: Dict[Variable, int],
     ) -> ChildEdge:
         """The type-level child bag created by applying ``rule`` under
-        ``assignment`` to a bag with ``parent_cloud``."""
+        ``assignment`` to a bag whose cloud currently is
+        ``parent_cloud`` (iterated once; a live set is fine)."""
         g = self.num_constants
         inherited = sorted(
             {assignment[v] for v in rule.frontier if assignment[v] >= g}
@@ -332,13 +372,15 @@ class TypeAnalysis:
         computed against its *saturated* cloud."""
         self.saturate()
         cloud = self.table[bag_type]
+        snapshot = self._snapshot(cloud)
         seen: Set[Tuple] = set()
         edges: List[ChildEdge] = []
         for rule_index, rule in enumerate(self.rules):
             if not rule.existential_variables:
                 continue
-            for assignment in pattern_homomorphisms(
-                rule.body, cloud, self.constant_class
+            self.pattern_joins += 1
+            for assignment in self._pattern_homs(
+                rule.body, snapshot, self.constant_class
             ):
                 edge = self._make_child(
                     bag_type, cloud, rule, rule_index, assignment

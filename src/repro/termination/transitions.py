@@ -101,10 +101,16 @@ class TransitionGraph:
         return components
 
     def stats(self) -> Dict[str, int]:
-        """Size statistics for certificates and benchmarks."""
+        """Size statistics for certificates and benchmarks.
+
+        ``pattern_joins`` counts the body-vs-cloud joins the underlying
+        analysis executed (saturation + edge discovery) — the work the
+        class-indexed pattern engine accelerates.
+        """
         return {
             "types": len(self.nodes),
             "edges": len(self.edges),
             "table_types": len(self.analysis.table),
             "constants": self.analysis.num_constants,
+            "pattern_joins": self.analysis.pattern_joins,
         }

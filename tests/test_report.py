@@ -91,3 +91,29 @@ class TestProvenance:
         result = semi_oblivious_chase(db, self.RULES)
         contributions = result.facts_by_rule()
         assert contributions == {"r1": 2, "r2": 2}
+
+    def test_map_agrees_with_linear_scan_for_every_fact(self):
+        # The lazily built fact→step map must answer exactly like the
+        # old O(steps) scan, for derived and database facts alike.
+        db = parse_database("p(a)\np(b)")
+        result = semi_oblivious_chase(db, self.RULES)
+
+        def scan(fact):
+            for step in result.steps:
+                if fact in step.new_facts:
+                    return step
+            return None
+
+        for fact in result.instance:
+            assert result.provenance(fact) is scan(fact)
+
+    def test_repeated_lookups_share_the_built_map(self):
+        db = parse_database("p(a)")
+        result = semi_oblivious_chase(db, self.RULES)
+        fact = next(
+            f for f in result.instance if f.predicate.name == "r"
+        )
+        first = result.provenance(fact)
+        assert result.provenance(fact) is first
+        # The map is built once: further lookups do not rebuild it.
+        assert result._provenance_built == len(result.steps)
