@@ -30,15 +30,30 @@ replica of its pre-PR-2 baseline:
 * **guarded_decider** — Theorem 4's type-graph procedure, compiled
   class-indexed pattern joins vs the retained naive backtracking scan.
 
+PR 3 adds **round-batched executor** scenarios (``*_parallel``): each
+runs its workload once through the serial engine and once through a
+batched executor (:mod:`repro.chase.scheduler`), asserts the results
+are byte-identical (facts, trigger keys, null/Skolem numbering), and
+records both walls plus the speedup.  On single-core CI boxes the
+``threaded`` executor is GIL-bound (~1×) and ``process`` pays spawn +
+per-round pickling (<1×); the rows exist to (a) prove equivalence on
+every run and (b) track the trajectory on real multi-core hardware.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py             # full run
     PYTHONPATH=src python benchmarks/bench_perf.py --scale 0.2 # quicker
     PYTHONPATH=src python benchmarks/bench_perf.py --no-compare
+    PYTHONPATH=src python benchmarks/bench_perf.py \
+        --scale 0.25 --check BENCH_chase.json      # CI regression gate
 
 writes ``BENCH_chase.json`` next to the repo root (override with
-``--output``).  ``benchmarks/test_perf_smoke.py`` runs the same
-scenarios at toy sizes inside tier-1 so the harness cannot rot.
+``--output``).  ``--check`` runs the chase scenarios against a
+recorded report instead: every scenario's measured ``facts_per_s``
+must stay above ``--check-ratio`` (default 0.5) times the recorded
+value or the process exits non-zero — the CI bench-regression gate.
+``benchmarks/test_perf_smoke.py`` runs the same scenarios at toy
+sizes inside tier-1 so the harness cannot rot.
 """
 
 from __future__ import annotations
@@ -49,7 +64,12 @@ import platform
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.chase import ChaseVariant, critical_instance, run_chase
+from repro.chase import (
+    ChaseVariant,
+    RoundScheduler,
+    critical_instance,
+    run_chase,
+)
 from repro.chase.result import ChaseResult
 from repro.chase.triggers import Trigger, apply_trigger, head_satisfied
 from repro.model import (
@@ -485,6 +505,168 @@ DECIDERS = (
 )
 
 
+# -- round-batched executor scenarios --------------------------------------
+#
+# Each `*_parallel` row is serial-vs-batched on the same workload; the
+# runs must be byte-identical (same fact tuple, same trigger keys), so
+# every benchmark run doubles as an executor-equivalence check.
+
+
+def _chase_fingerprint(result: ChaseResult) -> Tuple:
+    return (
+        result.instance.facts(),
+        tuple(step.trigger.key(result.variant) for step in result.steps),
+    )
+
+
+def run_parallel_scenario(
+    spec: Dict, scheduler: str, workers: int
+) -> Dict:
+    """Serial vs batched run of one chase scenario; raises on any
+    divergence, records both walls and the speedup."""
+    serial_start = time.perf_counter()
+    serial = run_chase(
+        spec["database"], spec["rules"], spec["variant"], spec["max_steps"]
+    )
+    serial_wall = time.perf_counter() - serial_start
+
+    with RoundScheduler(scheduler, workers=workers) as sched:
+        batched_start = time.perf_counter()
+        batched = run_chase(
+            spec["database"], spec["rules"], spec["variant"],
+            spec["max_steps"], scheduler=sched,
+        )
+        batched_wall = time.perf_counter() - batched_start
+
+    if _chase_fingerprint(serial) != _chase_fingerprint(batched):
+        raise AssertionError(
+            f"executor divergence on {spec['name']} under {scheduler}: "
+            f"batched run is not byte-identical to serial"
+        )
+    return {
+        "name": f"{spec['name']}_parallel",
+        "scheduler": scheduler,
+        "workers": workers,
+        "variant": spec["variant"],
+        "facts_final": len(batched.instance),
+        "triggers_fired": batched.step_count,
+        "serial_wall_s": round(serial_wall, 6),
+        "batched_wall_s": round(batched_wall, 6),
+        "speedup": round(serial_wall / batched_wall, 2)
+        if batched_wall > 0 else None,
+        "equivalent": True,
+    }
+
+
+def run_mfa_parallel(spec: Dict, workers: int) -> Dict:
+    """Serial vs threaded vs spawn-process Skolem saturation — the
+    CPU-bound run the ``process`` executor exists for.  All three must
+    produce the same instance, witness, and fixpoint flag."""
+    rules = spec["rules"]
+    database = critical_instance(rules)
+
+    serial_start = time.perf_counter()
+    s_inst, s_cyc, s_fix = skolem_chase(database, rules, spec["max_steps"])
+    serial_wall = time.perf_counter() - serial_start
+
+    with RoundScheduler("threaded", workers=workers) as sched:
+        t_start = time.perf_counter()
+        t_inst, t_cyc, t_fix = skolem_chase(
+            database, rules, spec["max_steps"], scheduler=sched
+        )
+        threaded_wall = time.perf_counter() - t_start
+
+    with RoundScheduler("process", workers=workers) as sched:
+        p_start = time.perf_counter()
+        p_inst, p_cyc, p_fix = skolem_chase(
+            database, rules, spec["max_steps"], scheduler=sched
+        )
+        process_wall = time.perf_counter() - p_start
+
+    for label, inst, cyc, fix in (
+        ("threaded", t_inst, t_cyc, t_fix),
+        ("process", p_inst, p_cyc, p_fix),
+    ):
+        if (cyc, fix) != (s_cyc, s_fix) or inst.facts() != s_inst.facts():
+            raise AssertionError(
+                f"executor divergence on {spec['name']} under {label}"
+            )
+    return {
+        "name": f"{spec['name']}_parallel",
+        "workers": workers,
+        "facts_final": len(s_inst),
+        "mfa": s_fix,
+        "serial_wall_s": round(serial_wall, 6),
+        "threaded_wall_s": round(threaded_wall, 6),
+        "process_wall_s": round(process_wall, 6),
+        "speedup_threaded": round(serial_wall / threaded_wall, 2)
+        if threaded_wall > 0 else None,
+        "speedup_process": round(serial_wall / process_wall, 2)
+        if process_wall > 0 else None,
+        "equivalent": True,
+    }
+
+
+DEFAULT_PARALLEL_WORKERS = 4
+
+
+def run_parallel_suite(
+    scale: float, workers: int = DEFAULT_PARALLEL_WORKERS
+) -> List[Dict]:
+    """All `*_parallel` rows for the report."""
+    return [
+        run_parallel_scenario(deep_chain_scenario(scale), "threaded",
+                              workers),
+        run_parallel_scenario(guarded_ontology_scenario(scale), "threaded",
+                              workers),
+        run_mfa_parallel(mfa_decider_scenario(scale), workers=2),
+    ]
+
+
+# -- the CI regression gate ------------------------------------------------
+
+
+def check_against(
+    baseline: Dict, scale: float, ratio: float = 0.5
+) -> Tuple[bool, List[str]]:
+    """Re-measure every recorded chase scenario and compare rates.
+
+    Returns ``(ok, report_lines)``; ``ok`` is False iff some
+    scenario's measured ``facts_per_s`` fell below ``ratio`` times the
+    recorded value.  Rates, not walls, are compared so the gate
+    tolerates running at a smaller ``--scale`` than the recording.
+    """
+    recorded = {
+        row["name"]: row
+        for row in baseline.get("scenarios", [])
+        if row.get("facts_per_s")
+    }
+    # Build each scenario once, at the measurement scale.
+    specs = {spec["name"]: spec for spec in (m(scale) for m in SCENARIOS)}
+    ok = True
+    lines = []
+    for name, row in recorded.items():
+        spec = specs.get(name)
+        if spec is None:
+            ok = False
+            lines.append(f"FAIL {name}: recorded scenario no longer exists")
+            continue
+        measured = run_scenario(spec)
+        rate, floor = measured["facts_per_s"], row["facts_per_s"] * ratio
+        status = "ok  " if rate >= floor else "FAIL"
+        if rate < floor:
+            ok = False
+        lines.append(
+            f"{status} {name}: {rate:.1f} facts/s vs recorded "
+            f"{row['facts_per_s']:.1f} (floor {floor:.1f} at "
+            f"ratio {ratio})"
+        )
+    if not recorded:
+        ok = False
+        lines.append("FAIL: baseline report contains no rated scenarios")
+    return ok, lines
+
+
 # -- measurement -----------------------------------------------------------
 
 
@@ -567,6 +749,9 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
         # the baseline replicas double as correctness checks.
         "deciders": [run(make(scale)) for make, run in DECIDERS],
         "headline_decider": HEADLINE_DECIDER,
+        # Serial-vs-batched executor rows (each asserts byte-identical
+        # results before reporting a speedup).
+        "parallel": run_parallel_suite(scale),
     }
     if compare:
         payload["baseline_comparison"] = run_baseline_comparison(
@@ -583,7 +768,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="where to write the JSON report")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the slow seed-engine baseline run")
+    parser.add_argument("--check", metavar="REPORT", default=None,
+                        help="regression-gate mode: compare measured "
+                             "facts/s against this recorded report and "
+                             "exit non-zero on a drop below the floor")
+    parser.add_argument("--check-ratio", type=float, default=0.5,
+                        help="floor as a fraction of the recorded rate "
+                             "(default 0.5)")
     args = parser.parse_args(argv)
+
+    if args.check is not None:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        ok, lines = check_against(baseline, args.scale, args.check_ratio)
+        for line in lines:
+            print(line)
+        print("bench gate:", "pass" if ok else "REGRESSION")
+        return 0 if ok else 1
 
     payload = run_suite(scale=args.scale, compare=not args.no_compare)
 
@@ -611,6 +812,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"decider {row['name']}: baseline {row['baseline_wall_s']}s "
             f"vs {row['wall_s']}s — {row['speedup']}x speedup"
         )
+    for row in payload["parallel"]:
+        wall_keys = [k for k in row if k.endswith("_wall_s")]
+        walls = ", ".join(f"{k[:-7]} {row[k]}s" for k in wall_keys)
+        print(f"parallel {row['name']}: {walls} (byte-identical)")
     print(f"wrote {args.output}")
     return 0
 

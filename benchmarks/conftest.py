@@ -10,7 +10,7 @@ reproduces the paper-style summary rows recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def print_table(title: str, header: Sequence[str],

@@ -3,8 +3,6 @@ universal solutions, and the termination machinery predicts chase
 safety ahead of time.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.cq import ConjunctiveQuery, is_model
 from repro.exchange import ExchangeSetting

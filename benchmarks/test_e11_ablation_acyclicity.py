@@ -9,8 +9,6 @@ acceptance rate vs the exact Theorem 2/4 verdict, with the hierarchy
 RA ⊆ WA ⊆ JA ⊆ MFA ⊆ CT_so checked along the way.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant
 from repro.graphs import (

@@ -6,8 +6,6 @@ must coincide *exactly* with the semantic guarded-type-graph verdicts,
 and never contradict the budgeted critical-chase oracle.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant
 from repro.graphs import is_richly_acyclic, is_weakly_acyclic

@@ -7,11 +7,9 @@ The diagonal family exhibits the separation at every arity; random
 linear programs quantify how often WA is wrong on L.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant
-from repro.graphs import is_richly_acyclic, is_weakly_acyclic
+from repro.graphs import is_weakly_acyclic
 from repro.termination import (
     critical_chase_terminates,
     decide_linear,

@@ -12,8 +12,6 @@ series grows strictly and faster than the rule-count series).
 
 import time
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant
 from repro.termination import TypeAnalysis, decide_linear, decide_termination

@@ -5,8 +5,6 @@ diverging), scaling of the type space with tower depth, and the
 standard-database variant.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant
 from repro.termination import (

@@ -6,8 +6,6 @@ equivalence).  §3.1: RA ⊆ WA.  The bench counts how often the
 inclusions are strict on random programs — the separation rate.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant
 from repro.graphs import is_richly_acyclic, is_weakly_acyclic

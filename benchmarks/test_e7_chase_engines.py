@@ -8,8 +8,6 @@ restricted only on unsatisfied heads — so instance sizes must be
 ordered restricted ≤ semi-oblivious ≤ oblivious.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant, run_chase
 from repro.parser import parse_database, parse_program

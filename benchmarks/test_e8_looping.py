@@ -6,8 +6,6 @@ program with the Theorem 4 procedure — the paper's lower-bound pipeline
 run forwards.
 """
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant
 from repro.entailment import entails_atom, looping_operator

@@ -8,8 +8,6 @@ test.
 import itertools
 import time
 
-import pytest
-
 from benchmarks.conftest import print_table
 from repro.chase import ChaseVariant, run_chase
 from repro.model import Atom, Constant, Database, Schema

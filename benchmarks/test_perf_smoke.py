@@ -68,6 +68,69 @@ def test_guarded_decider_scenario_terminates_at_smoke_scale():
     assert row["pattern_joins"] > 0
 
 
+def test_parallel_scenarios_are_byte_identical():
+    # run_parallel_scenario raises on any serial/batched divergence;
+    # the row records both walls and flags the equivalence check.
+    row = bench_perf.run_parallel_scenario(
+        bench_perf.deep_chain_scenario(SMOKE_SCALE), "threaded", 2
+    )
+    assert row["name"] == "deep_chain_parallel"
+    assert row["equivalent"] is True
+    assert row["serial_wall_s"] >= 0 and row["batched_wall_s"] >= 0
+
+
+def test_mfa_parallel_runs_all_three_executors():
+    row = bench_perf.run_mfa_parallel(
+        bench_perf.mfa_decider_scenario(SMOKE_SCALE), workers=2
+    )
+    assert row["equivalent"] is True
+    for key in ("serial_wall_s", "threaded_wall_s", "process_wall_s",
+                "speedup_threaded", "speedup_process"):
+        assert key in row
+
+
+def test_check_mode_passes_against_fresh_report():
+    payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
+    ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
+    assert ok, lines
+    assert len(lines) == len(bench_perf.SCENARIOS)
+
+
+def test_check_mode_fails_on_regression():
+    payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
+    for row in payload["scenarios"]:
+        row["facts_per_s"] *= 1e9  # impossible recorded rate
+    ok, lines = bench_perf.check_against(payload, SMOKE_SCALE)
+    assert not ok
+    assert any(line.startswith("FAIL") for line in lines)
+
+
+def test_check_mode_fails_on_unknown_scenario():
+    payload = {"scenarios": [{"name": "gone", "facts_per_s": 1.0}]}
+    ok, lines = bench_perf.check_against(payload, SMOKE_SCALE)
+    assert not ok
+
+
+def test_check_cli_exit_codes(tmp_path):
+    report = tmp_path / "report.json"
+    assert bench_perf.main(
+        ["--scale", str(SMOKE_SCALE), "--output", str(report),
+         "--no-compare"]
+    ) == 0
+    assert bench_perf.main(
+        ["--scale", str(SMOKE_SCALE), "--check", str(report),
+         "--check-ratio", "0.01"]
+    ) == 0
+    broken = json.loads(report.read_text())
+    for row in broken["scenarios"]:
+        row["facts_per_s"] *= 1e9
+    bad = tmp_path / "broken.json"
+    bad.write_text(json.dumps(broken))
+    assert bench_perf.main(
+        ["--scale", str(SMOKE_SCALE), "--check", str(bad)]
+    ) == 1
+
+
 def test_suite_payload_shape(tmp_path):
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     assert payload["schema_version"] == 1
@@ -84,6 +147,10 @@ def test_suite_payload_shape(tmp_path):
     for row in payload["deciders"]:
         for key in ("wall_s", "baseline_wall_s", "speedup"):
             assert key in row
+    parallel_names = {row["name"] for row in payload["parallel"]}
+    assert {"deep_chain_parallel", "guarded_ontology_parallel",
+            "mfa_decider_parallel"} <= parallel_names
+    assert all(row["equivalent"] for row in payload["parallel"])
     # The payload must round-trip through JSON (that is the contract
     # BENCH_chase.json consumers rely on).
     assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local dry-run of .github/workflows/ci.yml — same commands, same
+# order, on whatever interpreter `python` resolves to.  The lint job
+# is skipped (with a warning) when ruff isn't installed; everything
+# else is mandatory.  Exits non-zero on the first failure, like CI.
+#
+# Usage: bash ci/local_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q tests
+
+echo "== bench harness smoke =="
+PYTHONPATH=src python -m pytest -x -q benchmarks/test_perf_smoke.py
+
+echo "== bench regression gate =="
+PYTHONPATH=src python benchmarks/bench_perf.py \
+    --scale 0.25 --check BENCH_chase.json
+
+echo "== lint =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+else
+    echo "ruff not installed; skipping lint (CI will run it)"
+fi
+
+echo "ci/local_check.sh: all checks passed"

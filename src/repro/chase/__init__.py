@@ -20,6 +20,14 @@ from .engine import (
     semi_oblivious_chase,
 )
 from .result import ChaseResult, ChaseStep
+from .scheduler import (
+    SCHEDULER_KINDS,
+    RoundScheduler,
+    discovery_batches,
+    evaluate_batch,
+    resolve_scheduler,
+    scheduled_delta_triggers,
+)
 from .triggers import (
     ChaseVariant,
     Trigger,
@@ -38,6 +46,8 @@ __all__ = [
     "DeltaEngine",
     "ONE_CONSTANT",
     "ONE_PREDICATE",
+    "RoundScheduler",
+    "SCHEDULER_KINDS",
     "Trigger",
     "ZERO_CONSTANT",
     "ZERO_PREDICATE",
@@ -46,10 +56,15 @@ __all__ = [
     "critical_domain",
     "critical_instance",
     "delta_triggers",
+    "discovery_batches",
+    "evaluate_batch",
     "head_satisfied",
     "oblivious_chase",
+    "resolve_scheduler",
     "restricted_chase",
     "run_chase",
+    "scheduled_delta_triggers",
     "semi_oblivious_chase",
     "standard_critical_instance",
+    "triggers_for_rule",
 ]

@@ -17,7 +17,7 @@ critical database over ``{*, 0, 1}``.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..model import (
     Atom,

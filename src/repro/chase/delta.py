@@ -27,13 +27,32 @@ Two pieces live here:
 * :class:`DeltaEngine` — the round driver owning the state that must
   survive across rounds: the frontier and the persistent fired-key
   set.
+
+Discovery is the read-only (and expensive) half of a round, so it is
+also the half that batches: pass a
+:class:`~repro.chase.scheduler.RoundScheduler` (or a kind name) to
+``DeltaEngine`` and each round's discovery work list is partitioned
+into per-``(rule, pivot)`` batches and evaluated by the configured
+executor, with a canonical-order merge that reproduces the serial
+trigger stream exactly (see :mod:`repro.chase.scheduler`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Sequence, Set
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from ..model import Atom, Instance, Predicate, TGD, atom_step, plan_for
+from .scheduler import RoundScheduler, scheduled_delta_triggers
 from .triggers import Trigger
 
 
@@ -99,20 +118,37 @@ class DeltaEngine:
     The instance is shared with the caller and must only be mutated
     *between* ``next_round`` calls — i.e. while applying a materialized
     round — never during one (``next_round`` itself never mutates it).
+
+    ``scheduler`` (optional) batches each round's discovery pass
+    through a :class:`~repro.chase.scheduler.RoundScheduler`; the
+    default — and a plain serial scheduler without sharding — runs the
+    unbatched :func:`delta_triggers` loop.  Either way the trigger
+    stream is identical; the fired-key dedup below is always serial.
     """
 
-    __slots__ = ("rules", "instance", "fired", "_key", "_frontier")
+    __slots__ = ("rules", "instance", "fired", "_key", "_frontier",
+                 "_scheduler")
 
     def __init__(
         self,
         rules: Sequence[TGD],
         instance: Instance,
         key: Callable[[Trigger], Hashable],
+        scheduler: Optional[RoundScheduler] = None,
     ):
         self.rules: List[TGD] = list(rules)
         self.instance = instance
         self.fired: Set[Hashable] = set()
         self._key = key
+        if (
+            scheduler is not None
+            and scheduler.kind == "serial"
+            and scheduler.shard_size is None
+        ):
+            # Indistinguishable from no scheduler; drop it so the
+            # serial path stays the canonical single loop.
+            scheduler = None
+        self._scheduler = scheduler
         # The first round treats every existing fact as new.
         self._frontier: List[Atom] = list(instance)
 
@@ -135,10 +171,19 @@ class DeltaEngine:
         if not frontier:
             return []
         self._frontier = []
+        scheduler = self._scheduler
+        if scheduler is None:
+            discovered: Iterable[Trigger] = delta_triggers(
+                self.rules, self.instance, frontier
+            )
+        else:
+            discovered = scheduled_delta_triggers(
+                scheduler, self.rules, self.instance, frontier
+            )
         fired = self.fired
         key = self._key
         out: List[Trigger] = []
-        for trigger in delta_triggers(self.rules, self.instance, frontier):
+        for trigger in discovered:
             k = key(trigger)
             if k in fired:
                 continue

@@ -31,6 +31,7 @@ from ..model import (
 )
 from .delta import DeltaEngine, delta_triggers
 from .result import ChaseResult, ChaseStep
+from .scheduler import SchedulerSpec, resolve_scheduler
 from .triggers import (
     ChaseVariant,
     apply_trigger,
@@ -51,6 +52,8 @@ def run_chase(
     max_steps: int = DEFAULT_MAX_STEPS,
     null_factory: Optional[NullFactory] = None,
     order_seed: Optional[int] = None,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> ChaseResult:
     """Run a fair ``variant`` chase of ``rules`` on ``database``.
 
@@ -65,6 +68,16 @@ def run_chase(
     this empirically (``tests/test_sequences.py``).  The restricted
     chase is genuinely order-sensitive; the default order is one
     canonical fair sequence.
+
+    ``scheduler`` / ``workers`` select the round executor
+    (:mod:`repro.chase.scheduler`): ``"serial"`` (default),
+    ``"threaded"``, ``"process"``, or a ready
+    :class:`~repro.chase.scheduler.RoundScheduler` (reused, not
+    closed); ``workers=N`` alone selects the threaded executor.
+    Every executor produces a byte-identical result — same
+    facts in the same order, same trigger keys, same null numbering —
+    because only the read-only discovery half of a round is batched and
+    the merge applies firings in canonical round order.
     """
     if variant not in ChaseVariant.ALL:
         raise ValueError(f"unknown chase variant {variant!r}")
@@ -74,8 +87,12 @@ def run_chase(
     validate_program(rules)
     instance = Instance(database)
     factory = null_factory or NullFactory()
+    round_scheduler, owns_scheduler = resolve_scheduler(scheduler, workers)
     engine = DeltaEngine(
-        rules, instance, key=lambda trigger: trigger.key(variant)
+        rules,
+        instance,
+        key=lambda trigger: trigger.key(variant),
+        scheduler=round_scheduler,
     )
     steps: List[ChaseStep] = []
     rng = None
@@ -84,53 +101,75 @@ def run_chase(
 
         rng = random.Random(order_seed)
 
-    while True:
-        round_triggers = engine.next_round()
-        if rng is not None:
-            rng.shuffle(round_triggers)
-        fired_this_round = 0
-        for trigger in round_triggers:
-            if variant == ChaseVariant.RESTRICTED and head_satisfied(
-                trigger, instance
-            ):
-                # Satisfied triggers never become unsatisfied (instances
-                # only grow), so skipping them for good — they are
-                # already in the engine's fired-key set — is safe.
-                continue
-            new_facts = apply_trigger(trigger, instance, factory)
-            steps.append(ChaseStep(trigger, new_facts))
-            engine.notify(new_facts)
-            fired_this_round += 1
-            if len(steps) >= max_steps:
-                return ChaseResult(instance, False, steps, variant, max_steps)
-        if fired_this_round == 0:
-            return ChaseResult(instance, True, steps, variant, max_steps)
+    try:
+        while True:
+            round_triggers = engine.next_round()
+            if rng is not None:
+                rng.shuffle(round_triggers)
+            fired_this_round = 0
+            for trigger in round_triggers:
+                if variant == ChaseVariant.RESTRICTED and head_satisfied(
+                    trigger, instance
+                ):
+                    # Satisfied triggers never become unsatisfied
+                    # (instances only grow), so skipping them for good —
+                    # they are already in the engine's fired-key set —
+                    # is safe.
+                    continue
+                new_facts = apply_trigger(trigger, instance, factory)
+                steps.append(ChaseStep(trigger, new_facts))
+                engine.notify(new_facts)
+                fired_this_round += 1
+                if len(steps) >= max_steps:
+                    return ChaseResult(
+                        instance, False, steps, variant, max_steps
+                    )
+            if fired_this_round == 0:
+                return ChaseResult(instance, True, steps, variant, max_steps)
+    finally:
+        if owns_scheduler:
+            round_scheduler.close()
 
 
 def oblivious_chase(
     database: Instance,
     rules: Sequence[TGD],
     max_steps: int = DEFAULT_MAX_STEPS,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> ChaseResult:
     """The oblivious chase: every distinct body homomorphism fires."""
-    return run_chase(database, rules, ChaseVariant.OBLIVIOUS, max_steps)
+    return run_chase(
+        database, rules, ChaseVariant.OBLIVIOUS, max_steps,
+        scheduler=scheduler, workers=workers,
+    )
 
 
 def semi_oblivious_chase(
     database: Instance,
     rules: Sequence[TGD],
     max_steps: int = DEFAULT_MAX_STEPS,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> ChaseResult:
     """The semi-oblivious chase: homomorphisms agreeing on the frontier
     are indistinguishable."""
-    return run_chase(database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps)
+    return run_chase(
+        database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps,
+        scheduler=scheduler, workers=workers,
+    )
 
 
 def restricted_chase(
     database: Instance,
     rules: Sequence[TGD],
     max_steps: int = DEFAULT_MAX_STEPS,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> ChaseResult:
     """The restricted (standard) chase: fire only when the head is not
     yet satisfied."""
-    return run_chase(database, rules, ChaseVariant.RESTRICTED, max_steps)
+    return run_chase(
+        database, rules, ChaseVariant.RESTRICTED, max_steps,
+        scheduler=scheduler, workers=workers,
+    )

@@ -1,0 +1,348 @@
+"""Round-batched execution — pluggable executors for chase rounds.
+
+PR 2 made every round a materialized, well-defined work list: triggers
+are discovered against the round-start instance and only then applied.
+This module exploits exactly that invariant.  A round's discovery work
+factors into independent **batches** — one per ``(rule, pivot)`` pair
+(optionally sharded further over the pivot's candidate facts) — each of
+which only *reads* the round-start instance.  Batches can therefore be
+evaluated by any executor, and a deterministic merge (concatenation in
+canonical batch order, then the engine's serial fired-key dedup and
+firing pass) reproduces the serial engine's trigger stream **exactly**:
+same triggers, same order, same trigger keys, same Skolem-term and
+null numbering, byte-identical :class:`~repro.chase.result.ChaseResult`
+instances.
+
+Three executors are provided (:data:`SCHEDULER_KINDS`):
+
+* ``serial`` — the default; batches are evaluated inline in canonical
+  order.  Byte-identical to the pre-scheduler engine by construction
+  (it *is* the same loop).
+* ``threaded`` — a shared-memory worker pool over batches.  Workers run
+  compiled join plans against the shared round-start instance; the GIL
+  serializes pure-Python joins, so this helps when per-batch work
+  releases the GIL and otherwise stays near 1×, but it is the
+  determinism-preserving harness the ``process`` executor plugs into.
+* ``process`` — a ``spawn``-context process pool for CPU-bound runs
+  (the MFA Skolem saturation being the motivating workload).  Batch
+  descriptors are fully picklable: the round-start instance ships as
+  its fact tuple (indexes are rebuilt worker-side), rules rebuild
+  through ``TGD.__reduce__``, and discovered assignments return as
+  ``(variable, term)`` pairs — all routed through the constructor-based
+  ``__reduce__`` protocol of :mod:`repro.model.terms`, which recomputes
+  cached hashes under the worker's hash randomization and interns
+  constants/variables/predicates on arrival.
+
+The executors never see the fired-key set and never mutate the
+instance; ordering and mutation stay with the caller
+(:class:`~repro.chase.delta.DeltaEngine` and the engines built on it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from ..model import Atom, Instance, Predicate, TGD, Term, Variable, atom_step, plan_for
+from .triggers import Trigger
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+SCHEDULER_KINDS = ("serial", "threaded", "process")
+"""The pluggable round executors, in increasing isolation order."""
+
+#: One discovery batch: ``(rule_index, pivot_position, candidate_facts)``.
+DiscoveryBatch = Tuple[int, int, Tuple[Atom, ...]]
+
+#: A trigger in wire form: ``(rule_index, ((var, term), ...))``.
+WireTrigger = Tuple[int, Tuple[Tuple[Variable, Term], ...]]
+
+
+class RoundScheduler:
+    """A pluggable executor for round-batched work.
+
+    ``kind`` selects the executor (:data:`SCHEDULER_KINDS`); ``workers``
+    bounds the pool size (default: the machine's CPU count); and
+    ``shard_size``, when set, additionally splits each ``(rule, pivot)``
+    discovery batch into contiguous candidate-fact shards of at most
+    that many facts, for load balance on skewed frontiers.
+
+    Pools are created lazily on first use and reused across rounds (and
+    across runs, when the caller passes one scheduler to several
+    engines — the recommended way to amortize ``process`` spawn cost).
+    Schedulers are context managers; :meth:`close` shuts the pools
+    down.  The ``serial`` kind never allocates a pool.
+    """
+
+    __slots__ = ("kind", "workers", "shard_size", "_threads", "_processes")
+
+    def __init__(
+        self,
+        kind: str = "serial",
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+    ):
+        if kind not in SCHEDULER_KINDS:
+            raise ValueError(
+                f"unknown scheduler kind {kind!r}; "
+                f"expected one of {SCHEDULER_KINDS}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(
+                f"shard_size must be positive, got {shard_size}"
+            )
+        self.kind = kind
+        self.workers = workers or (os.cpu_count() or 1)
+        self.shard_size = shard_size
+        self._threads = None
+        self._processes = None
+
+    # -- executor plumbing -------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every task; results in task order.
+
+        Under ``process``, ``fn`` must be a module-level function and
+        every task picklable.  Under ``serial`` (or when there is at
+        most one task) this is an inline loop.
+        """
+        if self.kind == "serial" or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        if self.kind == "threaded":
+            return list(self._thread_pool().map(fn, tasks))
+        return list(self._process_pool().map(fn, tasks))
+
+    def _thread_pool(self):
+        if self._threads is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._threads = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="chase-round",
+            )
+        return self._threads
+
+    def _process_pool(self):
+        if self._processes is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            # spawn, not fork: fork would duplicate the parent's lock
+            # and intern-table state mid-flight, and spawn is the one
+            # start method that behaves identically on every platform —
+            # it is also what the pickling protocol is tested against.
+            self._processes = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._processes
+
+    def close(self) -> None:
+        """Shut down any pools this scheduler created."""
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+        if self._processes is not None:
+            self._processes.shutdown(wait=True)
+            self._processes = None
+
+    def __enter__(self) -> "RoundScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundScheduler({self.kind!r}, workers={self.workers}, "
+            f"shard_size={self.shard_size})"
+        )
+
+
+SchedulerSpec = Union[None, str, RoundScheduler]
+
+
+def resolve_scheduler(
+    scheduler: SchedulerSpec,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+) -> Tuple[RoundScheduler, bool]:
+    """Normalize a user-facing ``scheduler=`` knob.
+
+    Accepts ``None``, a kind name, or a ready
+    :class:`RoundScheduler`.  ``None`` means serial — unless
+    ``workers`` is given, which alone selects the ``threaded``
+    executor (asking for workers and silently running serial would be
+    a trap; the CLI's ``--workers`` has the same semantics).  Returns
+    ``(scheduler, owned)`` where ``owned`` tells the caller whether it
+    created — and must close — the scheduler; a caller-supplied
+    instance is never closed, so one pool can serve many runs.
+    """
+    if isinstance(scheduler, RoundScheduler):
+        return scheduler, False
+    if scheduler is None:
+        scheduler = "threaded" if workers else "serial"
+    return RoundScheduler(scheduler, workers, shard_size), True
+
+
+# -- discovery batching ----------------------------------------------------
+
+
+def discovery_batches(
+    rules: Sequence[TGD],
+    new_facts: Sequence[Atom],
+    shard_size: Optional[int] = None,
+) -> List[DiscoveryBatch]:
+    """Partition one round's discovery work list into batches.
+
+    One batch per ``(rule, pivot)`` pair with a non-empty candidate
+    list, in the serial engine's canonical order (rule-major, then
+    pivot position, then fact arrival order); with ``shard_size`` each
+    batch is further split into contiguous candidate shards.
+    Concatenating the batches' trigger outputs in batch order therefore
+    reproduces the serial discovery stream exactly.
+    """
+    new_by_predicate: Dict[Predicate, List[Atom]] = {}
+    for fact in new_facts:
+        new_by_predicate.setdefault(fact.predicate, []).append(fact)
+    batches: List[DiscoveryBatch] = []
+    for rule_index, rule in enumerate(rules):
+        for pivot, pivot_atom in enumerate(rule.body):
+            candidates = new_by_predicate.get(pivot_atom.predicate)
+            if not candidates:
+                continue
+            if shard_size is None or len(candidates) <= shard_size:
+                batches.append((rule_index, pivot, tuple(candidates)))
+                continue
+            for start in range(0, len(candidates), shard_size):
+                batches.append(
+                    (
+                        rule_index,
+                        pivot,
+                        tuple(candidates[start:start + shard_size]),
+                    )
+                )
+    return batches
+
+
+def evaluate_batch(
+    rules: Sequence[TGD],
+    instance: Instance,
+    batch: DiscoveryBatch,
+) -> List[Trigger]:
+    """Evaluate one discovery batch against the round-start instance.
+
+    Pure with respect to the instance: the pivot's bindings seed the
+    rest-of-body compiled join plan exactly as
+    :func:`repro.chase.delta.delta_triggers` does, and triggers come
+    out in the serial engine's per-batch order.  Safe to run
+    concurrently with other batches of the same round.
+    """
+    rule_index, pivot, candidates = batch
+    rule = rules[rule_index]
+    pivot_step = atom_step(rule.body[pivot])
+    pivot_vars = pivot_step.variables()
+    rest = [a for i, a in enumerate(rule.body) if i != pivot]
+    plan = plan_for(rest, instance, pivot_vars) if rest else None
+    out: List[Trigger] = []
+    for fact in candidates:
+        partial: Dict[Variable, Term] = {}
+        if pivot_step.try_match(fact, partial) is None:
+            continue
+        if plan is None:
+            out.append(Trigger(rule, rule_index, partial))
+            continue
+        for assignment in plan.run(instance, partial):
+            out.append(Trigger(rule, rule_index, assignment))
+    return out
+
+
+# -- process-executor wire format ------------------------------------------
+#
+# A process task carries everything a worker needs: the rules, the
+# round-start instance (as an Instance — its __reduce__ ships the fact
+# tuple and rebuilds indexes worker-side), and a contiguous run of
+# batches.  Triggers return in wire form (rule_index + assignment
+# pairs) so rule objects never travel back.
+
+ProcessTask = Tuple[Sequence[TGD], Instance, List[DiscoveryBatch]]
+
+
+def evaluate_batches_remote(task: ProcessTask) -> List[WireTrigger]:
+    """Worker-side entry point: evaluate a run of batches, return wire
+    triggers in canonical order.  Module-level for picklability."""
+    rules, instance, batches = task
+    out: List[WireTrigger] = []
+    for batch in batches:
+        for trigger in evaluate_batch(rules, instance, batch):
+            out.append(
+                (trigger.rule_index, tuple(trigger.assignment.items()))
+            )
+    return out
+
+
+def _chunk(
+    batches: List[DiscoveryBatch], chunks: int
+) -> List[List[DiscoveryBatch]]:
+    """Split batches into at most ``chunks`` contiguous, order-
+    preserving runs of near-equal length."""
+    chunks = max(1, min(chunks, len(batches)))
+    size, extra = divmod(len(batches), chunks)
+    out: List[List[DiscoveryBatch]] = []
+    start = 0
+    for i in range(chunks):
+        stop = start + size + (1 if i < extra else 0)
+        out.append(batches[start:stop])
+        start = stop
+    return out
+
+
+def scheduled_delta_triggers(
+    scheduler: RoundScheduler,
+    rules: Sequence[TGD],
+    instance: Instance,
+    new_facts: Sequence[Atom],
+) -> Iterable[Trigger]:
+    """One scheduled discovery pass — the batched equivalent of
+    :func:`repro.chase.delta.delta_triggers`.
+
+    Partitions the round into batches, runs them through the
+    scheduler's executor, and merges the outputs in canonical batch
+    order, so the produced trigger stream (and hence everything
+    downstream: fired keys, firing order, null/Skolem numbering) is
+    identical to the serial engine's.  May repeat a trigger across
+    pivots exactly as the serial pass does; the caller's fired-key set
+    deduplicates.
+    """
+    batches = discovery_batches(rules, new_facts, scheduler.shard_size)
+    if not batches:
+        return
+    if scheduler.kind == "process":
+        tasks: List[ProcessTask] = [
+            (rules, instance, chunk)
+            for chunk in _chunk(batches, scheduler.workers)
+        ]
+        rule_list = list(rules)
+        for wire_triggers in scheduler.map(evaluate_batches_remote, tasks):
+            for rule_index, items in wire_triggers:
+                yield Trigger(
+                    rule_list[rule_index], rule_index, dict(items)
+                )
+        return
+    for triggers in scheduler.map(
+        lambda batch: evaluate_batch(rules, instance, batch), batches
+    ):
+        yield from triggers

@@ -16,7 +16,7 @@ when two triggers are considered *the same* (and hence fired once):
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..model import (
     Assignment,

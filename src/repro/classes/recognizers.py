@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterable, List, Sequence
 
-from ..model import Predicate, TGD
+from ..model import TGD
 
 
 def is_linear(rules: Iterable[TGD]) -> bool:

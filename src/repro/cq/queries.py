@@ -13,7 +13,7 @@ matter for chase-produced instances:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterator, List, Sequence, Set, Tuple
 
 from ..model import (
     Atom,

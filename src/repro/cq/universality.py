@@ -8,7 +8,7 @@ predicates used by the test-suite and the data-exchange layer.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..model import (
     Instance,

@@ -17,10 +17,9 @@ guarded reasoner.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
-from ..errors import UnsupportedClassError
-from ..model import Atom, Constant, Database, Instance, TGD
+from ..model import Atom, Database, Instance, TGD
 from ..termination.saturation import DEFAULT_MAX_TYPES, TypeAnalysis
 
 

@@ -39,7 +39,7 @@ applies the operator to terminating-by-construction simulations; pass
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..chase.critical import ZERO_PREDICATE
 from ..classes import is_guarded
@@ -50,7 +50,6 @@ from ..model import (
     Instance,
     Predicate,
     TGD,
-    Term,
     Variable,
     validate_program,
 )

@@ -20,7 +20,6 @@ from ..chase import ChaseVariant, run_chase
 from ..cq import ConjunctiveQuery
 from ..errors import ReproError, UnsupportedClassError
 from ..model import (
-    Atom,
     Database,
     Instance,
     Predicate,

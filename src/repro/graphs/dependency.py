@@ -24,7 +24,7 @@ termination theorems for SL consume these directly (Theorem 1).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..model import Position, TGD
 from .digraph import Digraph, Edge

@@ -7,7 +7,6 @@ guarded type-transition graph behind a termination verdict.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
 
 from .dependency import EdgeKind
 from .digraph import Digraph

@@ -17,9 +17,9 @@ each condition gives up against the exact Theorem 2/4 deciders.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..model import Position, TGD, Variable
+from ..model import Position, TGD
 from .digraph import Digraph
 
 ExistentialId = Tuple[int, str]

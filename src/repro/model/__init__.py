@@ -5,7 +5,13 @@ Everything else in the library is built on these types.  The public
 names re-exported here form the stable surface of the model layer.
 """
 
-from .atoms import Atom, Position, Predicate, atoms_predicates
+from .atoms import (
+    Atom,
+    Position,
+    Predicate,
+    atoms_predicates,
+    intern_predicate,
+)
 from .homomorphism import (
     Assignment,
     apply_assignment,
@@ -38,6 +44,8 @@ from .terms import (
     NullFactory,
     Term,
     Variable,
+    intern_constant,
+    intern_variable,
     is_constant,
     is_ground,
     is_null,
@@ -67,6 +75,9 @@ __all__ = [
     "has_homomorphism",
     "homomorphisms",
     "instance_homomorphism",
+    "intern_constant",
+    "intern_predicate",
+    "intern_variable",
     "is_constant",
     "is_ground",
     "is_homomorphically_equivalent",

@@ -10,6 +10,7 @@ dependency graphs used by weak/rich acyclicity (§3.1 of the paper).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, FrozenSet, Iterable, Sequence, Set, Tuple
 
 from .terms import Constant, Null, Term, Variable, is_ground
@@ -36,6 +37,12 @@ class Predicate:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Rebuild through the lock-guarded intern table: the cached
+        # ``_hash`` is only valid under the pickling interpreter's hash
+        # randomization (see :mod:`repro.model.terms`).
+        return (intern_predicate, (self.name, self.arity))
 
     def __lt__(self, other: "Predicate") -> bool:
         if not isinstance(other, Predicate):
@@ -76,6 +83,9 @@ class Position:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Position, (self.predicate, self.index))
 
     def __lt__(self, other: "Position") -> bool:
         if not isinstance(other, Position):
@@ -121,6 +131,9 @@ class Atom:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Atom, (self.predicate, self.terms))
 
     def __repr__(self) -> str:
         return f"Atom({self.predicate.name!r}, {list(self.terms)!r})"
@@ -173,3 +186,24 @@ class Atom:
 def atoms_predicates(atoms: Iterable[Atom]) -> FrozenSet[Predicate]:
     """The set of predicates appearing in ``atoms``."""
     return frozenset(a.predicate for a in atoms)
+
+
+# -- predicate interning ---------------------------------------------------
+
+_PREDICATE_INTERN: Dict[Tuple[str, int], Predicate] = {}
+_PREDICATE_LOCK = threading.Lock()
+
+
+def intern_predicate(name: str, arity: int) -> Predicate:
+    """The canonical :class:`Predicate` for ``(name, arity)``
+    (thread-safe); unpickling funnels through this so schema objects
+    stay deduplicated across ``process``-executor round-trips."""
+    key = (name, arity)
+    pred = _PREDICATE_INTERN.get(key)
+    if pred is None:
+        with _PREDICATE_LOCK:
+            pred = _PREDICATE_INTERN.get(key)
+            if pred is None:
+                pred = Predicate(name, arity)
+                _PREDICATE_INTERN[key] = pred
+    return pred

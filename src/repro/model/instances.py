@@ -34,7 +34,7 @@ from typing import (
 
 from .atoms import Atom, Predicate
 from .schema import Schema
-from .terms import Constant, Null, Term, is_ground
+from .terms import Constant, Null, Term
 
 
 _EMPTY_ROWS: List["Atom"] = []
@@ -104,6 +104,13 @@ class Instance:
             inner = ", ".join(str(f) for f in self)
             return f"Instance({{{inner}}})"
         return f"Instance(<{len(self)} facts>)"
+
+    def __reduce__(self):
+        # Ship the fact tuple only; the receiving interpreter rebuilds
+        # the predicate and term-level indexes (whose dict keys would
+        # otherwise carry hashes from the sending interpreter).  Also
+        # covers Database: ``self.__class__`` re-runs its null check.
+        return (self.__class__, (self.facts(),))
 
     def facts(self) -> Tuple[Atom, ...]:
         """All facts in insertion order."""

@@ -91,6 +91,13 @@ class TGD:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Constructor reconstruction: recomputes the cached hash and
+        # the precomputed variable orders on the receiving interpreter
+        # (see :mod:`repro.model.terms` on why slot-state pickling of
+        # hash-caching classes is unsound across processes).
+        return (TGD, (self.body, self.head, self.label))
+
     def __repr__(self) -> str:
         return f"TGD({list(self.body)!r}, {list(self.head)!r})"
 

@@ -11,13 +11,25 @@ The chase manipulates three kinds of terms:
 
 All terms are immutable, hashable, and totally ordered within their own
 kind, which keeps instances and homomorphisms deterministic.
+
+Pickling (the ``process`` round executor ships terms across interpreter
+boundaries) deliberately does **not** use the default slot-state
+protocol: every term caches its hash, and a cached ``_hash`` computed
+under one interpreter's hash randomization is garbage under another's —
+an unpickled term would be internally consistent but never collide with
+an equal term built on the receiving side, silently breaking every
+dict/set lookup.  Instead each class defines ``__reduce__`` to rebuild
+through its constructor (recomputing the hash locally); constants and
+variables additionally round-trip through ``threading.Lock``-guarded
+intern tables, so unpickling N copies of the same name yields one
+object and repeated cross-process rounds do not balloon memory.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from typing import Union
+from typing import Dict, Tuple, Union
 
 
 class Constant:
@@ -38,6 +50,12 @@ class Constant:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Interned reconstruction: recomputes the hash on the receiving
+        # interpreter and dedups repeated names.  Subclasses carrying
+        # extra state (SkolemTerm) override this.
+        return (intern_constant, (self.name,))
 
     def __lt__(self, other: "Constant") -> bool:
         if not isinstance(other, Constant):
@@ -65,6 +83,9 @@ class Variable:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (intern_variable, (self.name,))
 
     def __lt__(self, other: "Variable") -> bool:
         if not isinstance(other, Variable):
@@ -99,6 +120,10 @@ class Null:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Not interned: nulls are per-run and their indices unbounded.
+        return (Null, (self.index, self.origin))
+
     def __lt__(self, other: "Null") -> bool:
         if not isinstance(other, Null):
             return NotImplemented
@@ -112,6 +137,54 @@ class Null:
 
 
 Term = Union[Constant, Variable, Null]
+
+
+# -- intern tables ---------------------------------------------------------
+#
+# Unpickling funnels through these so that N pickled copies of the same
+# constant/variable collapse to one object per interpreter.  The tables
+# are lock-guarded: the ``threaded`` round executor may deserialize (or
+# parsers may intern) from several threads at once, and check-then-set
+# on a plain dict could hand out two distinct "canonical" objects.
+# Only the canonical base classes are interned — subclasses (e.g. the
+# MFA machinery's SkolemTerm) define their own ``__reduce__`` and never
+# route here.
+
+_CONSTANT_INTERN: Dict[object, Constant] = {}
+_VARIABLE_INTERN: Dict[str, Variable] = {}
+_INTERN_LOCK = threading.Lock()
+
+
+def intern_constant(name: object) -> Constant:
+    """The canonical :class:`Constant` for ``name`` (thread-safe)."""
+    table = _CONSTANT_INTERN
+    term = table.get(name)
+    if term is None:
+        with _INTERN_LOCK:
+            term = table.get(name)
+            if term is None:
+                term = Constant(name)
+                table[name] = term
+    return term
+
+
+def intern_variable(name: str) -> Variable:
+    """The canonical :class:`Variable` for ``name`` (thread-safe)."""
+    table = _VARIABLE_INTERN
+    term = table.get(name)
+    if term is None:
+        with _INTERN_LOCK:
+            term = table.get(name)
+            if term is None:
+                term = Variable(name)
+                table[name] = term
+    return term
+
+
+def intern_table_sizes() -> Tuple[int, int]:
+    """``(constants, variables)`` currently interned — for tests and
+    memory diagnostics."""
+    return len(_CONSTANT_INTERN), len(_VARIABLE_INTERN)
 
 
 class NullFactory:

@@ -19,7 +19,7 @@ way; when the prefix *is* given it must list exactly those variables.
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..model import Atom, Constant, Database, Predicate, Term, TGD, Variable
 

@@ -7,7 +7,7 @@ which matches the usual convention that databases are null-free).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..model import Atom, Instance, TGD
 

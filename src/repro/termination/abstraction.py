@@ -35,7 +35,7 @@ from typing import (
     Union,
 )
 
-from ..model import Atom, Constant, Instance, Predicate, TGD, Variable, plan_for
+from ..model import Atom, Constant, Instance, Predicate, Variable, plan_for
 
 # An atom over term classes: (predicate, class ids).
 AtomPattern = Tuple[Predicate, Tuple[int, ...]]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..chase.scheduler import SchedulerSpec
 from ..chase.triggers import ChaseVariant
 from ..classes import is_full, narrowest_class
 from ..errors import UnsupportedClassError
@@ -35,6 +36,8 @@ def decide_termination(
     max_types: int = DEFAULT_MAX_TYPES,
     allow_oracle: bool = False,
     oracle_steps: int = DEFAULT_ORACLE_STEPS,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> TerminationVerdict:
     """Decide all-instance ``variant``-chase termination for ``rules``.
 
@@ -51,6 +54,14 @@ def decide_termination(
     allow_oracle:
         For non-guarded Σ, permit the (incomplete) budgeted oracle
         instead of raising :class:`UnsupportedClassError`.
+    scheduler, workers:
+        Round executor for the procedures that run (bounded) chases —
+        currently the guarded type-graph saturation (see
+        :mod:`repro.chase.scheduler`).  ``"serial"`` (default),
+        ``"threaded"``, ``"process"``, or a ready
+        :class:`~repro.chase.scheduler.RoundScheduler`.  Verdicts are
+        executor-independent; the NL/PSPACE graph procedures ignore
+        the knob.
     """
     rules = list(rules)
     if variant not in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS):
@@ -64,7 +75,8 @@ def decide_termination(
         return decide_linear(rules, variant, max_types=max_types)
     if method == "guarded":
         return decide_guarded(
-            rules, variant, standard=standard, max_types=max_types
+            rules, variant, standard=standard, max_types=max_types,
+            scheduler=scheduler, workers=workers,
         )
     if method == "oracle":
         return _oracle_or_raise(rules, variant, standard, oracle_steps)
@@ -90,7 +102,8 @@ def decide_termination(
         return decide_linear(rules, variant, max_types=max_types)
     if cls == "guarded":
         return decide_guarded(
-            rules, variant, standard=standard, max_types=max_types
+            rules, variant, standard=standard, max_types=max_types,
+            scheduler=scheduler, workers=workers,
         )
     if allow_oracle:
         return _oracle_or_raise(rules, variant, standard, oracle_steps)

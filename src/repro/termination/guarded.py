@@ -12,8 +12,9 @@ the lower bounds need standardness.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..chase.scheduler import SchedulerSpec
 from ..chase.triggers import ChaseVariant
 from ..classes import is_guarded
 from ..errors import UnsupportedClassError
@@ -30,6 +31,8 @@ def decide_guarded(
     standard: bool = False,
     max_types: int = DEFAULT_MAX_TYPES,
     pattern_engine: str = "indexed",
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> TerminationVerdict:
     """Decide ``Σ ∈ CT_variant`` for guarded Σ (Theorem 4).
 
@@ -43,6 +46,11 @@ def decide_guarded(
     compiled class-indexed plans and the retained ``"naive"`` scan
     produce the same verdict — the latter exists for equivalence tests
     and as the benchmark baseline.
+
+    ``scheduler`` / ``workers`` batch saturation's cloud joins across
+    rules (:mod:`repro.chase.scheduler`); the verdict, witness, and
+    stats are identical under every executor.  Pools created here are
+    closed before returning.
     """
     rules = list(rules)
     if not is_guarded(rules):
@@ -60,10 +68,15 @@ def decide_guarded(
         standard=standard,
         max_types=max_types,
         pattern_engine=pattern_engine,
+        scheduler=scheduler,
+        workers=workers,
     )
-    graph = TransitionGraph(analysis)
-    stats = graph.stats()
-    witness = find_pumping_witness(graph, variant)
+    try:
+        graph = TransitionGraph(analysis)
+        stats = graph.stats()
+        witness = find_pumping_witness(graph, variant)
+    finally:
+        analysis.close()
     if witness is not None:
         return TerminationVerdict(
             False, variant, "guarded_type_graph", witness, stats

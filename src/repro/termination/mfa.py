@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..chase.critical import critical_instance
 from ..chase.delta import DeltaEngine
+from ..chase.scheduler import SchedulerSpec, resolve_scheduler
 from ..chase.triggers import ChaseVariant
 from ..errors import BudgetExceededError
 from ..model import (
@@ -86,6 +87,12 @@ class SkolemTerm(Constant):
         inner = ", ".join(str(a) for a in self.args)
         return f"f{rule_index}_{var}({inner})"
 
+    def __reduce__(self):
+        # Override Constant's interned reduction: rebuild as a
+        # SkolemTerm (recursing through args) so depth/cycle caches and
+        # the cached hash are recomputed on the receiving interpreter.
+        return (self.__class__, (self.symbol, self.args))
+
     def contains_symbol(self, symbol: Tuple[int, str]) -> bool:
         """Does ``symbol`` occur anywhere inside this term's arguments?"""
         return symbol in self._nested_symbols
@@ -118,6 +125,8 @@ def skolem_chase(
     database: Instance,
     rules: Sequence[TGD],
     max_steps: int = DEFAULT_MFA_STEPS,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> Tuple[Instance, Optional[SkolemTerm], bool]:
     """Run the Skolem chase.
 
@@ -133,15 +142,34 @@ def skolem_chase(
     least such term of the earliest cyclic round is returned.  Once a
     round turns up a cyclic term, the remaining triggers of that round
     are only scanned for further witnesses, not applied.
+
+    ``scheduler`` / ``workers`` batch the per-round trigger discovery
+    (:mod:`repro.chase.scheduler`); this is the CPU-bound saturation
+    run the ``process`` executor exists for.  The instance, witness,
+    and fixpoint flag are identical under every executor.
     """
     rules = list(rules)
     validate_program(rules)
     instance = Instance(database)
+    round_scheduler, owns_scheduler = resolve_scheduler(scheduler, workers)
     engine = DeltaEngine(
         rules,
         instance,
         key=lambda trigger: trigger.key(ChaseVariant.SEMI_OBLIVIOUS),
+        scheduler=round_scheduler,
     )
+    try:
+        return _run_skolem_rounds(engine, instance, max_steps)
+    finally:
+        if owns_scheduler:
+            round_scheduler.close()
+
+
+def _run_skolem_rounds(
+    engine: DeltaEngine,
+    instance: Instance,
+    max_steps: int,
+) -> Tuple[Instance, Optional[SkolemTerm], bool]:
     steps = 0
     while True:
         triggers = engine.next_round()
@@ -182,7 +210,10 @@ def skolem_chase(
 
 
 def is_mfa(
-    rules: Sequence[TGD], max_steps: int = DEFAULT_MFA_STEPS
+    rules: Sequence[TGD],
+    max_steps: int = DEFAULT_MFA_STEPS,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> bool:
     """Model-faithful acyclicity of Σ (checked over the critical
     instance).  Raises :class:`BudgetExceededError` if the Skolem
@@ -193,7 +224,9 @@ def is_mfa(
     if not rules:
         return True
     database = critical_instance(rules)
-    _, cyclic, fixpoint = skolem_chase(database, rules, max_steps)
+    _, cyclic, fixpoint = skolem_chase(
+        database, rules, max_steps, scheduler=scheduler, workers=workers
+    )
     if cyclic is not None:
         return False
     if fixpoint:
@@ -205,11 +238,17 @@ def is_mfa(
 
 
 def mfa_witness(
-    rules: Sequence[TGD], max_steps: int = DEFAULT_MFA_STEPS
+    rules: Sequence[TGD],
+    max_steps: int = DEFAULT_MFA_STEPS,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
 ) -> Optional[SkolemTerm]:
     """The first cyclic Skolem term, or ``None`` when Σ is MFA."""
     rules = list(rules)
     if not rules:
         return None
-    _, cyclic, _ = skolem_chase(critical_instance(rules), rules, max_steps)
+    _, cyclic, _ = skolem_chase(
+        critical_instance(rules), rules, max_steps,
+        scheduler=scheduler, workers=workers,
+    )
     return cyclic

@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..chase import (
-    ChaseVariant,
     critical_instance,
     run_chase,
     standard_critical_instance,

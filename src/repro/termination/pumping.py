@@ -34,7 +34,7 @@ two individually non-pumpable loops can sustain each other; see
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .abstraction import FRESH, BagType
 from .saturation import ChildEdge

@@ -15,7 +15,7 @@ demand.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, Sequence, Set
 
 from ..chase import critical_instance, run_chase, standard_critical_instance
 from ..model import TGD

@@ -31,7 +31,7 @@ instance: ``p(X,Y) → ∃Z p(X,Z)`` is satisfied outright on ``p(*,*)``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..classes import is_linear, is_single_head_per_predicate
 from ..errors import UnsupportedClassError
@@ -44,6 +44,12 @@ class _ExistentialMarker(Constant):
 
     def __init__(self, name: str):
         super().__init__(f"?{name}")
+
+    def __reduce__(self):
+        # Constant's interned __reduce__ would demote a round-tripped
+        # marker to a plain Constant, and the fresh/carry edge labels
+        # classify by isinstance.
+        return (_ExistentialMarker, (self.name[1:],))
 
 
 def _head_with_markers(rule: TGD) -> Tuple[Atom, Dict[Term, Term]]:

@@ -29,11 +29,11 @@ from ..chase.critical import (
     ZERO_CONSTANT,
     ZERO_PREDICATE,
 )
+from ..chase.scheduler import SchedulerSpec, resolve_scheduler
 from ..errors import BudgetExceededError, UnsupportedClassError
 from ..model import (
     Constant,
     Instance,
-    Predicate,
     Schema,
     TGD,
     Variable,
@@ -127,6 +127,8 @@ class TypeAnalysis:
         max_types: int = DEFAULT_MAX_TYPES,
         database: Optional[Instance] = None,
         pattern_engine: str = "indexed",
+        scheduler: SchedulerSpec = None,
+        workers: Optional[int] = None,
     ):
         """Analyse ``rules`` over the critical instance (default), the
         *standard* critical instance (``standard=True``), or a concrete
@@ -135,7 +137,17 @@ class TypeAnalysis:
 
         ``pattern_engine`` selects how rule bodies are joined against
         clouds (see :data:`PATTERN_ENGINES`); both engines compute the
-        same assignment sets."""
+        same assignment sets.
+
+        ``scheduler`` / ``workers`` batch the body-vs-cloud joins of
+        each saturation pass across rules
+        (:mod:`repro.chase.scheduler`): the joins of one pass all read
+        the same immutable cloud snapshot, so they are executor-
+        independent, and their results are applied serially in rule
+        order — the saturated table, discovered types, and edge order
+        are identical under every executor.  Call :meth:`close` (or
+        use ``decide_guarded``, which does) to release pools created
+        here."""
         rules = list(rules)
         validate_program(rules)
         for rule in rules:
@@ -163,6 +175,9 @@ class TypeAnalysis:
         # How many body-vs-cloud joins saturation executed — surfaced
         # through TransitionGraph.stats() for certificates/benchmarks.
         self.pattern_joins = 0
+        self._scheduler, self._owns_scheduler = resolve_scheduler(
+            scheduler, workers
+        )
         constants: Set[Constant] = set(program_constants(rules))
         schema = Schema.from_rules(rules)
         if database is not None:
@@ -185,6 +200,11 @@ class TypeAnalysis:
         # Saturated cloud per creation type; grows monotonically.
         self.table: Dict[BagType, FrozenSet[AtomPattern]] = {}
         self._saturated = False
+
+    def close(self) -> None:
+        """Release any executor pools this analysis created."""
+        if self._owns_scheduler:
+            self._scheduler.close()
 
     # -- construction ---------------------------------------------------
 
@@ -245,22 +265,69 @@ class TypeAnalysis:
             return cloud_index(cloud)
         return cloud
 
+    def _joined_assignments(
+        self,
+        indexed_rules: Sequence[Tuple[int, TGD]],
+        cloud: FrozenSet[AtomPattern],
+    ) -> List[List[Dict[Variable, int]]]:
+        """Body-vs-cloud assignments for each listed rule, in listing
+        order — one batched join pass over an immutable cloud.
+
+        The joins are pure reads of the snapshot, so the configured
+        scheduler may run them in any interleaving; results are
+        returned (and applied by the callers) in rule order, keeping
+        saturation byte-identical across executors.
+        """
+        self.pattern_joins += len(indexed_rules)
+        scheduler = self._scheduler
+        if scheduler.kind == "process" and len(indexed_rules) > 1:
+            payloads = [
+                (
+                    [rule.body for _, rule in chunk],
+                    cloud,
+                    self.constant_class,
+                    self.pattern_engine,
+                )
+                for chunk in _chunk_rules(
+                    list(indexed_rules), scheduler.workers
+                )
+            ]
+            out: List[List[Dict[Variable, int]]] = []
+            for chunk_result in scheduler.map(
+                _pattern_join_remote, payloads
+            ):
+                out.extend(chunk_result)
+            return out
+        snapshot = self._snapshot(cloud)
+        homs = self._pattern_homs
+        constant_class = self.constant_class
+        return scheduler.map(
+            lambda pair: list(homs(pair[1].body, snapshot, constant_class)),
+            list(indexed_rules),
+        )
+
     def _saturate_one(self, bag_type: BagType) -> FrozenSet[AtomPattern]:
         """One saturation pass for a single type, against the current
         global table.  Registers newly discovered child types."""
         cloud: Set[AtomPattern] = set(self.table[bag_type])
+        indexed_rules = list(enumerate(self.rules))
         while True:
             before = len(cloud)
             # One snapshot per fixpoint iteration: every rule joins
             # against the iteration-start cloud (additions made while a
             # rule's assignments are enumerated become visible next
-            # iteration, never mid-enumeration).
-            snapshot = self._snapshot(frozenset(cloud))
-            for rule_index, rule in enumerate(self.rules):
-                self.pattern_joins += 1
-                for assignment in self._pattern_homs(
-                    rule.body, snapshot, self.constant_class
-                ):
+            # iteration, never mid-enumeration).  The joins read only
+            # that snapshot, so the scheduler may batch them across
+            # rules; the mutating apply pass below stays serial in
+            # rule-major assignment order — exactly the serial engine's
+            # sequence.
+            assignment_lists = self._joined_assignments(
+                indexed_rules, frozenset(cloud)
+            )
+            for (rule_index, rule), assignments in zip(
+                indexed_rules, assignment_lists
+            ):
+                for assignment in assignments:
                     self._apply_local(rule, assignment, cloud)
                     if rule.existential_variables:
                         edge = self._make_child(
@@ -372,16 +439,20 @@ class TypeAnalysis:
         computed against its *saturated* cloud."""
         self.saturate()
         cloud = self.table[bag_type]
-        snapshot = self._snapshot(cloud)
+        creating = [
+            (rule_index, rule)
+            for rule_index, rule in enumerate(self.rules)
+            if rule.existential_variables
+        ]
+        if not creating:
+            return []
+        assignment_lists = self._joined_assignments(creating, cloud)
         seen: Set[Tuple] = set()
         edges: List[ChildEdge] = []
-        for rule_index, rule in enumerate(self.rules):
-            if not rule.existential_variables:
-                continue
-            self.pattern_joins += 1
-            for assignment in self._pattern_homs(
-                rule.body, snapshot, self.constant_class
-            ):
+        for (rule_index, rule), assignments in zip(
+            creating, assignment_lists
+        ):
+            for assignment in assignments:
                 edge = self._make_child(
                     bag_type, cloud, rule, rule_index, assignment
                 )
@@ -395,3 +466,41 @@ class TypeAnalysis:
         """How many types saturation discovered."""
         self.saturate()
         return len(self.table)
+
+
+# -- process-executor plumbing ---------------------------------------------
+
+
+def _chunk_rules(
+    indexed_rules: List[Tuple[int, TGD]], chunks: int
+) -> List[List[Tuple[int, TGD]]]:
+    """Contiguous, order-preserving near-equal runs of rules."""
+    chunks = max(1, min(chunks, len(indexed_rules)))
+    size, extra = divmod(len(indexed_rules), chunks)
+    out: List[List[Tuple[int, TGD]]] = []
+    start = 0
+    for i in range(chunks):
+        stop = start + size + (1 if i < extra else 0)
+        out.append(indexed_rules[start:stop])
+        start = stop
+    return out
+
+
+def _pattern_join_remote(payload) -> List[List[Dict[Variable, int]]]:
+    """Worker-side pattern joins for one chunk of rule bodies.
+
+    Module-level for picklability.  The cloud ships as its raw
+    frozenset (patterns are ``(Predicate, class-tuple)`` pairs, which
+    re-intern on arrival); the worker builds its own class index, which
+    amortizes over the whole chunk.
+    """
+    bodies, cloud, constant_class, engine = payload
+    if engine == "indexed":
+        snapshot = cloud_index(cloud)
+        homs = pattern_homomorphisms
+    else:
+        snapshot = cloud
+        homs = naive_pattern_homomorphisms
+    return [
+        list(homs(body, snapshot, constant_class)) for body in bodies
+    ]

@@ -10,7 +10,7 @@ graph.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .abstraction import BagType
 from .saturation import ChildEdge, TypeAnalysis

@@ -8,7 +8,7 @@ G programs with controllable shape.  All generators take an integer
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..model import Atom, Constant, Predicate, TGD, Term, Variable
 

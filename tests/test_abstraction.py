@@ -1,7 +1,5 @@
 """Unit tests for bag types, canonicalization, and pattern matching."""
 
-import pytest
-
 from repro.model import Constant, Predicate, Variable
 from repro.parser import parse_rule
 from repro.termination.abstraction import (

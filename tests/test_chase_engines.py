@@ -10,7 +10,7 @@ from repro.chase import (
     semi_oblivious_chase,
 )
 from repro.cq import is_model_of, is_universal_for
-from repro.model import Instance, Null
+from repro.model import Instance
 from repro.parser import parse_database, parse_program
 from tests.conftest import atom
 

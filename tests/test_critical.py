@@ -1,14 +1,12 @@
 """Unit tests for critical instances (Marnette's reduction)."""
 
-import pytest
-
 from repro.chase import (
     CRITICAL_CONSTANT,
     critical_domain,
     critical_instance,
     standard_critical_instance,
 )
-from repro.model import Atom, Constant, Predicate, Schema
+from repro.model import Constant, Predicate, Schema
 from repro.parser import parse_atom, parse_program
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.chase import ChaseVariant
 from repro.errors import UnsupportedClassError
 from repro.parser import parse_program
 from repro.termination import (

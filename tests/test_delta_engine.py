@@ -30,7 +30,6 @@ from repro.model import (
     Constant,
     Instance,
     Predicate,
-    TGD,
     Variable,
     naive_homomorphisms,
 )

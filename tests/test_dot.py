@@ -1,7 +1,5 @@
 """Tests for DOT export."""
 
-import pytest
-
 from repro.graphs import (
     dependency_graph,
     dependency_graph_to_dot,

@@ -1,13 +1,10 @@
 """Unit tests for dependency graphs and weak/rich acyclicity."""
 
-import pytest
-
 from repro.graphs import (
     Digraph,
     EdgeKind,
     dependency_graph,
     extended_dependency_graph,
-    find_dangerous_cycle,
     is_richly_acyclic,
     is_weakly_acyclic,
     rich_acyclicity_witness,

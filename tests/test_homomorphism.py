@@ -1,7 +1,5 @@
 """Unit tests for repro.model.homomorphism."""
 
-import pytest
-
 from repro.model import (
     Atom,
     Constant,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model import Atom, Constant, Database, Instance, Null, Predicate, Variable, union
+from repro.model import Atom, Constant, Database, Instance, Null, Predicate, union
 from tests.conftest import atom
 
 

@@ -1,14 +1,9 @@
 """Unit tests for the term-level indexes and compiled join plans."""
 
-import pytest
-
 from repro.model import (
-    Atom,
     Constant,
     Instance,
-    Null,
     Predicate,
-    TGD,
     Variable,
     compile_plan,
     order_atoms,

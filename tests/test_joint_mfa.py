@@ -6,8 +6,6 @@ termination" (citations [5, 8, 12]); these tests pin the classic
 hierarchy   WA ⊆ JA ⊆ MFA ⊆ CT_so   and its strictness.
 """
 
-import pytest
-
 from repro.graphs import (
     existential_dependency_graph,
     is_jointly_acyclic,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.classes import is_guarded
-from repro.chase import ChaseVariant, standard_critical_instance, run_chase
+from repro.chase import ChaseVariant, run_chase
 from repro.errors import UnsupportedClassError
 from repro.entailment import (
     entails_atom,
@@ -11,7 +11,7 @@ from repro.entailment import (
     tag_predicate,
     tag_rule,
 )
-from repro.model import Predicate, Variable
+from repro.model import Predicate
 from repro.parser import parse_atom, parse_database, parse_program
 from repro.termination import decide_termination
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model import Atom, Constant, Predicate, Variable
+from repro.model import Constant, Predicate, Variable
 from repro.parser import (
     ParseError,
     atom_to_text,

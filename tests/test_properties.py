@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on the core invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.chase import ChaseVariant, run_chase

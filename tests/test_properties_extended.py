@@ -2,7 +2,6 @@
 of termination under rule removal, and zoo hierarchy invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.chase import ChaseVariant, critical_instance, run_chase

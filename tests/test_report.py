@@ -1,7 +1,5 @@
 """Tests for termination reports and chase provenance."""
 
-import pytest
-
 from repro.chase import semi_oblivious_chase
 from repro.cli import main
 from repro.parser import parse_database, parse_program

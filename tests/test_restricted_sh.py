@@ -8,7 +8,7 @@ import pytest
 from repro.chase import ChaseVariant, run_chase
 from repro.errors import UnsupportedClassError
 from repro.model import Atom, Constant, Database, Schema
-from repro.parser import parse_database, parse_program
+from repro.parser import parse_program
 from repro.termination import (
     decide_restricted_single_head,
     restricted_rule_graph,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import BudgetExceededError, UnsupportedClassError
 from repro.model import Constant, Predicate
-from repro.parser import parse_atom, parse_database, parse_program
+from repro.parser import parse_database, parse_program
 from repro.termination import TypeAnalysis
 from repro.termination.abstraction import FRESH
 

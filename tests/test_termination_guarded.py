@@ -171,7 +171,8 @@ class TestStandardDatabaseSensitivity:
         standard = decide_guarded(
             rules, ChaseVariant.SEMI_OBLIVIOUS, standard=True
         )
-        assert plain.terminating == standard.terminating == False
+        assert plain.terminating is False
+        assert standard.terminating is False
 
 
 class TestDispatch:

@@ -1,16 +1,13 @@
 """Unit tests for trigger computation and identification policies."""
 
-import pytest
-
 from repro.chase import (
     ChaseVariant,
-    Trigger,
     all_triggers,
     apply_trigger,
     head_satisfied,
     triggers_for_rule,
 )
-from repro.model import Instance, NullFactory, Variable
+from repro.model import Instance, NullFactory
 from repro.parser import parse_rule
 from tests.conftest import atom
 

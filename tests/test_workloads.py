@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.chase import ChaseVariant
 from repro.classes import (
     is_guarded,
     is_linear,
