@@ -35,9 +35,19 @@ runs its workload once through the serial engine and once through a
 batched executor (:mod:`repro.chase.scheduler`), asserts the results
 are byte-identical (facts, trigger keys, null/Skolem numbering), and
 records both walls plus the speedup.  On single-core CI boxes the
-``threaded`` executor is GIL-bound (~1×) and ``process`` pays spawn +
-per-round pickling (<1×); the rows exist to (a) prove equivalence on
-every run and (b) track the trajectory on real multi-core hardware.
+``threaded`` executor is GIL-bound (~1×) and ``process`` pays spawn
+overhead (<1×); the rows exist to (a) prove equivalence on every run
+and (b) track the trajectory on real multi-core hardware.
+
+PR 4 (the interned columnar fact core) re-recorded everything ≥2×
+faster, added a ``peak_mem_mb`` column (measured by ``tracemalloc``
+in a *separate* untimed run per scenario — tracing slows execution),
+made ``--check`` gate memory at a ≤2× ceiling next to the 0.5×
+facts/s floor, and added delta-shipping counters to the MFA process
+row (``ship_rows`` vs ``ship_rows_old_protocol``: what the old
+pickle-the-instance protocol would have shipped).  Scenario timings
+are best-of-``SCENARIO_REPEATS`` after a warmup run, the ``timeit``
+convention.
 
 Usage::
 
@@ -582,6 +592,7 @@ def run_mfa_parallel(spec: Dict, workers: int) -> Dict:
             database, rules, spec["max_steps"], scheduler=sched
         )
         process_wall = time.perf_counter() - p_start
+        ship_stats = dict(sched.ship_stats)
 
     for label, inst, cyc, fix in (
         ("threaded", t_inst, t_cyc, t_fix),
@@ -603,6 +614,14 @@ def run_mfa_parallel(spec: Dict, workers: int) -> Dict:
         if threaded_wall > 0 else None,
         "speedup_process": round(serial_wall / process_wall, 2)
         if process_wall > 0 else None,
+        # Delta-only shipping: total int rows shipped to workers across
+        # all rounds vs the rows the old ship-the-whole-instance
+        # protocol would have pickled (Σ per-round instance sizes).
+        "ship_rows": ship_stats.get("rows_shipped"),
+        "ship_rounds": ship_stats.get("rounds"),
+        "ship_full_syncs": ship_stats.get("full_ships"),
+        "ship_resyncs": ship_stats.get("resyncs"),
+        "ship_rows_old_protocol": ship_stats.get("rows_old_protocol"),
         "equivalent": True,
     }
 
@@ -627,20 +646,30 @@ def run_parallel_suite(
 
 
 def check_against(
-    baseline: Dict, scale: float, ratio: float = 0.5
+    baseline: Dict,
+    scale: float,
+    ratio: float = 0.5,
+    mem_ratio: float = 2.0,
 ) -> Tuple[bool, List[str]]:
-    """Re-measure every recorded chase scenario and compare rates.
+    """Re-measure every recorded chase scenario and compare rates and
+    peak memory.
 
     Returns ``(ok, report_lines)``; ``ok`` is False iff some
     scenario's measured ``facts_per_s`` fell below ``ratio`` times the
-    recorded value.  Rates, not walls, are compared so the gate
-    tolerates running at a smaller ``--scale`` than the recording.
+    recorded value, or its peak traced memory rose above ``mem_ratio``
+    times the recorded peak pro-rated by the scale ratio (fact counts —
+    and with them the columnar core's allocations — grow linearly in
+    ``--scale``; the 2× headroom absorbs the sublinear fixed costs).
+    Memory is only gated when the recording carries a ``peak_mem_mb``
+    column.  Rates, not walls, are compared so the gate tolerates
+    running at a smaller ``--scale`` than the recording.
     """
     recorded = {
         row["name"]: row
         for row in baseline.get("scenarios", [])
         if row.get("facts_per_s")
     }
+    recorded_scale = baseline.get("scale")
     # Build each scenario once, at the measurement scale.
     specs = {spec["name"]: spec for spec in (m(scale) for m in SCENARIOS)}
     ok = True
@@ -661,6 +690,19 @@ def check_against(
             f"{row['facts_per_s']:.1f} (floor {floor:.1f} at "
             f"ratio {ratio})"
         )
+        recorded_peak = row.get("peak_mem_mb")
+        measured_peak = measured.get("peak_mem_mb")
+        if recorded_peak and measured_peak is not None:
+            scale_ratio = scale / recorded_scale if recorded_scale else 1.0
+            ceiling = recorded_peak * mem_ratio * scale_ratio
+            mem_status = "ok  " if measured_peak <= ceiling else "FAIL"
+            if measured_peak > ceiling:
+                ok = False
+            lines.append(
+                f"{mem_status} {name}: peak {measured_peak:.3f} MB vs "
+                f"recorded {recorded_peak:.3f} (ceiling {ceiling:.3f} "
+                f"at ratio {mem_ratio})"
+            )
     if not recorded:
         ok = False
         lines.append("FAIL: baseline report contains no rated scenarios")
@@ -670,16 +712,58 @@ def check_against(
 # -- measurement -----------------------------------------------------------
 
 
-def run_scenario(spec: Dict) -> Dict:
-    """Run one scenario through the indexed engine and report rates."""
-    start = time.perf_counter()
-    result: ChaseResult = run_chase(
+def measure_peak_memory(spec: Dict) -> int:
+    """Peak traced allocation (bytes) of one untimed chase run.
+
+    Runs the scenario a second time under :mod:`tracemalloc` —
+    tracing slows execution severalfold, so the timed run and the
+    memory run are kept strictly separate.
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        run_chase(
+            spec["database"], spec["rules"], spec["variant"],
+            spec["max_steps"],
+        )
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+SCENARIO_REPEATS = 3
+
+
+def run_scenario(spec: Dict, measure_memory: bool = True) -> Dict:
+    """Run one scenario through the indexed engine and report rates
+    plus (in a separate traced run) peak memory.
+
+    An untimed warmup run precedes the measurement, and the recorded
+    wall is the best of :data:`SCENARIO_REPEATS` runs — the ``timeit``
+    convention: the minimum measures the engine, larger values measure
+    the host's background noise.  Steady-state rates, not first-touch
+    interpreter effects, are what the regression gate tracks.
+    """
+    run_chase(
         spec["database"], spec["rules"], spec["variant"], spec["max_steps"]
     )
-    wall = time.perf_counter() - start
+    wall = None
+    result: Optional[ChaseResult] = None
+    for _ in range(SCENARIO_REPEATS):
+        start = time.perf_counter()
+        result = run_chase(
+            spec["database"], spec["rules"], spec["variant"],
+            spec["max_steps"],
+        )
+        elapsed = time.perf_counter() - start
+        if wall is None or elapsed < wall:
+            wall = elapsed
     facts_final = len(result.instance)
     facts_created = facts_final - len(spec["database"])
     triggers = result.step_count
+    peak = measure_peak_memory(spec) if measure_memory else None
     return {
         "name": spec["name"],
         "variant": spec["variant"],
@@ -691,6 +775,7 @@ def run_scenario(spec: Dict) -> Dict:
         "wall_s": round(wall, 6),
         "facts_per_s": round(facts_created / wall, 1) if wall > 0 else None,
         "triggers_per_s": round(triggers / wall, 1) if wall > 0 else None,
+        "peak_mem_mb": round(peak / 1e6, 3) if peak is not None else None,
     }
 
 
@@ -741,7 +826,7 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
     payload: Dict = {
         "schema_version": 1,
         "harness": "benchmarks/bench_perf.py",
-        "engine": "indexed-joinplan",
+        "engine": "interned-columnar",
         "scale": scale,
         "python": platform.python_version(),
         "scenarios": scenarios,
@@ -775,12 +860,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--check-ratio", type=float, default=0.5,
                         help="floor as a fraction of the recorded rate "
                              "(default 0.5)")
+    parser.add_argument("--check-mem-ratio", type=float, default=2.0,
+                        help="peak-memory ceiling as a multiple of the "
+                             "recorded (scale-pro-rated) peak "
+                             "(default 2.0)")
     args = parser.parse_args(argv)
 
     if args.check is not None:
         with open(args.check) as handle:
             baseline = json.load(handle)
-        ok, lines = check_against(baseline, args.scale, args.check_ratio)
+        ok, lines = check_against(baseline, args.scale, args.check_ratio,
+                                  args.check_mem_ratio)
         for line in lines:
             print(line)
         print("bench gate:", "pass" if ok else "REGRESSION")
@@ -793,12 +883,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handle.write("\n")
 
     header = ("scenario", "variant", "facts", "triggers", "wall_s",
-              "facts/s")
+              "facts/s", "peak_mem_mb")
     print(f"{' | '.join(header)}")
     for row in payload["scenarios"]:
         print(" | ".join(str(row[k]) for k in (
             "name", "variant", "facts_final", "triggers_fired", "wall_s",
-            "facts_per_s")))
+            "facts_per_s", "peak_mem_mb")))
     comparison = payload.get("baseline_comparison")
     if comparison:
         print(

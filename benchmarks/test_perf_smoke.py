@@ -93,7 +93,33 @@ def test_check_mode_passes_against_fresh_report():
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
     assert ok, lines
-    assert len(lines) == len(bench_perf.SCENARIOS)
+    # One rate line and one peak-memory line per scenario.
+    assert len(lines) == 2 * len(bench_perf.SCENARIOS)
+    assert sum("peak" in line for line in lines) == len(bench_perf.SCENARIOS)
+
+
+def test_check_mode_fails_on_memory_regression():
+    payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
+    for row in payload["scenarios"]:
+        row["peak_mem_mb"] /= 1e9  # impossibly small recorded peak
+    ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
+    assert not ok
+    assert any(line.startswith("FAIL") and "peak" in line for line in lines)
+
+
+def test_scenario_rows_carry_peak_memory():
+    row = bench_perf.run_scenario(bench_perf.deep_chain_scenario(SMOKE_SCALE))
+    assert row["peak_mem_mb"] is not None and row["peak_mem_mb"] > 0
+
+
+def test_mfa_parallel_reports_delta_shipping():
+    row = bench_perf.run_mfa_parallel(
+        bench_perf.mfa_decider_scenario(SMOKE_SCALE), workers=2
+    )
+    # Delta-only shipping: across a multi-round saturation the rows
+    # actually shipped must undercut the old ship-everything protocol.
+    assert row["ship_rounds"] and row["ship_rows"] is not None
+    assert row["ship_rows"] <= row["ship_rows_old_protocol"]
 
 
 def test_check_mode_fails_on_regression():

@@ -19,14 +19,21 @@ exactly that, making its round structure ill-defined.  Materializing
 first makes rounds well-defined, engine-independent units, which is
 also the prerequisite for batching and parallelising them (ROADMAP).
 
+With the interned fact core, discovery is **int-only**: frontier facts
+are fact *ordinals* (log positions), pivot rows seed slot-based
+resolved plans (:class:`repro.chase.triggers.RuleExec`), and the
+produced triggers carry id tuples — Term objects never materialize on
+this path.  The public surface still accepts Atom frontiers (they are
+encoded on entry), and ``Trigger.assignment`` decodes lazily.
+
 Two pieces live here:
 
 * :func:`delta_triggers` — one discovery pass: triggers whose body
-  match involves at least one fact of the delta, found via compiled
-  pivot-seeded join plans;
+  match involves at least one fact of the delta, found via resolved
+  pivot-seeded join execs;
 * :class:`DeltaEngine` — the round driver owning the state that must
-  survive across rounds: the frontier and the persistent fired-key
-  set.
+  survive across rounds: the frontier, the persistent fired-key set,
+  and (for the ``process`` executor) the delta-shipping log.
 
 Discovery is the read-only (and expensive) half of a round, so it is
 also the half that batches: pass a
@@ -49,47 +56,86 @@ from typing import (
     Optional,
     Sequence,
     Set,
+    Tuple,
+    Union,
 )
 
-from ..model import Atom, Instance, Predicate, TGD, atom_step, plan_for
-from .scheduler import RoundScheduler, scheduled_delta_triggers
-from .triggers import Trigger
+from ..model import Atom, Instance, TGD
+from .scheduler import (
+    RoundScheduler,
+    ShipLog,
+    scheduled_delta_triggers,
+    scheduled_head_probes,
+)
+from .triggers import ChaseVariant, Trigger, rule_exec
+
+FrontierFact = Union[int, Atom]
+
+
+def _group_rows(
+    instance: Instance, new_facts: Sequence[FrontierFact]
+) -> Dict[int, List[Tuple[int, ...]]]:
+    """Frontier facts grouped into per-predicate-id row lists, in
+    arrival order.  Atoms are encoded (interning); ordinals are read
+    straight off the fact log."""
+    groups: Dict[int, List[Tuple[int, ...]]] = {}
+    log_pids = instance._log_pids
+    log_rows = instance._log_rows
+    for fact in new_facts:
+        if type(fact) is int:
+            pid = log_pids[fact]
+            row = log_rows[fact]
+        else:
+            pid = instance.pred_id(fact.predicate)
+            term_id = instance.term_id
+            row = tuple(term_id(t) for t in fact.terms)
+        rows = groups.get(pid)
+        if rows is None:
+            groups[pid] = [row]
+        else:
+            rows.append(row)
+    return groups
 
 
 def delta_triggers(
     rules: Sequence[TGD],
     instance: Instance,
-    new_facts: Sequence[Atom],
+    new_facts: Sequence[FrontierFact],
 ) -> Iterator[Trigger]:
     """Triggers whose body match involves at least one fact from
-    ``new_facts``.  May repeat a trigger (when several body atoms hit
-    new facts); the caller's fired-key set deduplicates."""
-    new_by_predicate: Dict[Predicate, List[Atom]] = {}
-    for fact in new_facts:
-        new_by_predicate.setdefault(fact.predicate, []).append(fact)
+    ``new_facts`` (fact ordinals, or Atoms on the public surface).
+    May repeat a trigger (when several body atoms hit new facts); the
+    caller's fired-key set deduplicates."""
+    groups = _group_rows(instance, new_facts)
+    if not groups:
+        return
     for rule_index, rule in enumerate(rules):
-        for pivot, pivot_atom in enumerate(rule.body):
-            candidates = new_by_predicate.get(pivot_atom.predicate)
+        body = rule.body
+        for pivot in range(len(body)):
+            pid = instance.pred_id_get(body[pivot].predicate)
+            candidates = groups.get(pid) if pid is not None else None
             if not candidates:
                 continue
-            pivot_step = atom_step(pivot_atom)
-            pivot_vars = pivot_step.variables()
-            rest = [a for i, a in enumerate(rule.body) if i != pivot]
-            # The pivot's bindings seed the rest-of-body join: the plan
-            # treats them as bound and probes the term-level indexes
-            # with them.  One plan serves every candidate fact — the
-            # caller materializes all triggers before mutating the
-            # instance, so the join order cannot go stale mid-loop.
-            plan = plan_for(rest, instance, pivot_vars) if rest else None
-            for fact in candidates:
-                partial: Dict = {}
-                if pivot_step.try_match(fact, partial) is None:
+            exec_ = rule_exec(instance, rule, pivot)
+            pivot_step = exec_.pivot_step
+            rest = exec_.rest
+            emit = exec_.emit
+            assign: List[Optional[int]] = [None] * exec_.nslots
+            for row in candidates:
+                newly = pivot_step.match(row, assign)
+                if newly is None:
                     continue
-                if plan is None:
-                    yield Trigger(rule, rule_index, partial)
-                    continue
-                for assignment in plan.run(instance, partial):
-                    yield Trigger(rule, rule_index, assignment)
+                if rest is None:
+                    yield Trigger.from_ids(
+                        rule, rule_index, emit(assign), instance
+                    )
+                else:
+                    for match in rest.run(instance, assign):
+                        yield Trigger.from_ids(
+                            rule, rule_index, emit(match), instance
+                        )
+                for s in newly:
+                    assign[s] = None
 
 
 class DeltaEngine:
@@ -97,10 +143,13 @@ class DeltaEngine:
 
     Owns the evaluation state that must survive across rounds:
 
-    * the *frontier* — facts added since the last discovery pass; and
+    * the *frontier* — facts added since the last discovery pass
+      (internally fact ordinals; ``notify`` also accepts Atoms);
     * the *fired-key set* — the identification key of every trigger
       ever handed out, so historical triggers are neither re-discovered
-      nor re-keyed round after round.
+      nor re-keyed round after round; and
+    * the *ship log* — the ``process`` executor's delta-shipping state
+      (worker mirror versions), created lazily on first use.
 
     ``key`` maps a trigger to its identification key (typically
     ``Trigger.key(variant)``); a trigger whose key was already handed
@@ -127,7 +176,7 @@ class DeltaEngine:
     """
 
     __slots__ = ("rules", "instance", "fired", "_key", "_frontier",
-                 "_scheduler")
+                 "_scheduler", "_ship", "_variant")
 
     def __init__(
         self,
@@ -135,11 +184,16 @@ class DeltaEngine:
         instance: Instance,
         key: Callable[[Trigger], Hashable],
         scheduler: Optional[RoundScheduler] = None,
+        variant: Optional[str] = None,
     ):
         self.rules: List[TGD] = list(rules)
         self.instance = instance
         self.fired: Set[Hashable] = set()
         self._key = key
+        # When the key policy is a plain chase variant, the dedup loop
+        # computes interned-form keys inline (no per-trigger lambda /
+        # method dispatch); ``key`` remains the general fallback.
+        self._variant = variant
         if (
             scheduler is not None
             and scheduler.kind == "serial"
@@ -149,17 +203,28 @@ class DeltaEngine:
             # serial path stays the canonical single loop.
             scheduler = None
         self._scheduler = scheduler
+        self._ship: Optional[ShipLog] = None
+        # Pre-intern every rule symbol serially, so batched discovery
+        # never allocates ids and id order is thread-independent.
+        instance.prepare_rules(self.rules)
         # The first round treats every existing fact as new.
-        self._frontier: List[Atom] = list(instance)
+        self._frontier: List[FrontierFact] = list(range(len(instance)))
 
-    def notify(self, facts: Iterable[Atom]) -> None:
-        """Report facts added to the instance; they seed the next
-        round's discovery pass."""
+    def notify(self, facts: Iterable[Union[Atom, int]]) -> None:
+        """Report facts added to the instance (Atoms or fact ordinals);
+        they seed the next round's discovery pass."""
         self._frontier.extend(facts)
 
     def pending_facts(self) -> int:
         """How many facts await the next discovery pass."""
         return len(self._frontier)
+
+    def ship_log(self) -> ShipLog:
+        """The delta-shipping state for the ``process`` executor
+        (created on first use; one per engine run)."""
+        if self._ship is None:
+            self._ship = ShipLog(self.rules)
+        return self._ship
 
     def next_round(self) -> List[Trigger]:
         """Materialize the next round: every not-yet-fired trigger whose
@@ -178,11 +243,33 @@ class DeltaEngine:
             )
         else:
             discovered = scheduled_delta_triggers(
-                scheduler, self.rules, self.instance, frontier
+                scheduler, self.rules, self.instance, frontier,
+                state=self.ship_log()
+                if scheduler.kind == "process" else None,
             )
         fired = self.fired
-        key = self._key
         out: List[Trigger] = []
+        variant = self._variant
+        if variant is not None:
+            semi = variant == ChaseVariant.SEMI_OBLIVIOUS
+            for trigger in discovered:
+                ids = trigger._ids
+                if ids is None:
+                    k: Hashable = trigger.key(variant)
+                elif semi:
+                    get = trigger.rule._frontier_get
+                    k = (
+                        trigger.rule_index,
+                        ids if get is None else get(ids),
+                    )
+                else:
+                    k = (trigger.rule_index, ids)
+                if k in fired:
+                    continue
+                fired.add(k)
+                out.append(trigger)
+            return out
+        key = self._key
         for trigger in discovered:
             k = key(trigger)
             if k in fired:
@@ -190,3 +277,23 @@ class DeltaEngine:
             fired.add(k)
             out.append(trigger)
         return out
+
+    def head_probes(self, triggers: Sequence[Trigger]) -> Optional[List[bool]]:
+        """Round-start head-satisfaction probes for a materialized
+        restricted round, evaluated through the engine's scheduler.
+
+        Returns one bool per trigger — True when the trigger's head is
+        already satisfied by the *round-start* instance (such triggers
+        will certainly be skipped; satisfaction is monotone) — or
+        ``None`` when no batched scheduler is attached (callers then
+        probe serially as before).  Read-only with respect to the
+        instance.
+        """
+        scheduler = self._scheduler
+        if scheduler is None or not triggers:
+            return None
+        return scheduled_head_probes(
+            scheduler, self.rules, self.instance, triggers,
+            state=self.ship_log()
+            if scheduler.kind == "process" else None,
+        )

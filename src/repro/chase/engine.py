@@ -34,7 +34,7 @@ from .result import ChaseResult, ChaseStep
 from .scheduler import SchedulerSpec, resolve_scheduler
 from .triggers import (
     ChaseVariant,
-    apply_trigger,
+    apply_trigger_ids,
     head_satisfied,
 )
 
@@ -93,6 +93,7 @@ def run_chase(
         instance,
         key=lambda trigger: trigger.key(variant),
         scheduler=round_scheduler,
+        variant=variant,
     )
     steps: List[ChaseStep] = []
     rng = None
@@ -101,24 +102,36 @@ def run_chase(
 
         rng = random.Random(order_seed)
 
+    restricted = variant == ChaseVariant.RESTRICTED
     try:
         while True:
             round_triggers = engine.next_round()
             if rng is not None:
                 rng.shuffle(round_triggers)
+            # The batched *apply* half of restricted rounds: probe head
+            # satisfaction for the whole materialized round against the
+            # round-start instance through the scheduler's executor.
+            # Satisfaction is monotone (instances only grow), so a
+            # True probe is a certain skip; a False probe is re-checked
+            # serially at its canonical turn against the current
+            # instance — the firing sequence is byte-identical to the
+            # fully serial engine's.
+            probes = (
+                engine.head_probes(round_triggers) if restricted else None
+            )
             fired_this_round = 0
-            for trigger in round_triggers:
-                if variant == ChaseVariant.RESTRICTED and head_satisfied(
-                    trigger, instance
-                ):
-                    # Satisfied triggers never become unsatisfied
-                    # (instances only grow), so skipping them for good —
-                    # they are already in the engine's fired-key set —
-                    # is safe.
-                    continue
-                new_facts = apply_trigger(trigger, instance, factory)
-                steps.append(ChaseStep(trigger, new_facts))
-                engine.notify(new_facts)
+            for position, trigger in enumerate(round_triggers):
+                if restricted:
+                    if probes is not None and probes[position]:
+                        # Satisfied triggers never become unsatisfied,
+                        # so skipping them for good — they are already
+                        # in the engine's fired-key set — is safe.
+                        continue
+                    if head_satisfied(trigger, instance):
+                        continue
+                new_ordinals = apply_trigger_ids(trigger, instance, factory)
+                steps.append(ChaseStep(trigger, instance, new_ordinals))
+                engine.notify(new_ordinals)
                 fired_this_round += 1
                 if len(steps) >= max_steps:
                     return ChaseResult(

@@ -14,13 +14,36 @@ from .triggers import Trigger
 
 
 class ChaseStep:
-    """One applied trigger and the facts it produced."""
+    """One applied trigger and the facts it produced.
 
-    __slots__ = ("trigger", "new_facts")
+    The produced facts are recorded as log ordinals into the result
+    instance and materialized as Atoms lazily on first access — the
+    engine's apply loop stays int-only, and runs whose steps are never
+    inspected (benchmarks, deciders) never pay for Atom construction.
+    """
 
-    def __init__(self, trigger: Trigger, new_facts: Sequence[Atom]):
+    __slots__ = ("trigger", "_source", "_ordinals", "_new_facts")
+
+    def __init__(
+        self,
+        trigger: Trigger,
+        source: Instance,
+        ordinals: Sequence[int],
+    ):
         self.trigger = trigger
-        self.new_facts = tuple(new_facts)
+        self._source = source
+        self._ordinals = tuple(ordinals)
+        self._new_facts: Optional[Sequence[Atom]] = None
+
+    @property
+    def new_facts(self) -> Sequence[Atom]:
+        """The facts this step added, in head order (lazily decoded)."""
+        facts = self._new_facts
+        if facts is None:
+            atom_at = self._source.atom_at
+            facts = tuple(atom_at(o) for o in self._ordinals)
+            self._new_facts = facts
+        return facts
 
     def __repr__(self) -> str:
         produced = ", ".join(str(f) for f in self.new_facts)
@@ -99,7 +122,7 @@ class ChaseResult:
         for step in self.steps:
             rule = step.trigger.rule
             key = rule.label or f"rule{step.trigger.rule_index}"
-            out[key] = out.get(key, 0) + len(step.new_facts)
+            out[key] = out.get(key, 0) + len(step._ordinals)
         return out
 
     def __repr__(self) -> str:

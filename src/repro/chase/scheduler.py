@@ -19,19 +19,36 @@ Three executors are provided (:data:`SCHEDULER_KINDS`):
   order.  Byte-identical to the pre-scheduler engine by construction
   (it *is* the same loop).
 * ``threaded`` — a shared-memory worker pool over batches.  Workers run
-  compiled join plans against the shared round-start instance; the GIL
-  serializes pure-Python joins, so this helps when per-batch work
-  releases the GIL and otherwise stays near 1×, but it is the
-  determinism-preserving harness the ``process`` executor plugs into.
+  resolved int-level join execs against the shared round-start
+  instance; the GIL serializes pure-Python joins, so this helps when
+  per-batch work releases the GIL and otherwise stays near 1×, but it
+  is the determinism-preserving harness the ``process`` executor plugs
+  into.
 * ``process`` — a ``spawn``-context process pool for CPU-bound runs
-  (the MFA Skolem saturation being the motivating workload).  Batch
-  descriptors are fully picklable: the round-start instance ships as
-  its fact tuple (indexes are rebuilt worker-side), rules rebuild
-  through ``TGD.__reduce__``, and discovered assignments return as
-  ``(variable, term)`` pairs — all routed through the constructor-based
-  ``__reduce__`` protocol of :mod:`repro.model.terms`, which recomputes
-  cached hashes under the worker's hash randomization and interns
-  constants/variables/predicates on arrival.
+  (the MFA Skolem saturation being the motivating workload).
+
+**Delta-only shipping.**  With the interned fact core, a ``process``
+round no longer pickles the round-start instance.  Each worker keeps a
+*mirror* of the run's fact log — raw int rows, no Term objects at all —
+and the parent ships, per round:
+
+* the log **tail** the most-behind known worker is missing, as flat
+  ``array('q')`` int arrays (predicate ids + concatenated rows);
+* the candidate facts of each batch as log *ordinals* (plain ints); and
+* once per run (piggybacked on the first full ship), the rules plus the
+  only symbol-table diff workers ever need: the rule constants and
+  predicates with their parent-assigned ids.  Mirrors seal their
+  symbol tables, so a worker can never mint an id colliding with a
+  parent id.
+
+Discovered triggers return as ``(rule_index, id-tuple)`` wire rows —
+pure ints, aligned with the rule's sorted body variables.  A worker
+whose mirror is older than the shipped tail (a fresh pool member, or a
+mirror evicted by the LRU cap) answers *resync*; the parent evaluates
+that chunk locally this round and ships the full log next round, so
+correctness never depends on which worker the pool picked.  All of
+this is invisible to ordering: the merge is still concatenation in
+canonical batch order.
 
 The executors never see the fired-key set and never mutate the
 instance; ordering and mutation stay with the caller
@@ -40,7 +57,10 @@ instance; ordering and mutation stay with the caller
 
 from __future__ import annotations
 
+import itertools
 import os
+from array import array
+from collections import OrderedDict
 from typing import (
     Callable,
     Dict,
@@ -54,7 +74,8 @@ from typing import (
 )
 
 from ..model import Atom, Instance, Predicate, TGD, Term, Variable, atom_step, plan_for
-from .triggers import Trigger
+from ..model.symbols import SymbolTable
+from .triggers import Trigger, head_satisfied, rule_exec
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -62,11 +83,17 @@ R = TypeVar("R")
 SCHEDULER_KINDS = ("serial", "threaded", "process")
 """The pluggable round executors, in increasing isolation order."""
 
-#: One discovery batch: ``(rule_index, pivot_position, candidate_facts)``.
+#: One object-level discovery batch:
+#: ``(rule_index, pivot_position, candidate_facts)``.
 DiscoveryBatch = Tuple[int, int, Tuple[Atom, ...]]
 
-#: A trigger in wire form: ``(rule_index, ((var, term), ...))``.
-WireTrigger = Tuple[int, Tuple[Tuple[Variable, Term], ...]]
+#: One interned-form discovery batch:
+#: ``(rule_index, pivot_position, candidate_fact_ordinals)``.
+OrdinalBatch = Tuple[int, int, Tuple[int, ...]]
+
+#: A trigger in wire form: ``(rule_index, term-id tuple)`` with ids
+#: aligned to ``rule.body_variables_sorted``.
+WireTrigger = Tuple[int, Tuple[int, ...]]
 
 
 class RoundScheduler:
@@ -80,12 +107,17 @@ class RoundScheduler:
 
     Pools are created lazily on first use and reused across rounds (and
     across runs, when the caller passes one scheduler to several
-    engines — the recommended way to amortize ``process`` spawn cost).
+    engines — the recommended way to amortize ``process`` spawn cost;
+    warm mirrors then also keep shipping delta-only across runs' rounds).
     Schedulers are context managers; :meth:`close` shuts the pools
     down.  The ``serial`` kind never allocates a pool.
+
+    ``ship_stats`` holds the most recent run's delta-shipping counters
+    (rows shipped, full syncs, resyncs) for benchmarks and diagnostics.
     """
 
-    __slots__ = ("kind", "workers", "shard_size", "_threads", "_processes")
+    __slots__ = ("kind", "workers", "shard_size", "ship_stats",
+                 "_threads", "_processes")
 
     def __init__(
         self,
@@ -107,6 +139,7 @@ class RoundScheduler:
         self.kind = kind
         self.workers = workers or (os.cpu_count() or 1)
         self.shard_size = shard_size
+        self.ship_stats: Dict[str, int] = {}
         self._threads = None
         self._processes = None
 
@@ -116,12 +149,17 @@ class RoundScheduler:
         """Apply ``fn`` to every task; results in task order.
 
         Under ``process``, ``fn`` must be a module-level function and
-        every task picklable.  Under ``serial`` (or when there is at
-        most one task) this is an inline loop.
+        every task picklable.  Under ``serial`` this is an inline loop;
+        so is a single ``threaded`` task (spawning a thread for one
+        task buys nothing).  A single ``process`` task still goes to
+        the pool — the worker-side mirror must see every round's tail,
+        and local evaluation would starve it.
         """
-        if self.kind == "serial" or len(tasks) <= 1:
+        if self.kind == "serial" or not tasks:
             return [fn(task) for task in tasks]
         if self.kind == "threaded":
+            if len(tasks) == 1:
+                return [fn(tasks[0])]
             return list(self._thread_pool().map(fn, tasks))
         return list(self._process_pool().map(fn, tasks))
 
@@ -206,7 +244,8 @@ def discovery_batches(
     new_facts: Sequence[Atom],
     shard_size: Optional[int] = None,
 ) -> List[DiscoveryBatch]:
-    """Partition one round's discovery work list into batches.
+    """Partition one round's discovery work list into object-level
+    batches (the public, Atom-carrying form).
 
     One batch per ``(rule, pivot)`` pair with a non-empty candidate
     list, in the serial engine's canonical order (rule-major, then
@@ -238,12 +277,52 @@ def discovery_batches(
     return batches
 
 
+def _ordinal_batches(
+    rules: Sequence[TGD],
+    instance: Instance,
+    ordinals: Sequence[int],
+    shard_size: Optional[int] = None,
+) -> List[OrdinalBatch]:
+    """The interned-form analogue of :func:`discovery_batches`: the
+    frontier is a list of fact ordinals and candidates are grouped by
+    predicate *id*, in the same canonical order."""
+    by_pid: Dict[int, List[int]] = {}
+    for ordinal in ordinals:
+        pid = instance._log_pids[ordinal]
+        group = by_pid.get(pid)
+        if group is None:
+            by_pid[pid] = [ordinal]
+        else:
+            group.append(ordinal)
+    batches: List[OrdinalBatch] = []
+    for rule_index, rule in enumerate(rules):
+        for pivot, pivot_atom in enumerate(rule.body):
+            pid = instance.pred_id_get(pivot_atom.predicate)
+            candidates = by_pid.get(pid) if pid is not None else None
+            if not candidates:
+                continue
+            if shard_size is None or len(candidates) <= shard_size:
+                batches.append((rule_index, pivot, tuple(candidates)))
+                continue
+            for start in range(0, len(candidates), shard_size):
+                batches.append(
+                    (
+                        rule_index,
+                        pivot,
+                        tuple(candidates[start:start + shard_size]),
+                    )
+                )
+    return batches
+
+
 def evaluate_batch(
     rules: Sequence[TGD],
     instance: Instance,
     batch: DiscoveryBatch,
 ) -> List[Trigger]:
-    """Evaluate one discovery batch against the round-start instance.
+    """Evaluate one object-level discovery batch against the
+    round-start instance (the public form; the engines run
+    :func:`evaluate_ordinal_batch`).
 
     Pure with respect to the instance: the pivot's bindings seed the
     rest-of-body compiled join plan exactly as
@@ -270,51 +349,268 @@ def evaluate_batch(
     return out
 
 
-# -- process-executor wire format ------------------------------------------
-#
-# A process task carries everything a worker needs: the rules, the
-# round-start instance (as an Instance — its __reduce__ ships the fact
-# tuple and rebuilds indexes worker-side), and a contiguous run of
-# batches.  Triggers return in wire form (rule_index + assignment
-# pairs) so rule objects never travel back.
-
-ProcessTask = Tuple[Sequence[TGD], Instance, List[DiscoveryBatch]]
-
-
-def evaluate_batches_remote(task: ProcessTask) -> List[WireTrigger]:
-    """Worker-side entry point: evaluate a run of batches, return wire
-    triggers in canonical order.  Module-level for picklability."""
-    rules, instance, batches = task
+def evaluate_ordinal_batch(
+    rules: Sequence[TGD],
+    instance: Instance,
+    batch: OrdinalBatch,
+) -> List[WireTrigger]:
+    """Evaluate one interned-form batch: candidate ordinals through the
+    resolved pivot-seeded exec, wire triggers out.  Runs identically on
+    the parent instance and on a worker mirror (same ids by
+    construction), and is safe to run concurrently with other batches
+    of the same round."""
+    rule_index, pivot, candidates = batch
+    rule = rules[rule_index]
+    exec_ = rule_exec(instance, rule, pivot)
+    pivot_step = exec_.pivot_step
+    rest = exec_.rest
+    emit = exec_.emit
+    assign: List[Optional[int]] = [None] * exec_.nslots
+    log_rows = instance._log_rows
     out: List[WireTrigger] = []
-    for batch in batches:
-        for trigger in evaluate_batch(rules, instance, batch):
-            out.append(
-                (trigger.rule_index, tuple(trigger.assignment.items()))
-            )
+    for ordinal in candidates:
+        row = log_rows[ordinal]
+        newly = pivot_step.match(row, assign)
+        if newly is None:
+            continue
+        if rest is None:
+            out.append((rule_index, emit(assign)))
+        else:
+            for match in rest.run(instance, assign):
+                out.append((rule_index, emit(match)))
+        for s in newly:
+            assign[s] = None
     return out
 
 
-def _chunk(
-    batches: List[DiscoveryBatch], chunks: int
-) -> List[List[DiscoveryBatch]]:
-    """Split batches into at most ``chunks`` contiguous, order-
-    preserving runs of near-equal length."""
-    chunks = max(1, min(chunks, len(batches)))
-    size, extra = divmod(len(batches), chunks)
-    out: List[List[DiscoveryBatch]] = []
+# -- delta-only shipping (parent side) -------------------------------------
+
+_RESYNC = "resync"
+_token_counter = itertools.count(1)
+
+
+class ShipLog:
+    """Parent-side shipping state for one engine run.
+
+    Tracks, per known worker pid, the mirror version (fact-log length)
+    that worker has confirmed, so each round ships only the tail the
+    most-behind known worker is missing.  An unknown worker (fresh pool
+    member, LRU-evicted mirror) answers *resync*: its chunk is
+    evaluated locally this round and the next round ships from zero.
+    """
+
+    __slots__ = ("token", "rules", "worker_versions", "stats",
+                 "_init_payload")
+
+    def __init__(self, rules: Sequence[TGD]):
+        self.token = (os.getpid(), next(_token_counter))
+        self.rules = list(rules)
+        self.worker_versions: Dict[int, int] = {}
+        self.stats: Dict[str, int] = {
+            "rounds": 0,
+            "rows_shipped": 0,
+            "full_ships": 0,
+            "resyncs": 0,
+            "wire_triggers": 0,
+            # What the pre-delta protocol would have pickled: the whole
+            # round-start instance, (at least) once per round.
+            "rows_old_protocol": 0,
+        }
+        self._init_payload = None
+
+    def note(self, pid: int, version: Optional[int]) -> None:
+        if version is None:
+            self.worker_versions[pid] = 0
+            self.stats["resyncs"] += 1
+        else:
+            self.worker_versions[pid] = version
+
+    def ship_from(self) -> int:
+        """The log position shipping must start from: the most-behind
+        known worker's version (0 when no worker is known yet)."""
+        versions = self.worker_versions
+        return min(versions.values()) if versions else 0
+
+    def init_payload(self, instance: Instance):
+        """The once-per-run symbol diff: rules, rule constants and
+        predicates with their parent ids.  Shipped whenever the tail
+        starts at zero (a worker may be rebuilding from scratch).
+
+        Predicates cover the rules *and* every predicate the instance
+        knows at first ship — the database may hold relations no rule
+        mentions, and mirrors need their arities to split the flat row
+        arrays.  (No predicate can appear later: engines only ever add
+        rule-head facts.)
+        """
+        if self._init_payload is None:
+            const_pairs: List[Tuple[Term, int]] = []
+            seen_terms = set()
+            pred_pairs: List[Tuple[Predicate, int]] = []
+            seen_preds = set()
+            for rule in self.rules:
+                for atom in rule.body + rule.head:
+                    pred = atom.predicate
+                    if pred not in seen_preds:
+                        seen_preds.add(pred)
+                        pred_pairs.append((pred, instance.pred_id(pred)))
+                    for term in atom.terms:
+                        if isinstance(term, Variable):
+                            continue
+                        if term not in seen_terms:
+                            seen_terms.add(term)
+                            const_pairs.append(
+                                (term, instance.term_id(term))
+                            )
+            for pred, pid in list(instance._pred_ids.items()):
+                if pred not in seen_preds:
+                    seen_preds.add(pred)
+                    pred_pairs.append((pred, pid))
+            self._init_payload = (
+                tuple(self.rules), tuple(const_pairs), tuple(pred_pairs)
+            )
+        return self._init_payload
+
+    def build_tail(self, instance: Instance, base: int,
+                   count_round: bool = True):
+        """``(start, pred-id array, flat row array, init-or-None)``
+        covering log positions ``[start, base)``.
+
+        ``count_round=False`` (the head-probe pass, which reuses the
+        same round's sync point) still counts the rows it actually
+        ships but not the per-round counters — otherwise restricted
+        process runs would double-book ``rounds`` and the
+        old-protocol comparison column.
+        """
+        start = self.ship_from()
+        pids = array("q", instance._log_pids[start:base])
+        flat = array("q")
+        rows = instance._log_rows
+        for ordinal in range(start, base):
+            flat.extend(rows[ordinal])
+        init = self.init_payload(instance) if start == 0 else None
+        self.stats["rows_shipped"] += base - start
+        if count_round:
+            self.stats["rounds"] += 1
+            self.stats["rows_old_protocol"] += base
+        if start == 0:
+            self.stats["full_ships"] += 1
+        return (start, pids, flat, init)
+
+
+# -- worker-side mirrors ---------------------------------------------------
+
+_MIRROR_CAP = 4
+_MIRRORS: "OrderedDict[Tuple[int, int], _Mirror]" = OrderedDict()
+
+
+class _Mirror:
+    """A worker's replica of one run's fact log — raw int rows keyed by
+    parent ids; the sealed symbol table holds only the rule constants."""
+
+    __slots__ = ("instance", "version", "rules", "arity")
+
+    def __init__(self, rules, const_pairs, pred_pairs):
+        self.instance = Instance(
+            symbols=SymbolTable(const_pairs, sealed=True)
+        )
+        for pred, pid in pred_pairs:
+            self.instance.prime_predicate(pred, pid)
+        self.rules = list(rules)
+        self.arity = {pid: pred.arity for pred, pid in pred_pairs}
+        self.version = 0
+
+
+def _sync_mirror(token, base, tail) -> Optional[_Mirror]:
+    """Fetch-or-build the mirror for ``token`` and roll it forward to
+    ``base`` using the shipped tail.  Returns ``None`` (resync) when
+    the tail starts past the mirror's version."""
+    start, pids, flat, init = tail
+    mirror = _MIRRORS.get(token)
+    if mirror is None:
+        if init is None or start != 0:
+            return None
+        mirror = _Mirror(*init)
+        _MIRRORS[token] = mirror
+        while len(_MIRRORS) > _MIRROR_CAP:
+            _MIRRORS.popitem(last=False)
+    _MIRRORS.move_to_end(token)
+    if mirror.version < start or mirror.version > base:
+        return None
+    add_row = mirror.instance.add_row
+    arity = mirror.arity
+    offset = 0
+    position = start
+    skip_until = mirror.version
+    for pid in pids:
+        k = arity[pid]
+        if position >= skip_until:
+            add_row(pid, tuple(flat[offset:offset + k]))
+        offset += k
+        position += 1
+    mirror.version = base
+    return mirror
+
+
+def _process_discover(task):
+    """Worker entry point: sync the mirror, evaluate a chunk of
+    interned-form batches, return wire triggers in canonical order.
+    Module-level for picklability."""
+    token, base, tail, chunk = task
+    pid = os.getpid()
+    mirror = _sync_mirror(token, base, tail)
+    if mirror is None:
+        return (pid, None, _RESYNC)
+    out: List[WireTrigger] = []
+    for batch in chunk:
+        out.extend(evaluate_ordinal_batch(mirror.rules, mirror.instance,
+                                          batch))
+    return (pid, mirror.version, out)
+
+
+def _process_probe(task):
+    """Worker entry point: sync the mirror, answer head-satisfaction
+    probes (``(rule_index, id-tuple)`` rows) against the round-start
+    mirror."""
+    token, base, tail, probes = task
+    pid = os.getpid()
+    mirror = _sync_mirror(token, base, tail)
+    if mirror is None:
+        return (pid, None, _RESYNC)
+    rules = mirror.rules
+    instance = mirror.instance
+    out = [
+        head_satisfied(
+            Trigger.from_ids(rules[rule_index], rule_index, ids, instance),
+            instance,
+        )
+        for rule_index, ids in probes
+    ]
+    return (pid, mirror.version, out)
+
+
+def _chunk(items: List[T], chunks: int) -> List[List[T]]:
+    """Split into at most ``chunks`` contiguous, order-preserving runs
+    of near-equal length."""
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out: List[List[T]] = []
     start = 0
     for i in range(chunks):
         stop = start + size + (1 if i < extra else 0)
-        out.append(batches[start:stop])
+        out.append(items[start:stop])
         start = stop
     return out
+
+
+# -- scheduled rounds ------------------------------------------------------
 
 
 def scheduled_delta_triggers(
     scheduler: RoundScheduler,
     rules: Sequence[TGD],
     instance: Instance,
-    new_facts: Sequence[Atom],
+    new_facts: Sequence,
+    state: Optional[ShipLog] = None,
 ) -> Iterable[Trigger]:
     """One scheduled discovery pass — the batched equivalent of
     :func:`repro.chase.delta.delta_triggers`.
@@ -326,23 +622,119 @@ def scheduled_delta_triggers(
     identical to the serial engine's.  May repeat a trigger across
     pivots exactly as the serial pass does; the caller's fired-key set
     deduplicates.
+
+    ``new_facts`` are fact ordinals (the engines' form) or Atoms; the
+    ``process`` executor requires in-instance facts and takes its
+    delta-shipping state from ``state`` (a fresh, full-shipping
+    :class:`ShipLog` is created when omitted).
     """
-    batches = discovery_batches(rules, new_facts, scheduler.shard_size)
+    ordinals: List[int] = []
+    for fact in new_facts:
+        if type(fact) is int:
+            ordinals.append(fact)
+        else:
+            ordinal = instance.ordinal_of(fact)
+            if ordinal is None:
+                # Out-of-instance frontier facts (public API only)
+                # cannot be named by log ordinals, so this round runs
+                # through the unbatched int-form discovery loop — the
+                # trigger stream, and crucially the interned *key*
+                # encoding, stay identical to every other round (an
+                # object-form fallback here would re-key — and hence
+                # re-fire — triggers the engine already fired).
+                from .delta import delta_triggers
+
+                yield from delta_triggers(rules, instance, list(new_facts))
+                return
+            ordinals.append(ordinal)
+    batches = _ordinal_batches(rules, instance, ordinals,
+                               scheduler.shard_size)
     if not batches:
         return
+    rule_list = list(rules)
     if scheduler.kind == "process":
-        tasks: List[ProcessTask] = [
-            (rules, instance, chunk)
-            for chunk in _chunk(batches, scheduler.workers)
-        ]
-        rule_list = list(rules)
-        for wire_triggers in scheduler.map(evaluate_batches_remote, tasks):
-            for rule_index, items in wire_triggers:
-                yield Trigger(
-                    rule_list[rule_index], rule_index, dict(items)
+        if state is None:
+            state = ShipLog(rule_list)
+        base = len(instance)
+        tail = state.build_tail(instance, base)
+        scheduler.ship_stats = state.stats
+        chunks = _chunk(batches, scheduler.workers)
+        tasks = [(state.token, base, tail, chunk) for chunk in chunks]
+        results = scheduler.map(_process_discover, tasks)
+        for chunk, (worker_pid, version, wire) in zip(chunks, results):
+            state.note(worker_pid, version)
+            if wire == _RESYNC:
+                wire = []
+                for batch in chunk:
+                    wire.extend(
+                        evaluate_ordinal_batch(rule_list, instance, batch)
+                    )
+            state.stats["wire_triggers"] += len(wire)
+            for rule_index, ids in wire:
+                yield Trigger.from_ids(
+                    rule_list[rule_index], rule_index, ids, instance
                 )
         return
-    for triggers in scheduler.map(
-        lambda batch: evaluate_batch(rules, instance, batch), batches
+    for wire in scheduler.map(
+        lambda batch: evaluate_ordinal_batch(rule_list, instance, batch),
+        batches,
     ):
-        yield from triggers
+        for rule_index, ids in wire:
+            yield Trigger.from_ids(
+                rule_list[rule_index], rule_index, ids, instance
+            )
+
+
+def scheduled_head_probes(
+    scheduler: RoundScheduler,
+    rules: Sequence[TGD],
+    instance: Instance,
+    triggers: Sequence[Trigger],
+    state: Optional[ShipLog] = None,
+) -> List[bool]:
+    """Head-satisfaction probes for a materialized restricted round,
+    evaluated against the **round-start** instance through the
+    scheduler's executor (the batched *apply* half of restricted
+    rounds).
+
+    Satisfaction is monotone — instances only grow — so a trigger
+    probing True here is skipped for certain, and a trigger probing
+    False is re-checked serially against the current instance at its
+    canonical turn; the firing sequence is therefore byte-identical to
+    the serial engine's.  Probes are read-only: safe to batch exactly
+    like discovery, and shipped to ``process`` workers as pure-int
+    ``(rule_index, id-tuple)`` rows against their existing mirrors.
+    """
+    if scheduler.kind == "process":
+        if state is None:
+            state = ShipLog(list(rules))
+        wire = [
+            (trigger.rule_index, trigger.ids(instance))
+            for trigger in triggers
+        ]
+        base = len(instance)
+        tail = state.build_tail(instance, base, count_round=False)
+        scheduler.ship_stats = state.stats
+        chunks = _chunk(wire, scheduler.workers)
+        tasks = [(state.token, base, tail, chunk) for chunk in chunks]
+        results = scheduler.map(_process_probe, tasks)
+        out: List[bool] = []
+        offset = 0
+        for chunk, (worker_pid, version, answers) in zip(chunks, results):
+            state.note(worker_pid, version)
+            if answers == _RESYNC:
+                answers = [
+                    head_satisfied(triggers[offset + i], instance)
+                    for i in range(len(chunk))
+                ]
+            out.extend(answers)
+            offset += len(chunk)
+        return out
+    chunks = _chunk(list(triggers), scheduler.workers)
+    out = []
+    for answers in scheduler.map(
+        lambda chunk: [head_satisfied(t, instance) for t in chunk],
+        chunks,
+    ):
+        out.extend(answers)
+    return out

@@ -38,6 +38,7 @@ from .rules import (
     validate_program,
 )
 from .schema import Schema
+from .symbols import SymbolTable
 from .terms import (
     Constant,
     Null,
@@ -65,6 +66,7 @@ __all__ = [
     "Position",
     "Predicate",
     "Schema",
+    "SymbolTable",
     "TGD",
     "Term",
     "Variable",

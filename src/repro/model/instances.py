@@ -1,21 +1,34 @@
-"""Instances and databases.
+"""Instances and databases, on an interned-id columnar fact core.
 
 An :class:`Instance` is a set of facts (ground atoms over constants and
 labelled nulls).  A *database* is an instance without nulls.  Instances
 are mutable (the chase grows them) but expose a frozen snapshot for
 hashing and comparison.
 
-Facts are indexed two ways so that trigger computation — the hot loop
-of every chase engine — touches as few facts as possible:
+Internally an instance no longer stores :class:`~repro.model.atoms.Atom`
+objects at all.  Every term and predicate is interned to a dense int in
+a per-instance :class:`~repro.model.symbols.SymbolTable`, and each
+relation is an append-only list of int-tuple *rows*, indexed two ways:
 
-* by predicate, giving each relation's rows in insertion order; and
-* by ``(predicate, position, term)``, the term-level hash indexes that
-  the join engine (:mod:`repro.model.joinplan`) probes with the values
-  already bound by outer join levels.
+* by predicate id, giving each relation's rows in insertion order; and
+* by ``(pred_id, position, term_id)``, the term-level hash indexes the
+  join engine (:mod:`repro.model.joinplan`) probes with the ids already
+  bound by outer join levels — int hashing and int equality instead of
+  object ``__hash__``/``__eq__`` dispatch.
 
-Both indexes are maintained incrementally by :meth:`Instance.add`;
+Atoms are materialized lazily, only at API boundaries (``facts()``,
+iteration, ``facts_with_predicate``, provenance, printing): the fact
+log keeps one slot per row, filled with the original object on the
+object-level ``add()`` path and decoded on demand for rows created by
+the engines' int-level ``add_row()`` path.  Materialization never
+changes ids, rows, or iteration order, so it is invisible to
+determinism (the lazy-atom argument is spelled out in PERF.md).
+
+All indexes are maintained incrementally by ``add()``/``add_row()``;
 facts are never removed, so index rows are append-only and iterating a
-length-bounded prefix of a row list is a zero-copy snapshot.
+length-bounded prefix of a row list is a zero-copy snapshot.  The
+active domain is likewise maintained incrementally (a satellite of the
+interned-core PR): ``active_domain()`` no longer rescans all facts.
 """
 
 from __future__ import annotations
@@ -28,16 +41,18 @@ from typing import (
     List,
     Mapping,
     Optional,
-    Set,
     Tuple,
 )
 
 from .atoms import Atom, Predicate
 from .schema import Schema
+from .symbols import SymbolTable
 from .terms import Constant, Null, Term
 
+Row = Tuple[int, ...]
 
-_EMPTY_ROWS: List["Atom"] = []
+_EMPTY_ROWS: List[Row] = []
+_EMPTY_MEMBER: Dict[Row, int] = {}
 
 
 class Instance:
@@ -47,17 +62,158 @@ class Instance:
     deterministic fact order).
     """
 
-    __slots__ = ("_facts", "_by_predicate", "_by_term", "_snapshots")
+    __slots__ = (
+        "_symbols",
+        "_pred_ids",
+        "_pred_objs",
+        "_log_pids",
+        "_log_rows",
+        "_atoms",
+        "_member_by_pid",
+        "_rows_by_pid",
+        "_index",
+        "_domain_ids",
+        "_domain_cache",
+        "_constants_cache",
+        "_nulls_cache",
+        "_snapshots",
+        "_steps",
+        "_plans",
+        "_templates",
+    )
 
-    def __init__(self, facts: Iterable[Atom] = ()):
-        self._facts: Dict[Atom, None] = {}
-        self._by_predicate: Dict[Predicate, List[Atom]] = {}
-        # (predicate, position, term) -> facts with `term` at `position`.
-        self._by_term: Dict[Tuple[Predicate, int, Term], List[Atom]] = {}
+    def __init__(
+        self,
+        facts: Iterable[Atom] = (),
+        symbols: Optional[SymbolTable] = None,
+    ):
+        self._symbols = symbols if symbols is not None else SymbolTable()
+        self._pred_ids: Dict[Predicate, int] = {}
+        self._pred_objs: Dict[int, Predicate] = {}
+        self._log_pids: List[int] = []
+        self._log_rows: List[Row] = []
+        # Sparse ordinal -> Atom store: filled with the caller's object
+        # on object-level adds, decoded on demand everywhere else (most
+        # engine-created facts never materialize at all).
+        self._atoms: Dict[int, Atom] = {}
+        self._member_by_pid: Dict[int, Dict[Row, int]] = {}
+        self._rows_by_pid: Dict[int, List[Row]] = {}
+        # (pred_id, position, term_id) -> rows carrying term_id there.
+        self._index: Dict[Tuple[int, int, int], List[Row]] = {}
+        # Incrementally maintained active domain (term ids, insertion
+        # order) plus size-validated decode caches.
+        self._domain_ids: Dict[int, None] = {}
+        self._domain_cache: Optional[FrozenSet[Term]] = None
+        self._constants_cache: Optional[Tuple[int, FrozenSet[Constant]]] = None
+        self._nulls_cache: Optional[Tuple[int, FrozenSet[Null]]] = None
         # Cached facts_with_predicate() tuples, invalidated by length.
-        self._snapshots: Dict[Predicate, Tuple[Atom, ...]] = {}
+        self._snapshots: Dict[int, Tuple[Atom, ...]] = {}
+        # Join-engine resolution caches (managed by repro.model.joinplan
+        # and repro.chase.triggers; they die with the instance, unlike
+        # the old global caches).
+        self._steps: Dict = {}
+        self._plans: Dict = {}
+        self._templates: Dict = {}
+        if (
+            symbols is None
+            and type(self) is Instance
+            and isinstance(facts, Instance)
+            and type(facts) in (Instance, Database)
+        ):
+            # Columnar fast path: duplicate the int core wholesale
+            # (same ids, same rows, same order) instead of re-encoding
+            # every Atom — the chase engines copy their input database
+            # this way.  Subclasses fall through to per-fact adds so
+            # their add() checks still run.
+            self._copy_core(facts)
+            return
         for fact in facts:
             self.add(fact)
+
+    def _copy_core(self, other: "Instance") -> None:
+        self._symbols = other._symbols.clone()
+        self._pred_ids = dict(other._pred_ids)
+        self._pred_objs = dict(other._pred_objs)
+        self._log_pids = list(other._log_pids)
+        self._log_rows = list(other._log_rows)
+        self._atoms = dict(other._atoms)
+        self._member_by_pid = {
+            pid: dict(member)
+            for pid, member in other._member_by_pid.items()
+        }
+        self._rows_by_pid = {
+            pid: list(rows) for pid, rows in other._rows_by_pid.items()
+        }
+        self._index = {key: list(rows) for key, rows in other._index.items()}
+        self._domain_ids = dict(other._domain_ids)
+
+    # -- interning ---------------------------------------------------------
+
+    def pred_id(self, predicate: Predicate) -> int:
+        """The (interning) dense id of ``predicate``."""
+        pid = self._pred_ids.get(predicate)
+        if pid is None:
+            pid = len(self._pred_objs)
+            while pid in self._pred_objs:  # primed tables may be sparse
+                pid += 1
+            self._pred_ids[predicate] = pid
+            self._pred_objs[pid] = predicate
+        return pid
+
+    def pred_id_get(self, predicate: Predicate) -> Optional[int]:
+        """The id of ``predicate`` if seen before, else ``None``."""
+        return self._pred_ids.get(predicate)
+
+    def predicate_of(self, pid: int) -> Predicate:
+        """Decode a predicate id."""
+        return self._pred_objs[pid]
+
+    def prime_predicate(self, predicate: Predicate, pid: int) -> None:
+        """Install a parent-assigned predicate id (worker mirrors)."""
+        known = self._pred_ids.get(predicate)
+        if known is not None:
+            if known != pid:
+                raise ValueError(
+                    f"{predicate} already has id {known}, not {pid}"
+                )
+            return
+        self._pred_ids[predicate] = pid
+        self._pred_objs[pid] = predicate
+
+    def term_id(self, term: Term) -> int:
+        """The (interning) dense id of ``term``."""
+        return self._symbols.intern(term)
+
+    def term_id_get(self, term: Term) -> Optional[int]:
+        """The id of ``term`` if interned, else ``None``."""
+        return self._symbols.get(term)
+
+    def term_of(self, tid: int) -> Term:
+        """Decode a term id."""
+        return self._symbols.obj(tid)
+
+    @property
+    def symbols(self) -> SymbolTable:
+        """The instance's symbol table (terms only; predicates are kept
+        in a separate id space)."""
+        return self._symbols
+
+    def prepare_rules(self, rules: Iterable) -> None:
+        """Pre-intern every predicate and constant of ``rules`` in a
+        fixed order (rule-major, body before head, position order).
+
+        Engines call this once, serially, before any batched round so
+        that threaded discovery only ever *reads* the symbol table —
+        id assignment order can then never depend on thread timing.
+        """
+        from .terms import Variable
+
+        for rule in rules:
+            for atom in rule.body + rule.head:
+                self.pred_id(atom.predicate)
+                for term in atom.terms:
+                    if not isinstance(term, Variable):
+                        self.term_id(term)
 
     # -- mutation ----------------------------------------------------------
 
@@ -69,35 +225,107 @@ class Instance:
         """
         if not fact.is_ground():
             raise ValueError(f"instances hold ground atoms only, got {fact}")
-        if fact in self._facts:
+        pid = self.pred_id(fact.predicate)
+        intern = self._symbols.intern
+        row = tuple(intern(t) for t in fact.terms)
+        ordinal = self.add_row(pid, row)
+        if ordinal is None:
             return False
-        self._facts[fact] = None
-        predicate = fact.predicate
-        self._by_predicate.setdefault(predicate, []).append(fact)
-        by_term = self._by_term
-        for position, term in enumerate(fact.terms):
-            by_term.setdefault((predicate, position, term), []).append(fact)
+        # Keep the caller's object so facts() hands back identical
+        # Atoms for object-level insertions (and skips a decode).
+        self._atoms[ordinal] = fact
         return True
+
+    def add_row(self, pid: int, row: Row) -> Optional[int]:
+        """Int-level insert: add ``row`` under predicate id ``pid``.
+
+        Returns the new fact's ordinal, or ``None`` if it was already
+        present.  The Atom is materialized lazily.  No groundness check
+        — ids always denote ground terms.
+        """
+        member = self._member_by_pid.get(pid)
+        if member is None:
+            member = self._member_by_pid[pid] = {}
+            self._rows_by_pid[pid] = []
+        if row in member:
+            return None
+        log_rows = self._log_rows
+        ordinal = len(log_rows)
+        member[row] = ordinal
+        self._log_pids.append(pid)
+        log_rows.append(row)
+        self._rows_by_pid[pid].append(row)
+        index_get = self._index.get
+        index_set = self._index.__setitem__
+        domain = self._domain_ids
+        position = 0
+        for tid in row:
+            key = (pid, position, tid)
+            rows = index_get(key)
+            if rows is None:
+                index_set(key, [row])
+                # A term already indexed somewhere is already in the
+                # domain; only first-time index rows can introduce one.
+                domain[tid] = None
+            else:
+                rows.append(row)
+            position += 1
+        return ordinal
 
     def add_all(self, facts: Iterable[Atom]) -> int:
         """Insert many facts; return how many were new."""
         return sum(1 for f in facts if self.add(f))
 
+    # -- materialization ---------------------------------------------------
+
+    def atom_at(self, ordinal: int) -> Atom:
+        """The fact at log position ``ordinal`` (materialized lazily)."""
+        atom = self._atoms.get(ordinal)
+        if atom is None:
+            obj = self._symbols.obj
+            atom = Atom(
+                self._pred_objs[self._log_pids[ordinal]],
+                [obj(t) for t in self._log_rows[ordinal]],
+            )
+            self._atoms[ordinal] = atom
+        return atom
+
+    def row_at(self, ordinal: int) -> Tuple[int, Row]:
+        """``(pred_id, row)`` at log position ``ordinal``."""
+        return self._log_pids[ordinal], self._log_rows[ordinal]
+
+    def ordinal_of(self, fact: Atom) -> Optional[int]:
+        """The log position of ``fact``, or ``None`` if absent."""
+        pid = self._pred_ids.get(fact.predicate)
+        if pid is None:
+            return None
+        get = self._symbols.get
+        row: List[int] = []
+        for term in fact.terms:
+            tid = get(term)
+            if tid is None:
+                return None
+            row.append(tid)
+        return self._member_by_pid.get(pid, _EMPTY_MEMBER).get(tuple(row))
+
     # -- queries ------------------------------------------------------------
 
     def __contains__(self, fact: object) -> bool:
-        return fact in self._facts
+        if not isinstance(fact, Atom):
+            return False
+        return self.ordinal_of(fact) is not None
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(self._facts)
+        for ordinal in range(len(self._log_rows)):
+            yield self.atom_at(ordinal)
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._log_rows)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instance):
             return NotImplemented
-        return set(self._facts) == set(other._facts)
+        return set(self) == set(other)
 
     def __repr__(self) -> str:
         if len(self) <= 8:
@@ -106,15 +334,16 @@ class Instance:
         return f"Instance(<{len(self)} facts>)"
 
     def __reduce__(self):
-        # Ship the fact tuple only; the receiving interpreter rebuilds
-        # the predicate and term-level indexes (whose dict keys would
+        # Ship the fact tuple only; the receiving interpreter re-interns
+        # every symbol and rebuilds the indexes (whose dict keys would
         # otherwise carry hashes from the sending interpreter).  Also
         # covers Database: ``self.__class__`` re-runs its null check.
         return (self.__class__, (self.facts(),))
 
     def facts(self) -> Tuple[Atom, ...]:
         """All facts in insertion order."""
-        return tuple(self._facts)
+        atom_at = self.atom_at
+        return tuple(atom_at(o) for o in range(len(self._log_rows)))
 
     def facts_with_predicate(self, predicate: Predicate) -> Tuple[Atom, ...]:
         """The facts of one relation, in insertion order.
@@ -123,18 +352,26 @@ class Instance:
         relation has grown, so calling this in a loop is cheap; callers
         may hold on to it as an immutable snapshot.
         """
-        rows = self._by_predicate.get(predicate)
-        if not rows:
+        pid = self._pred_ids.get(predicate)
+        if pid is None:
             return ()
-        cached = self._snapshots.get(predicate)
-        if cached is None or len(cached) != len(rows):
-            cached = tuple(rows)
-            self._snapshots[predicate] = cached
+        member = self._member_by_pid.get(pid)
+        if not member:
+            return ()
+        cached = self._snapshots.get(pid)
+        if cached is None or len(cached) != len(member):
+            atom_at = self.atom_at
+            # Membership values are ordinals in insertion order.
+            cached = tuple(atom_at(o) for o in member.values())
+            self._snapshots[pid] = cached
         return cached
 
     def count_with_predicate(self, predicate: Predicate) -> int:
         """How many facts one relation holds (no allocation)."""
-        rows = self._by_predicate.get(predicate)
+        pid = self._pred_ids.get(predicate)
+        if pid is None:
+            return 0
+        rows = self._rows_by_pid.get(pid)
         return len(rows) if rows else 0
 
     def facts_matching(
@@ -144,48 +381,87 @@ class Instance:
         position ``i``, in insertion order.
 
         Probes the most selective term-level index among the bound
-        positions and filters the remainder; with empty ``bindings``
-        this is the whole relation.  Returns a fresh list the caller
-        may keep.
+        positions and verifies only the *non-probed* positions; with
+        every position bound this collapses to a single membership
+        probe (mirroring the join engine's fully-bound fast path), and
+        with empty ``bindings`` it is the whole relation.  Returns a
+        fresh list the caller may keep.
         """
-        items = list(bindings.items())
-        if not items:
-            return list(self._by_predicate.get(predicate, ()))
-        by_term = self._by_term
-        best: Optional[List[Atom]] = None
-        for position, term in items:
-            rows = by_term.get((predicate, position, term))
+        pid = self._pred_ids.get(predicate)
+        if pid is None:
+            return []
+        atom_at = self.atom_at
+        if not bindings:
+            member = self._member_by_pid.get(pid, _EMPTY_MEMBER)
+            return [atom_at(o) for o in member.values()]
+        get = self._symbols.get
+        encoded: List[Tuple[int, int]] = []
+        for position, term in bindings.items():
+            if not 0 <= position < predicate.arity:
+                # No fact has an out-of-range position bound.
+                return []
+            tid = get(term)
+            if tid is None:
+                return []
+            encoded.append((position, tid))
+        member = self._member_by_pid.get(pid, _EMPTY_MEMBER)
+        if len(encoded) == predicate.arity:
+            # Fully bound: the row is determined — one O(1) probe.
+            probe = [0] * predicate.arity
+            for position, tid in encoded:
+                probe[position] = tid
+            ordinal = member.get(tuple(probe))
+            return [] if ordinal is None else [atom_at(ordinal)]
+        index = self._index
+        best: Optional[List[Row]] = None
+        best_position = -1
+        for position, tid in encoded:
+            rows = index.get((pid, position, tid))
             if rows is None:
                 return []
             if best is None or len(rows) < len(best):
                 best = rows
+                best_position = position
         assert best is not None
-        if len(items) == 1:
-            return list(best)
-        return [
-            fact
-            for fact in best
-            if all(fact.terms[pos] == term for pos, term in items)
-        ]
+        rest = [(p, t) for p, t in encoded if p != best_position]
+        if rest:
+            matched = [
+                row
+                for row in best
+                if all(row[p] == t for p, t in rest)
+            ]
+        else:
+            matched = list(best)
+        return [atom_at(member[row]) for row in matched]
 
     # -- join-engine accessors (internal, zero-copy) -----------------------
 
-    def _rows(self, predicate: Predicate) -> List[Atom]:
+    def rows_of(self, pid: int) -> List[Row]:
         """Live insertion-ordered row list of one relation (do not
         mutate; may be empty and unregistered)."""
-        return self._by_predicate.get(predicate, _EMPTY_ROWS)
+        return self._rows_by_pid.get(pid, _EMPTY_ROWS)
 
-    def _probe(
-        self, predicate: Predicate, position: int, term: Term
-    ) -> List[Atom]:
-        """Live row list of the ``(predicate, position, term)`` index
+    def probe_rows(self, pid: int, position: int, tid: int) -> List[Row]:
+        """Live row list of the ``(pred_id, position, term_id)`` index
         (do not mutate)."""
-        return self._by_term.get((predicate, position, term), _EMPTY_ROWS)
+        return self._index.get((pid, position, tid), _EMPTY_ROWS)
+
+    def member_rows(self, pid: int) -> Dict[Row, int]:
+        """Live ``row -> ordinal`` membership dict of one relation
+        (do not mutate)."""
+        return self._member_by_pid.get(pid, _EMPTY_MEMBER)
+
+    def ordinals_of(self, pid: int) -> List[int]:
+        """Insertion-ordered fact ordinals of one relation (a fresh
+        list; membership values are ordinals in insertion order)."""
+        return list(self._member_by_pid.get(pid, _EMPTY_MEMBER).values())
 
     def predicates(self) -> FrozenSet[Predicate]:
         """The predicates with at least one fact."""
         return frozenset(
-            p for p, rows in self._by_predicate.items() if rows
+            self._pred_objs[pid]
+            for pid, rows in self._rows_by_pid.items()
+            if rows
         )
 
     def schema(self) -> Schema:
@@ -193,23 +469,42 @@ class Instance:
         return Schema(self.predicates())
 
     def active_domain(self) -> FrozenSet[Term]:
-        """All terms occurring in some fact."""
-        out: Set[Term] = set()
-        for fact in self._facts:
-            out.update(fact.terms)
-        return frozenset(out)
+        """All terms occurring in some fact.
+
+        Maintained incrementally by ``add_row`` — no rescan; the
+        decoded frozenset is cached until the domain grows.
+        """
+        cached = self._domain_cache
+        if cached is not None and len(cached) == len(self._domain_ids):
+            return cached
+        obj = self._symbols.obj
+        cached = frozenset(obj(tid) for tid in self._domain_ids)
+        self._domain_cache = cached
+        return cached
 
     def constants(self) -> FrozenSet[Constant]:
         """All constants occurring in some fact."""
-        return frozenset(
+        size = len(self._domain_ids)
+        cached = self._constants_cache
+        if cached is not None and cached[0] == size:
+            return cached[1]
+        out = frozenset(
             t for t in self.active_domain() if isinstance(t, Constant)
         )
+        self._constants_cache = (size, out)
+        return out
 
     def nulls(self) -> FrozenSet[Null]:
         """All labelled nulls occurring in some fact."""
-        return frozenset(
+        size = len(self._domain_ids)
+        cached = self._nulls_cache
+        if cached is not None and cached[0] == size:
+            return cached[1]
+        out = frozenset(
             t for t in self.active_domain() if isinstance(t, Null)
         )
+        self._nulls_cache = (size, out)
+        return out
 
     def is_database(self) -> bool:
         """True iff the instance is null-free."""
@@ -217,11 +512,11 @@ class Instance:
 
     def copy(self) -> "Instance":
         """An independent copy sharing no mutable state."""
-        return Instance(self._facts)
+        return Instance(self)
 
     def frozen(self) -> FrozenSet[Atom]:
         """A hashable snapshot of the fact set."""
-        return frozenset(self._facts)
+        return frozenset(self)
 
 
 class Database(Instance):

@@ -1,38 +1,46 @@
-"""Compiled join plans: the indexed evaluation engine for conjunctions.
+"""Compiled join plans: the interned-id evaluation engine for
+conjunctions.
 
 Enumerating homomorphisms of a rule body (or CQ body, or head) into an
 instance is the hot loop of everything in this library — trigger
 discovery, the restricted chase's applicability test, CQ evaluation,
-the MFA-style deciders.  This module compiles a conjunction of atoms
-once into a :class:`JoinPlan` and then executes it iteratively:
+the MFA-style deciders.  PR 1 compiled conjunctions into index-probing
+plans over :class:`Atom` objects; this revision pushes the same plans
+down onto the columnar fact core (:mod:`repro.model.instances`), so
+the innermost loop touches **only small integers**:
 
-* **per-atom compilation** (:class:`AtomStep`) — the constant checks,
-  the variable positions (grouped so repeated variables are verified
-  in one pass), and which positions can seed a term-level index probe
-  are all precomputed, so matching a candidate fact touches no Python
-  introspection;
-* **index probing** — at each join level the step asks the instance
-  for the smallest ``(predicate, position, term)`` index row among the
-  positions whose value is already known (a bound variable or a
-  pattern constant), falling back to the whole relation;
-* **iterative execution** — a single mutable assignment dict with an
-  explicit unbind trail replaces the seed engine's
-  ``dict(assignment)`` copy per matched atom and its recursion.
+* **slot-based assignments** — a compiled plan numbers its variables
+  into dense *slots*; the working assignment is a plain list indexed
+  by slot, so binding, probing and comparing never call a Python-level
+  ``__hash__``/``__eq__`` (the old ``Variable``-keyed dict paid one
+  method call per access);
+* **per-atom resolution** (:class:`ResolvedStep`) — constant checks
+  become ``(position, term_id)`` pairs, repeated variables become
+  grouped positions, and the fully-bound case collapses to one row
+  membership probe, all against a specific instance's id space;
+* **index probing** — at each join level the step picks the smallest
+  ``(pred_id, position, term_id)`` index row among the positions whose
+  id is already known, falling back to the whole relation — the same
+  selection rule, and therefore the same candidate order, as the
+  object-level engine it replaces;
+* **iterative execution** — a single mutable slot list with an
+  explicit unbind trail; candidate iteration is bounded by the row
+  count observed when the join level was entered (rows are
+  append-only), preserving the copy-on-read snapshot semantics.
 
 Determinism: index rows and relation rows are append-only and kept in
-insertion order, and every candidate iterator is bounded by the row
-count observed when the join level was entered.  The plan therefore
-enumerates exactly the matches the naive insertion-order scan
-enumerates, in the same order — a property the restricted chase and
-the sequence-level tests rely on, and which
-``tests/test_join_equivalence.py`` checks against the retained naive
-reference implementation.
+insertion order, the probe-selection rule is unchanged, and interning
+never reorders rows — so a compiled plan enumerates exactly the
+matches the naive insertion-order scan enumerates, in the same order.
+``tests/test_join_equivalence.py`` holds the engine to that against
+the retained naive reference implementation, assignment-for-assignment.
 
-Plans and per-atom steps are cached globally, keyed by the ordered
-atom tuple / the atom (capped — bodies synthesised from whole
-instances, as in ``instance_homomorphism``, would otherwise
-accumulate forever).  A given rule body stabilises to a handful of
-distinct orders, so steady-state lookups are two dict hits.
+Resolution artifacts (steps, execs) are cached **per instance** (in
+``Instance._plans``, capped) because constant ids are meaningless
+across id spaces; the symbolic :class:`JoinPlan`/:class:`AtomStep`
+objects keep their global caches and their public object-level
+contracts — they encode at entry and decode at yield, so existing
+callers see Variable→Term dicts exactly as before.
 """
 
 from __future__ import annotations
@@ -54,9 +62,368 @@ from .terms import Term, Variable
 
 Assignment = Dict[Variable, Term]
 
+_EMPTY_ROWS: Tuple = ()
+
+
+# -- the int-level executor ------------------------------------------------
+
+
+class ResolvedStep:
+    """One body atom resolved against an instance's id space.
+
+    ``const_checks`` are ``(position, term_id)`` pairs; ``groups`` are
+    ``(slot, first_position, other_positions)`` triples, one per
+    distinct variable; ``build`` rebuilds the fully-determined row for
+    the all-bound membership fast path as ``(is_const, id_or_slot)``
+    entries, one per position.
+
+    Steps are cached per instance, so they bind the instance's index
+    dicts directly — probing skips the accessor-method dispatch (the
+    dict objects are never replaced, only grown).
+    """
+
+    __slots__ = ("pid", "const_checks", "groups", "build",
+                 "_index_get", "_rows_get", "_members_get")
+
+    def __init__(self, instance: Instance, atom: Atom,
+                 slot_env: Dict[Variable, int]):
+        self.pid = instance.pred_id(atom.predicate)
+        self._index_get = instance._index.get
+        self._rows_get = instance._rows_by_pid.get
+        self._members_get = instance._member_by_pid.get
+        const_checks: List[Tuple[int, int]] = []
+        positions_of: Dict[Variable, List[int]] = {}
+        order: List[Variable] = []
+        build: List[Tuple[bool, int]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                if term not in positions_of:
+                    positions_of[term] = []
+                    order.append(term)
+                    if term not in slot_env:
+                        slot_env[term] = len(slot_env)
+                positions_of[term].append(position)
+                build.append((False, slot_env[term]))
+            else:
+                # Constants (and nulls embedded in patterns) match
+                # themselves; interning here is deterministic because
+                # engines pre-intern all rule symbols serially.
+                tid = instance.term_id(term)
+                const_checks.append((position, tid))
+                build.append((True, tid))
+        self.const_checks: Tuple[Tuple[int, int], ...] = tuple(const_checks)
+        self.groups: Tuple[Tuple[int, int, Tuple[int, ...]], ...] = tuple(
+            (slot_env[var], positions_of[var][0],
+             tuple(positions_of[var][1:]))
+            for var in order
+        )
+        self.build: Tuple[Tuple[bool, int], ...] = tuple(build)
+
+    def match(self, row: Tuple[int, ...],
+              assign: List[Optional[int]]) -> Optional[List[int]]:
+        """Extend ``assign`` in place so this atom maps onto ``row``.
+
+        Returns the slots newly bound (possibly empty) or ``None`` on
+        failure, in which case ``assign`` is left untouched.  The same
+        logic is inlined in :meth:`PlanExec.run`'s innermost loop.
+        """
+        for pos, tid in self.const_checks:
+            if row[pos] != tid:
+                return None
+        newly: List[int] = []
+        for slot, p0, rest in self.groups:
+            value = row[p0]
+            bound = assign[slot]
+            if bound is None:
+                ok = True
+                for p in rest:
+                    if row[p] != value:
+                        ok = False
+                        break
+                if ok:
+                    assign[slot] = value
+                    newly.append(slot)
+                    continue
+            elif bound == value:
+                ok = True
+                for p in rest:
+                    if row[p] != bound:
+                        ok = False
+                        break
+                if ok:
+                    continue
+            for s in newly:
+                assign[s] = None
+            return None
+        return newly
+
+    def candidates(
+        self, instance: Instance, assign: List[Optional[int]]
+    ) -> Tuple[Sequence[Tuple[int, ...]], int]:
+        """``(rows, limit)`` of candidate rows under ``assign``.
+
+        A step whose slots are all bound determines a single ground
+        row, so the search collapses to one O(1) membership probe.
+        Otherwise the most selective available index row is returned;
+        ``limit`` snapshots its length now (rows are append-only).
+        """
+        for slot, _, _ in self.groups:
+            if assign[slot] is None:
+                break
+        else:
+            row = tuple(
+                v if is_const else assign[v]
+                for is_const, v in self.build
+            )
+            member = self._members_get(self.pid)
+            if member is not None and row in member:
+                return (row,), 1
+            return _EMPTY_ROWS, 0
+        pid = self.pid
+        best = self._rows_get(pid)
+        if best is None:
+            best = _EMPTY_ROWS
+        index_get = self._index_get
+        for pos, tid in self.const_checks:
+            rows = index_get((pid, pos, tid), _EMPTY_ROWS)
+            if len(rows) < len(best):
+                best = rows
+        for slot, p0, _ in self.groups:
+            bound = assign[slot]
+            if bound is not None:
+                rows = index_get((pid, p0, bound), _EMPTY_ROWS)
+                if len(rows) < len(best):
+                    best = rows
+        return best, len(best)
+
+
+class PlanExec:
+    """A resolved, slot-numbered plan ready to run over int rows."""
+
+    __slots__ = ("steps", "nslots", "slot_of", "out")
+
+    def __init__(self, steps: Sequence[ResolvedStep],
+                 slot_env: Dict[Variable, int]):
+        self.steps: Tuple[ResolvedStep, ...] = tuple(steps)
+        self.nslots = len(slot_env)
+        self.slot_of: Dict[Variable, int] = dict(slot_env)
+        self.out: Tuple[Tuple[Variable, int], ...] = tuple(
+            slot_env.items()
+        )
+
+    def fresh_assign(self) -> List[Optional[int]]:
+        """A cleared working assignment."""
+        return [None] * self.nslots
+
+    def run(
+        self, instance: Instance, assign: List[Optional[int]]
+    ) -> Iterator[List[Optional[int]]]:
+        """Yield the live ``assign`` list once per full match.
+
+        ``assign`` is the working scratch (pre-seed bound slots before
+        calling); it is mutated during enumeration and restored to its
+        input state when the generator is exhausted.  Consumers must
+        read out the slots they need before advancing.
+        """
+        steps = self.steps
+        n = len(steps)
+        if n == 0:
+            yield assign
+            return
+        if n == 1:
+            # Single-step fast path (most rest-of-body joins after a
+            # pivot): no depth stacks, one scan.
+            step = steps[0]
+            const_checks = step.const_checks
+            groups = step.groups
+            rows, lim = step.candidates(instance, assign)
+            i = 0
+            while i < lim:
+                row = rows[i]
+                i += 1
+                ok = True
+                for pos, tid in const_checks:
+                    if row[pos] != tid:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                bound_here: Optional[List[int]] = None
+                for slot, p0, rest in groups:
+                    value = row[p0]
+                    bound = assign[slot]
+                    if bound is None:
+                        ok = True
+                        for p in rest:
+                            if row[p] != value:
+                                ok = False
+                                break
+                        if ok:
+                            assign[slot] = value
+                            if bound_here is None:
+                                bound_here = [slot]
+                            else:
+                                bound_here.append(slot)
+                            continue
+                    elif bound == value:
+                        ok = True
+                        for p in rest:
+                            if row[p] != bound:
+                                ok = False
+                                break
+                        if ok:
+                            continue
+                    else:
+                        ok = False
+                    if bound_here:
+                        for s in bound_here:
+                            assign[s] = None
+                    break
+                if ok:
+                    yield assign
+                    if bound_here:
+                        for s in bound_here:
+                            assign[s] = None
+            return
+        rows_stack: List[Sequence] = [_EMPTY_ROWS] * n
+        idx_stack = [0] * n
+        lim_stack = [0] * n
+        trail: List[List[int]] = [[]] * n
+        depth = 0
+        rows, lim = steps[0].candidates(instance, assign)
+        rows_stack[0] = rows
+        lim_stack[0] = lim
+        last = n - 1
+        while True:
+            step = steps[depth]
+            const_checks = step.const_checks
+            groups = step.groups
+            rows = rows_stack[depth]
+            i = idx_stack[depth]
+            lim = lim_stack[depth]
+            newly: Optional[List[int]] = None
+            # -- innermost loop: scan candidate rows, match inline ----
+            while i < lim:
+                row = rows[i]
+                i += 1
+                ok = True
+                for pos, tid in const_checks:
+                    if row[pos] != tid:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                bound_here: Optional[List[int]] = None
+                for slot, p0, rest in groups:
+                    value = row[p0]
+                    bound = assign[slot]
+                    if bound is None:
+                        ok = True
+                        for p in rest:
+                            if row[p] != value:
+                                ok = False
+                                break
+                        if ok:
+                            assign[slot] = value
+                            if bound_here is None:
+                                bound_here = [slot]
+                            else:
+                                bound_here.append(slot)
+                            continue
+                    elif bound == value:
+                        ok = True
+                        for p in rest:
+                            if row[p] != bound:
+                                ok = False
+                                break
+                        if ok:
+                            continue
+                    else:
+                        ok = False
+                    if bound_here:
+                        for s in bound_here:
+                            assign[s] = None
+                    break
+                if ok:
+                    newly = bound_here if bound_here is not None else []
+                    break
+            idx_stack[depth] = i
+            if newly is None:
+                depth -= 1
+                if depth < 0:
+                    return
+                for s in trail[depth]:
+                    assign[s] = None
+                continue
+            if depth == last:
+                yield assign
+                for s in newly:
+                    assign[s] = None
+            else:
+                trail[depth] = newly
+                depth += 1
+                rows, lim = steps[depth].candidates(instance, assign)
+                rows_stack[depth] = rows
+                idx_stack[depth] = 0
+                lim_stack[depth] = lim
+
+    def first(
+        self, instance: Instance, assign: List[Optional[int]]
+    ) -> bool:
+        """True iff at least one full match exists from ``assign``."""
+        for _ in self.run(instance, assign):
+            return True
+        return False
+
+
+# -- per-instance resolution -----------------------------------------------
+
+_RESOLVE_CACHE_CAP = 4096
+_PLAN_ATOM_CAP = 32
+"""Conjunctions longer than this (instance-sized bodies synthesised by
+``instance_homomorphism``) are resolved fresh each call instead of
+cached: they would pin large execs and, on hitting the entry cap,
+evict every small hot exec at once."""
+
+
+def resolve_step(instance: Instance, atom: Atom,
+                 slot_env: Dict[Variable, int]) -> ResolvedStep:
+    """Resolve one atom against ``instance``'s id space, assigning new
+    slots into ``slot_env`` for unseen variables."""
+    return ResolvedStep(instance, atom, slot_env)
+
+
+def resolve_exec(
+    instance: Instance, ordered_atoms: Sequence[Atom]
+) -> PlanExec:
+    """The (per-instance cached) exec running ``ordered_atoms`` in the
+    given order."""
+    key = tuple(ordered_atoms)
+    cache = instance._plans
+    exec_ = cache.get(key)
+    if exec_ is None:
+        env: Dict[Variable, int] = {}
+        steps = [ResolvedStep(instance, atom, env) for atom in key]
+        exec_ = PlanExec(steps, env)
+        if len(key) <= _PLAN_ATOM_CAP:
+            if len(cache) >= _RESOLVE_CACHE_CAP:
+                cache.clear()
+            cache[key] = exec_
+    return exec_
+
+
+# -- the symbolic (object-level) surface -----------------------------------
+
 
 class AtomStep:
-    """One compiled body atom: matcher + index-probe menu."""
+    """One compiled body atom: matcher + index-probe menu.
+
+    The object-level building block retained for public callers and
+    the naive reference paths; the engines run :class:`ResolvedStep`
+    instead.  ``try_match`` is pure object logic; ``candidates``
+    probes the instance's int indexes and decodes the matching rows
+    back to Atoms.
+    """
 
     __slots__ = ("atom", "predicate", "const_checks", "var_groups")
 
@@ -88,16 +455,9 @@ class AtomStep:
         """Candidate facts for this step under ``assignment``.
 
         A step whose variables are all bound determines a single ground
-        fact, so the search collapses to one O(1) membership probe —
-        the hot case of selective multi-atom joins (and of
-        head-satisfaction checks on full TGDs), where scanning even the
-        best index row would touch every fact sharing one term.
-
-        Otherwise probes the most selective available index: pattern
-        constants always seed a probe; a variable seeds one when an
-        outer level already bound it.  Iteration is bounded by the row
-        count at call time, which snapshots the relation without
-        copying (rows are append-only).
+        fact, so the search collapses to one O(1) membership probe.
+        Otherwise probes the most selective available index and decodes
+        the row list (bounded by its length now) back to Atoms.
         """
         for var, _ in self.var_groups:
             if var not in assignment:
@@ -111,18 +471,34 @@ class AtomStep:
                 ],
             )
             return iter((fact,)) if fact in instance else iter(())
-        best = instance._rows(self.predicate)
+        pid = instance.pred_id_get(self.predicate)
+        if pid is None:
+            return iter(())
+        tid_get = instance.term_id_get
+        best = instance.rows_of(pid)
         for position, term in self.const_checks:
-            rows = instance._probe(self.predicate, position, term)
+            tid = tid_get(term)
+            rows = (
+                instance.probe_rows(pid, position, tid)
+                if tid is not None else _EMPTY_ROWS
+            )
             if len(rows) < len(best):
                 best = rows
         for var, positions in self.var_groups:
             bound = assignment.get(var)
             if bound is not None:
-                rows = instance._probe(self.predicate, positions[0], bound)
+                tid = tid_get(bound)
+                rows = (
+                    instance.probe_rows(pid, positions[0], tid)
+                    if tid is not None else _EMPTY_ROWS
+                )
                 if len(rows) < len(best):
                     best = rows
-        return _bounded_iter(best)
+        member = instance.member_rows(pid)
+        atom_at = instance.atom_at
+        return iter(
+            [atom_at(member[row]) for row in best[: len(best)]]
+        )
 
     def try_match(
         self, fact: Atom, assignment: Assignment
@@ -130,12 +506,9 @@ class AtomStep:
         """Extend ``assignment`` in place so the step's atom maps onto
         ``fact``.
 
-        Precondition: ``fact.predicate == self.predicate`` — unlike
-        :func:`repro.model.homomorphism.match_atom` there is no
-        predicate guard here, because every caller draws facts from a
-        per-predicate row list (:meth:`candidates`, or the engine's
-        per-predicate pivot buckets) and the check would be pure
-        overhead in the innermost join loop.
+        Precondition: ``fact.predicate == self.predicate`` — callers
+        draw facts from a per-predicate row list and the check would be
+        pure overhead.
 
         Returns the variables newly bound by this match (possibly
         empty) or ``None`` on failure, in which case ``assignment`` is
@@ -165,33 +538,23 @@ class AtomStep:
         return tuple(newly)
 
 
-def _bounded_iter(rows: Sequence[Atom]) -> Iterator[Atom]:
-    """Iterate ``rows`` up to its length *now*.
-
-    Rows are append-only, so this is an O(1) snapshot: facts added to
-    the instance while a homomorphism generator is suspended (the MFA
-    Skolem chase does this) are not seen by already-entered join
-    levels — exactly the seed engine's copy-on-read semantics, minus
-    the copy.
-    """
-    for i in range(len(rows)):
-        yield rows[i]
-
-
 class JoinPlan:
-    """A compiled conjunction: ordered steps ready for execution.
+    """A compiled conjunction: ordered atoms ready for execution.
 
-    ``cache_steps=False`` builds the per-atom steps without touching
-    the shared step cache — used for oversized one-shot conjunctions
-    that would otherwise flood it (see :data:`_PLAN_ATOM_CAP`).
+    The public object-level surface: ``run`` accepts and yields
+    Variable→Term dicts exactly as before, but executes on the
+    interned-id engine — the partial assignment is encoded to slot ids
+    at entry and every match is decoded at yield, so only the
+    conjunction's *results* ever materialize as objects.
     """
 
-    __slots__ = ("steps", "variables")
+    __slots__ = ("atoms", "steps", "variables")
 
     def __init__(self, ordered_atoms: Sequence[Atom], cache_steps: bool = True):
+        self.atoms: Tuple[Atom, ...] = tuple(ordered_atoms)
         make = atom_step if cache_steps else AtomStep
         self.steps: Tuple[AtomStep, ...] = tuple(
-            make(atom) for atom in ordered_atoms
+            make(atom) for atom in self.atoms
         )
         vars_: Set[Variable] = set()
         for step in self.steps:
@@ -201,44 +564,25 @@ class JoinPlan:
     def run(
         self, instance: Instance, assignment: Assignment
     ) -> Iterator[Assignment]:
-        """Yield one dict per homomorphism extending ``assignment``.
-
-        ``assignment`` is used as the working scratch dict and mutated
-        during enumeration; it is restored to its input state when the
-        generator is exhausted.  Yielded dicts are fresh copies.
-        """
-        steps = self.steps
-        n = len(steps)
-        if n == 0:
-            yield dict(assignment)
-            return
-        iters: List[Optional[Iterator[Atom]]] = [None] * n
-        trail: List[Tuple[Variable, ...]] = [()] * n
-        depth = 0
-        iters[0] = steps[0].candidates(instance, assignment)
-        last = n - 1
-        while True:
-            step = steps[depth]
-            newly: Optional[Tuple[Variable, ...]] = None
-            for fact in iters[depth]:  # type: ignore[union-attr]
-                newly = step.try_match(fact, assignment)
-                if newly is not None:
-                    break
-            if newly is None:
-                depth -= 1
-                if depth < 0:
-                    return
-                for v in trail[depth]:
-                    del assignment[v]
-                continue
-            if depth == last:
-                yield dict(assignment)
-                for v in newly:
-                    del assignment[v]
+        """Yield one fresh dict per homomorphism extending
+        ``assignment`` (which is never mutated)."""
+        exec_ = resolve_exec(instance, self.atoms)
+        assign = exec_.fresh_assign()
+        extra: List[Tuple[Variable, Term]] = []
+        slot_of = exec_.slot_of
+        for var, term in assignment.items():
+            slot = slot_of.get(var)
+            if slot is None:
+                extra.append((var, term))
             else:
-                trail[depth] = newly
-                depth += 1
-                iters[depth] = steps[depth].candidates(instance, assignment)
+                assign[slot] = instance.term_id(term)
+        out = exec_.out
+        obj = instance.symbols.obj
+        for match in exec_.run(instance, assign):
+            result: Assignment = dict(extra)
+            for var, slot in out:
+                result[var] = obj(match[slot])
+            yield result
 
     def first(
         self, instance: Instance, assignment: Assignment
@@ -285,16 +629,10 @@ def order_atoms(
 _STEP_CACHE: Dict[Atom, AtomStep] = {}
 _PLAN_CACHE: Dict[Tuple[Atom, ...], JoinPlan] = {}
 _CACHE_CAP = 4096
-_PLAN_ATOM_CAP = 32
-"""Conjunctions longer than this (instance-sized bodies synthesised by
-``instance_homomorphism``) are compiled fresh each call instead of
-cached: they would pin large plans and, on hitting the entry cap,
-evict every small hot rule plan at once."""
 
 
 def atom_step(atom: Atom) -> AtomStep:
-    """The (cached) compiled step for one atom — the building block the
-    chase engine uses for semi-naive pivot matching."""
+    """The (cached) compiled object-level step for one atom."""
     step = _STEP_CACHE.get(atom)
     if step is None:
         if len(_STEP_CACHE) >= _CACHE_CAP:
@@ -326,8 +664,8 @@ def plan_for(
     """Order ``atoms`` for ``instance`` and return the compiled plan.
 
     Ordering is a cheap O(k²) pass over the conjunction (fan-outs are
-    O(1) lookups); the expensive per-atom compilation is cached, and a
-    given conjunction stabilises to a handful of distinct orders, so
-    in the steady state this is two dict hits.
+    O(1) lookups); the expensive per-atom resolution is cached per
+    instance, and a given conjunction stabilises to a handful of
+    distinct orders, so in the steady state this is two dict hits.
     """
     return compile_plan(order_atoms(atoms, instance, bound))

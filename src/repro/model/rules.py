@@ -19,10 +19,15 @@ atoms.  Following the paper:
 
 from __future__ import annotations
 
+from operator import itemgetter as _itemgetter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .atoms import Atom, Position, Predicate
 from .terms import Constant, Term, Variable
+
+
+def _EMPTY_PROJECTION(ids):
+    return ()
 
 
 class TGD:
@@ -44,6 +49,8 @@ class TGD:
         "_frontier_sorted",
         "_existential_sorted",
         "_body_vars_sorted",
+        "_frontier_idx",
+        "_frontier_get",
     )
 
     def __init__(
@@ -78,6 +85,23 @@ class TGD:
         self._frontier_sorted = tuple(sorted(self._frontier))
         self._existential_sorted = tuple(sorted(self._existential))
         self._body_vars_sorted = tuple(sorted(self._body_vars))
+        # Positions of the frontier inside the sorted body variables —
+        # the int-level trigger representation keys semi-oblivious
+        # identification by projecting these indices.  ``_frontier_get``
+        # is the compiled projector: None when the frontier covers the
+        # whole body (identity), else an itemgetter returning the
+        # projected id tuple (or scalar for a single frontier variable,
+        # which cannot collide — a rule's key shape is fixed).
+        body_index = {v: i for i, v in enumerate(self._body_vars_sorted)}
+        self._frontier_idx = tuple(
+            body_index[v] for v in self._frontier_sorted
+        )
+        if len(self._frontier_idx) == len(self._body_vars_sorted):
+            self._frontier_get = None
+        elif self._frontier_idx:
+            self._frontier_get = _itemgetter(*self._frontier_idx)
+        else:
+            self._frontier_get = _EMPTY_PROJECTION
 
     # -- identity --------------------------------------------------------
 
@@ -145,6 +169,12 @@ class TGD:
     def body_variables_sorted(self) -> Tuple[Variable, ...]:
         """All body variables in name order (precomputed)."""
         return self._body_vars_sorted
+
+    @property
+    def frontier_body_indices(self) -> Tuple[int, ...]:
+        """Indices of the (sorted) frontier within the sorted body
+        variables (precomputed) — used by int-level trigger keys."""
+        return self._frontier_idx
 
     def is_full(self) -> bool:
         """True iff the TGD has no existential variables (a full TGD)."""

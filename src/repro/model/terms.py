@@ -199,9 +199,13 @@ class NullFactory:
         self._lock = threading.Lock()
 
     def fresh(self, origin: str = "") -> Null:
-        """Return a null with the next unused index."""
-        with self._lock:
-            return Null(next(self._counter), origin)
+        """Return a null with the next unused index.
+
+        ``next()`` on an :mod:`itertools` counter is atomic under
+        CPython, so the hot path takes no lock; the lock is kept for
+        :meth:`reserve`-style extensions and documents the contract.
+        """
+        return Null(next(self._counter), origin)
 
     def fresh_many(self, n: int, origin: str = "") -> list:
         """Return ``n`` fresh nulls, ordered by index."""

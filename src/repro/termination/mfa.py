@@ -30,12 +30,12 @@ benchmark:  WA ⊆ JA ⊆ MFA ⊆ CT_so.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..chase.critical import critical_instance
 from ..chase.delta import DeltaEngine
 from ..chase.scheduler import SchedulerSpec, resolve_scheduler
-from ..chase.triggers import ChaseVariant
+from ..chase.triggers import ChaseVariant, _head_template
 from ..errors import BudgetExceededError
 from ..model import (
     Constant,
@@ -157,6 +157,7 @@ def skolem_chase(
         instance,
         key=lambda trigger: trigger.key(ChaseVariant.SEMI_OBLIVIOUS),
         scheduler=round_scheduler,
+        variant=ChaseVariant.SEMI_OBLIVIOUS,
     )
     try:
         return _run_skolem_rounds(engine, instance, max_steps)
@@ -171,6 +172,9 @@ def _run_skolem_rounds(
     max_steps: int,
 ) -> Tuple[Instance, Optional[SkolemTerm], bool]:
     steps = 0
+    decode = instance.symbols.obj
+    term_id = instance.term_id
+    add_row = instance.add_row
     while True:
         triggers = engine.next_round()
         if not triggers:
@@ -178,9 +182,12 @@ def _run_skolem_rounds(
         cyclic: List[SkolemTerm] = []
         for trigger in triggers:
             rule = trigger.rule
-            assignment = trigger.assignment
+            # Triggers arrive in interned form; only the frontier image
+            # is decoded — Skolem terms are built over real Terms, then
+            # interned back so head rows stay int-level.
+            ids = trigger.ids(instance)
             skolem_args = tuple(
-                assignment[v] for v in rule.frontier_sorted
+                decode(ids[i]) for i in rule.frontier_body_indices
             )
             terms: List[SkolemTerm] = []
             for var in rule.existentials_sorted:
@@ -193,15 +200,12 @@ def _run_skolem_rounds(
                 # triggers for cyclic terms, but stop growing the
                 # instance.
                 continue
-            mapping: Dict[Term, Term] = {
-                v: assignment[v] for v in rule.frontier
-            }
-            for var, term in zip(rule.existentials_sorted, terms):
-                mapping[var] = term
-            for atom in rule.head:
-                fact = atom.substitute(mapping)
-                if instance.add(fact):
-                    engine.notify((fact,))
+            template = _head_template(instance, rule, trigger.rule_index)
+            exist_ids = [term_id(t) for t in terms]
+            for pid, _, build in template.atoms:
+                ordinal = add_row(pid, build(ids, exist_ids))
+                if ordinal is not None:
+                    engine.notify((ordinal,))
                     steps += 1
                     if steps >= max_steps:
                         return instance, None, False

@@ -44,6 +44,22 @@ class TestFactsMatching:
         assert self.inst.facts_matching(Predicate("zz", 1),
                                         {0: Constant("a")}) == []
 
+    def test_fully_bound_is_membership_probe(self):
+        assert self.inst.facts_matching(
+            self.e, {0: Constant("a"), 1: Constant("b")}
+        ) == [atom("e", "a", "b")]
+        assert self.inst.facts_matching(
+            self.e, {0: Constant("b"), 1: Constant("b")}
+        ) == []
+
+    def test_out_of_range_position_matches_nothing(self):
+        # Also guards the fully-bound fast path: two bindings on a
+        # binary predicate, but one position out of range.
+        assert self.inst.facts_matching(
+            self.e, {1: Constant("b"), 2: Constant("a")}
+        ) == []
+        assert self.inst.facts_matching(self.e, {5: Constant("a")}) == []
+
     def test_insertion_order_preserved(self):
         inst = Instance()
         facts = [atom("e", "x", str(i)) for i in (3, 1, 2)]

@@ -143,6 +143,61 @@ class TestChaseEquivalence:
             )
         assert chase_fingerprint(serial) == chase_fingerprint(sharded)
 
+    @pytest.mark.parametrize("kind", EXECUTORS[1:])
+    def test_restricted_head_probe_batching(self, kind):
+        # The batched *apply* half of restricted rounds: this workload
+        # is skip-heavy (the t-head of the first rule is satisfied for
+        # every frontier value once one witness exists, and the second
+        # rule keeps re-enabling the first), so the scheduled
+        # round-start head probes drive most of the skip decisions.
+        # The firing sequence must stay byte-identical to serial.
+        rules = parse_program(
+            """
+            r(X, Y), s(Y, Z) -> exists W . t(X, W)
+            t(X, W) -> s(W, X)
+            s(Y, Z) -> exists W . t(Z, W)
+            """
+        )
+        database = parse_database(
+            "\n".join(f"r(a{i}, b{i % 3})" for i in range(9))
+            + "\n" + "\n".join(f"s(b{j}, d{j})" for j in range(3))
+        )
+        serial = run_chase(database, rules, ChaseVariant.RESTRICTED, 10_000)
+        batched = run_chase(
+            database, rules, ChaseVariant.RESTRICTED, 10_000,
+            scheduler=scheduler_for(kind),
+        )
+        assert chase_fingerprint(serial) == chase_fingerprint(batched)
+        # The restricted semantics actually bit: fewer firings than the
+        # semi-oblivious run of the same program (triggers were
+        # skipped, so the probes had something to decide) …
+        semi = run_chase(database, rules, ChaseVariant.SEMI_OBLIVIOUS,
+                         10_000)
+        assert serial.step_count < semi.step_count
+        # … and provenance agrees step-for-step.
+        for fact in serial.instance:
+            s = serial.provenance(fact)
+            b = batched.provenance(fact)
+            assert (s is None) == (b is None)
+            if s is not None:
+                assert s.trigger.key(ChaseVariant.RESTRICTED) == \
+                    b.trigger.key(ChaseVariant.RESTRICTED)
+
+    def test_restricted_sharded_head_probes_preserve_order(self):
+        rules = parse_program(
+            "e(X, Y), e(Y, Z) -> exists W . t(X, W)\nt(X, W) -> e(W, X)"
+        )
+        database = parse_database(
+            "\n".join(f"e(c{i}, c{i + 1})" for i in range(8))
+        )
+        serial = run_chase(database, rules, ChaseVariant.RESTRICTED, 5_000)
+        with RoundScheduler("threaded", workers=3, shard_size=2) as sched:
+            sharded = run_chase(
+                database, rules, ChaseVariant.RESTRICTED, 5_000,
+                scheduler=sched,
+            )
+        assert chase_fingerprint(serial) == chase_fingerprint(sharded)
+
     def test_serial_scheduler_instance_matches_default(self):
         rules = parse_program("p(X) -> exists Z . q(X, Z)")
         database = parse_database("p(a)\np(b)")
@@ -210,6 +265,35 @@ class TestDeciderEquivalence:
         batched = decide_termination(rules, scheduler="threaded", workers=2)
         assert serial.terminating == batched.terminating
         assert serial.method == batched.method
+
+
+class TestOutOfInstanceFrontier:
+    @pytest.mark.parametrize("kind", EXECUTORS[1:])
+    def test_scheduled_engine_never_rekeys_fired_triggers(self, kind):
+        # An out-of-instance Atom frontier (public notify()) must route
+        # through the same interned key encoding as every other round —
+        # an object-form fallback would miss the fired set and fire the
+        # same trigger twice.
+        from repro.chase import DeltaEngine
+        from repro.model import Atom, Constant, Instance
+
+        p = Predicate("p", 2)
+        rules = [
+            TGD([Atom(p, [Variable("X"), Variable("Y")])],
+                [Atom(Predicate("r", 2), [Variable("X"), Variable("Z")])]),
+        ]
+        scheduler = scheduler_for(kind)
+        instance = Instance([Atom(p, [Constant("a"), Constant("b")])])
+        engine = DeltaEngine(
+            rules, instance,
+            key=lambda t: t.key(ChaseVariant.SEMI_OBLIVIOUS),
+            scheduler=scheduler if kind != "serial" else None,
+            variant=ChaseVariant.SEMI_OBLIVIOUS,
+        )
+        assert len(engine.next_round()) == 1
+        # Same frontier image, different (not-in-instance) fact.
+        engine.notify([Atom(p, [Constant("a"), Constant("c")])])
+        assert engine.next_round() == []
 
 
 class TestSchedulerPlumbing:
