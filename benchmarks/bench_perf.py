@@ -39,6 +39,19 @@ records both walls plus the speedup.  On single-core CI boxes the
 overhead (<1×); the rows exist to (a) prove equivalence on every run
 and (b) track the trajectory on real multi-core hardware.
 
+PR 5 adds two **query-side** scenarios (the read half of the paper's
+pipeline — chase → universal model → certain answers):
+
+* **cq_answering** (headline query) — certain-answer CQ evaluation
+  over the chased ``data_exchange`` instance through the int-native
+  cost-planned :mod:`repro.query` subsystem, timed against a faithful
+  replica of the pre-PR-5 object-level ``ConjunctiveQuery`` path
+  (``homomorphisms`` + ``Term``-tuple dedup); answer sets must be
+  identical;
+* **entailment** — guarded atom entailment rooted at a concrete
+  database, cost-planner pattern-join ordering vs the retained
+  heuristic ordering; verdicts must agree.
+
 PR 4 (the interned columnar fact core) re-recorded everything ≥2×
 faster, added a ``peak_mem_mb`` column (measured by ``tracemalloc``
 in a *separate* untimed run per scenario — tracing slows execution),
@@ -87,6 +100,7 @@ from repro.model import (
     Constant,
     Database,
     Instance,
+    Null,
     NullFactory,
     Predicate,
     TGD,
@@ -95,6 +109,8 @@ from repro.model import (
     match_atom,
     naive_homomorphisms,
 )
+from repro.cq import ConjunctiveQuery
+from repro.entailment import entails_atom
 from repro.termination import decide_guarded, skolem_chase
 from repro.termination.mfa import SkolemTerm
 from repro.workloads import guarded_tower_family
@@ -642,6 +658,268 @@ def run_parallel_suite(
     ]
 
 
+# -- query-side scenarios (PR 5) -------------------------------------------
+#
+# The read side of the pipeline: certain-answer CQ evaluation over a
+# chase-grown universal model, and guarded atom entailment.  Each row
+# carries its own before/after comparison — `cq_answering` against a
+# faithful replica of the pre-PR-5 object-level ConjunctiveQuery path
+# (`homomorphisms` + Term-tuple dedup + isinstance null filter), and
+# `entailment` planner-on (cost ordering) against the retained
+# heuristic ordering — and the baselines double as answer-set /
+# verdict equality checks.
+
+
+def _object_level_answers(answer_variables, atoms, instance):
+    """Replica of the pre-PR-5 ``ConjunctiveQuery.answers`` path: the
+    object-level join surface plus a ``Term``-tuple dedup set."""
+    seen = set()
+    for assignment in homomorphisms(atoms, instance):
+        answer = tuple(assignment[v] for v in answer_variables)
+        if answer not in seen:
+            seen.add(answer)
+            yield answer
+
+
+def _object_level_certain(answer_variables, atoms, instance):
+    """Replica of the pre-PR-5 ``certain_answers`` path."""
+    out = [
+        answer
+        for answer in _object_level_answers(answer_variables, atoms, instance)
+        if not any(isinstance(t, Null) for t in answer)
+    ]
+    return sorted(out, key=lambda tup: tuple(str(t) for t in tup))
+
+
+def cq_answering_scenario(scale: float) -> Dict:
+    """Certain-answer evaluation over the chased ``data_exchange``
+    instance (a universal model with invented null keys/offices).
+
+    The battery mixes the shapes certain-answer workloads are made of:
+    a 1:1 join projecting to constant pairs (every match is an
+    answer), a duplicate-heavy single-atom projection, a join whose
+    duplicates the distinct-projection pushdown prunes, and an
+    existence-style query (answers bound by the first atom, the rest
+    of the join only witnessed).
+    """
+    exchange = data_exchange_scenario(scale)
+    D, K, O = Variable("D"), Variable("K"), Variable("O")
+    emp = Predicate("emp", 2)
+    works = Predicate("works", 2)
+    dkey = Predicate("dkey", 2)
+    office = Predicate("office", 2)
+    queries = [
+        ConjunctiveQuery(
+            [X, D], [Atom(works, [X, K]), Atom(dkey, [D, K])]
+        ),
+        ConjunctiveQuery([D], [Atom(emp, [X, D])]),
+        ConjunctiveQuery(
+            [D], [Atom(emp, [X, D]), Atom(works, [X, K])]
+        ),
+        ConjunctiveQuery(
+            [D],
+            [Atom(dkey, [D, K]), Atom(office, [K, O]),
+             Atom(works, [X, K])],
+        ),
+    ]
+    return {
+        "name": "cq_answering",
+        "chase": exchange,
+        "queries": queries,
+        "repeats": max(1, int(6 * scale)),
+    }
+
+
+def run_cq_answering(spec: Dict) -> Dict:
+    """Int-native planner path vs the object-level replica on one
+    universal model; answer sets must be identical."""
+    chase_spec = spec["chase"]
+    result = run_chase(
+        chase_spec["database"], chase_spec["rules"], chase_spec["variant"],
+        chase_spec["max_steps"],
+    )
+    instance = result.instance
+    queries = spec["queries"]
+    repeats = spec["repeats"]
+
+    # Equality first (and plan-cache warmup as a side effect): the
+    # planner path must reproduce the object-level answer sets exactly.
+    answers_total = 0
+    certain_total = 0
+    for query in queries:
+        planner_naive = set(query.answers(instance))
+        planner_certain = query.certain_answers(instance)
+        replica_naive = set(_object_level_answers(
+            query.answer_variables, query.atoms, instance
+        ))
+        replica_certain = _object_level_certain(
+            query.answer_variables, query.atoms, instance
+        )
+        if planner_naive != replica_naive:
+            raise AssertionError(
+                f"query divergence on {spec['name']}: naive answer sets "
+                f"differ for {query}"
+            )
+        if planner_certain != replica_certain:
+            raise AssertionError(
+                f"query divergence on {spec['name']}: certain answers "
+                f"differ for {query}"
+            )
+        answers_total += len(planner_naive)
+        certain_total += len(planner_certain)
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            query.certain_answers(instance)
+    wall = time.perf_counter() - start
+
+    baseline_start = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            _object_level_certain(
+                query.answer_variables, query.atoms, instance
+            )
+    baseline_wall = time.perf_counter() - baseline_start
+
+    produced = certain_total * repeats
+    return {
+        "name": spec["name"],
+        "facts": len(instance),
+        "queries": len(queries),
+        "repeats": repeats,
+        "answers": answers_total,
+        "certain_answers": certain_total,
+        "wall_s": round(wall, 6),
+        "baseline_wall_s": round(baseline_wall, 6),
+        "rate_per_s": round(produced / wall, 1) if wall > 0 else None,
+        "baseline_rate_per_s": round(produced / baseline_wall, 1)
+        if baseline_wall > 0 else None,
+        "speedup": round(baseline_wall / wall, 2) if wall > 0 else None,
+        "equivalent": True,
+    }
+
+
+def entailment_scenario(scale: float) -> Dict:
+    """Guarded atom entailment rooted at a concrete database, shaped
+    so the two join-order policies genuinely diverge.
+
+    Each rule joins a *wide* guard carrying a selective rule constant
+    with a medium unconstrained relation: ``wide(X, Y, k_l), mid(X, Y)
+    -> out_l(X, Y)``.  The syntactic heuristic orders by relation size
+    and starts from ``mid`` (hundreds of candidate patterns per
+    saturation pass); the cost planner sees that ``k_l``'s posting
+    list holds 3 rows and starts there.  Verdicts are identical —
+    only the join work differs.
+    """
+    n_wide = max(8, int(1500 * scale))
+    n_mid = max(4, int(600 * scale))
+    n_rules = max(2, int(10 * scale))
+    fillers = [Constant(f"f{j}") for j in range(20)]
+    wide = Predicate("wide", 3)
+    mid = Predicate("mid", 2)
+    database = Database()
+    for i in range(n_wide):
+        database.add(Atom(wide, [Constant(f"x{i}"), Constant(f"y{i}"),
+                                 fillers[i % len(fillers)]]))
+    for i in range(n_mid):
+        database.add(Atom(mid, [Constant(f"x{i}"), Constant(f"y{i}")]))
+    rules: List[TGD] = []
+    for index in range(n_rules):
+        k = Constant(f"k{index + 1}")
+        # Three selectively tagged guard rows per rule constant.
+        for j in range(3):
+            row = index + j
+            database.add(Atom(wide, [Constant(f"x{row}"),
+                                     Constant(f"y{row}"), k]))
+        rules.append(
+            TGD(
+                [Atom(wide, [X, Y, k]), Atom(mid, [X, Y])],
+                [Atom(Predicate(f"out{index + 1}", 2), [X, Y])],
+                label=f"sel{index + 1}",
+            )
+        )
+    queries = [
+        (Atom(Predicate("out1", 2), [Constant("x0"), Constant("y0")]),
+         True),
+        (Atom(Predicate(f"out{n_rules}", 2),
+              [Constant(f"x{n_rules - 1}"), Constant(f"y{n_rules - 1}")]),
+         n_rules - 1 < n_mid),
+        (Atom(Predicate("out1", 2),
+              [Constant(f"x{n_mid - 1}"), Constant(f"y{n_mid - 1}")]),
+         n_mid - 1 < 3),
+    ]
+    return {
+        "name": "entailment",
+        "rules": rules,
+        "database": database,
+        "queries": queries,
+    }
+
+
+def run_entailment(spec: Dict) -> Dict:
+    """Planner-on (cost ordering) vs heuristic-order entailment; every
+    query must reach the same verdict under both policies.
+
+    One untimed warmup pass per policy warms the shared cloud/body
+    caches (:mod:`repro.termination.abstraction` memoizes pattern
+    clouds by content), so neither timed run is charged for cache
+    build work the other gets for free.
+    """
+    rules = spec["rules"]
+    database = spec["database"]
+    queries = spec["queries"]
+
+    first_atom = queries[0][0]
+    entails_atom(rules, database, first_atom, order_policy="cost")
+    entails_atom(rules, database, first_atom, order_policy="heuristic")
+
+    start = time.perf_counter()
+    cost_verdicts = [
+        entails_atom(rules, database, atom, order_policy="cost")
+        for atom, _ in queries
+    ]
+    wall = time.perf_counter() - start
+
+    baseline_start = time.perf_counter()
+    heuristic_verdicts = [
+        entails_atom(rules, database, atom, order_policy="heuristic")
+        for atom, _ in queries
+    ]
+    baseline_wall = time.perf_counter() - baseline_start
+
+    expected = [want for _, want in queries]
+    if cost_verdicts != expected or heuristic_verdicts != expected:
+        raise AssertionError(
+            f"entailment divergence on {spec['name']}: expected "
+            f"{expected}, cost planner said {cost_verdicts}, heuristic "
+            f"said {heuristic_verdicts}"
+        )
+    checked = len(queries)
+    return {
+        "name": spec["name"],
+        "rules": len(rules),
+        "database_facts": len(database),
+        "atoms_checked": checked,
+        "entailed": sum(cost_verdicts),
+        "wall_s": round(wall, 6),
+        "baseline_wall_s": round(baseline_wall, 6),
+        "rate_per_s": round(checked / wall, 1) if wall > 0 else None,
+        "baseline_rate_per_s": round(checked / baseline_wall, 1)
+        if baseline_wall > 0 else None,
+        "speedup": round(baseline_wall / wall, 2) if wall > 0 else None,
+        "equivalent": True,
+    }
+
+
+QUERY_SCENARIOS = (
+    (cq_answering_scenario, run_cq_answering),
+    (entailment_scenario, run_entailment),
+)
+
+HEADLINE_QUERY = "cq_answering"
+
+
 # -- the CI regression gate ------------------------------------------------
 
 
@@ -663,6 +941,11 @@ def check_against(
     Memory is only gated when the recording carries a ``peak_mem_mb``
     column.  Rates, not walls, are compared so the gate tolerates
     running at a smaller ``--scale`` than the recording.
+
+    Recorded *query* rows (``cq_answering`` / ``entailment``) are
+    gated the same way on their ``rate_per_s`` — and re-measuring them
+    re-runs their built-in answer-set / verdict equality checks, so a
+    gate pass also re-proves planner-vs-object-level equivalence.
     """
     recorded = {
         row["name"]: row
@@ -703,6 +986,35 @@ def check_against(
                 f"recorded {recorded_peak:.3f} (ceiling {ceiling:.3f} "
                 f"at ratio {mem_ratio})"
             )
+    query_rows = [
+        row for row in baseline.get("queries", [])
+        if row.get("rate_per_s")
+    ]
+    query_runners = {}
+    if query_rows:
+        # Build each scenario spec once (the builders materialize whole
+        # databases) and only when the recording carries query rows.
+        for make, run in QUERY_SCENARIOS:
+            spec = make(scale)
+            query_runners[spec["name"]] = (spec, run)
+    for row in query_rows:
+        name = row.get("name")
+        entry = query_runners.get(name)
+        if entry is None:
+            ok = False
+            lines.append(f"FAIL {name}: recorded query scenario no longer "
+                         "exists")
+            continue
+        spec, run = entry
+        measured = run(spec)
+        rate, floor = measured["rate_per_s"], row["rate_per_s"] * ratio
+        status = "ok  " if rate >= floor else "FAIL"
+        if rate < floor:
+            ok = False
+        lines.append(
+            f"{status} {name}: {rate:.1f} answers/s vs recorded "
+            f"{row['rate_per_s']:.1f} (floor {floor:.1f} at ratio {ratio})"
+        )
     if not recorded:
         ok = False
         lines.append("FAIL: baseline report contains no rated scenarios")
@@ -834,6 +1146,10 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
         # the baseline replicas double as correctness checks.
         "deciders": [run(make(scale)) for make, run in DECIDERS],
         "headline_decider": HEADLINE_DECIDER,
+        # Query-side rows (PR 5): each asserts planner-vs-object-level
+        # answer-set (or verdict) equality before reporting a speedup.
+        "queries": [run(make(scale)) for make, run in QUERY_SCENARIOS],
+        "headline_query": HEADLINE_QUERY,
         # Serial-vs-batched executor rows (each asserts byte-identical
         # results before reporting a speedup).
         "parallel": run_parallel_suite(scale),
@@ -901,6 +1217,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"decider {row['name']}: baseline {row['baseline_wall_s']}s "
             f"vs {row['wall_s']}s — {row['speedup']}x speedup"
+        )
+    for row in payload["queries"]:
+        print(
+            f"query {row['name']}: baseline {row['baseline_wall_s']}s "
+            f"vs {row['wall_s']}s — {row['speedup']}x speedup "
+            f"({row['rate_per_s']} per-s)"
         )
     for row in payload["parallel"]:
         wall_keys = [k for k in row if k.endswith("_wall_s")]

@@ -68,6 +68,50 @@ def test_guarded_decider_scenario_terminates_at_smoke_scale():
     assert row["pattern_joins"] > 0
 
 
+@pytest.mark.parametrize(
+    "make,run",
+    bench_perf.QUERY_SCENARIOS,
+    ids=lambda arg: arg.__name__ if callable(arg) else str(arg),
+)
+def test_query_scenarios_smoke(make, run):
+    # The query runners raise on any answer-set / verdict divergence
+    # between the planner path and their baselines.
+    row = run(make(SMOKE_SCALE))
+    assert row["equivalent"] is True
+    assert row["wall_s"] >= 0 and row["baseline_wall_s"] >= 0
+    assert row["rate_per_s"] is not None
+    assert row["speedup"] is not None
+
+
+def test_cq_answering_scenario_has_certain_answers():
+    row = bench_perf.run_cq_answering(
+        bench_perf.cq_answering_scenario(SMOKE_SCALE)
+    )
+    assert row["certain_answers"] > 0
+    assert row["answers"] >= row["certain_answers"]
+    assert row["queries"] >= 3
+
+
+def test_entailment_scenario_mixes_verdicts():
+    row = bench_perf.run_entailment(
+        bench_perf.entailment_scenario(SMOKE_SCALE)
+    )
+    # At least one entailed and one refuted atom keep both outcomes
+    # covered by the equivalence check.
+    assert 0 < row["entailed"] < row["atoms_checked"]
+
+
+def test_check_mode_fails_on_query_regression():
+    payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
+    for row in payload["queries"]:
+        row["rate_per_s"] *= 1e9  # impossible recorded rate
+    ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.5)
+    assert not ok
+    assert any(
+        line.startswith("FAIL") and "answers/s" in line for line in lines
+    )
+
+
 def test_parallel_scenarios_are_byte_identical():
     # run_parallel_scenario raises on any serial/batched divergence;
     # the row records both walls and flags the equivalence check.
@@ -93,8 +137,11 @@ def test_check_mode_passes_against_fresh_report():
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
     assert ok, lines
-    # One rate line and one peak-memory line per scenario.
-    assert len(lines) == 2 * len(bench_perf.SCENARIOS)
+    # One rate line and one peak-memory line per chase scenario, plus
+    # one rate line per query scenario.
+    assert len(lines) == (
+        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS)
+    )
     assert sum("peak" in line for line in lines) == len(bench_perf.SCENARIOS)
 
 
@@ -172,6 +219,13 @@ def test_suite_payload_shape(tmp_path):
     assert payload["headline_decider"] in decider_names
     for row in payload["deciders"]:
         for key in ("wall_s", "baseline_wall_s", "speedup"):
+            assert key in row
+    query_names = {row["name"] for row in payload["queries"]}
+    assert query_names == {"cq_answering", "entailment"}
+    assert payload["headline_query"] in query_names
+    for row in payload["queries"]:
+        for key in ("wall_s", "baseline_wall_s", "rate_per_s",
+                    "baseline_rate_per_s", "speedup", "equivalent"):
             assert key in row
     parallel_names = {row["name"] for row in payload["parallel"]}
     assert {"deep_chain_parallel", "guarded_ontology_parallel",

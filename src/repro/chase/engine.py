@@ -54,12 +54,23 @@ def run_chase(
     order_seed: Optional[int] = None,
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    planner: str = "heuristic",
 ) -> ChaseResult:
     """Run a fair ``variant`` chase of ``rules`` on ``database``.
 
     ``database`` is not mutated.  ``max_steps`` bounds the number of
     trigger applications; on exhaustion the result has
     ``terminated=False``.
+
+    ``planner`` selects the join-order policy for trigger discovery
+    (:mod:`repro.query.planner`): the default ``"heuristic"`` is the
+    canonical fair order; ``"cost"`` plans the rest-of-body joins from
+    the instance's columnar statistics — the same trigger *sets* fire,
+    but discovery order within a round (and hence null numbering) may
+    permute, so oblivious/semi-oblivious results are equal up to null
+    renaming and restricted results are a different (equally valid)
+    fair sequence.  Head-satisfaction probes are cost-planned under
+    either policy (pure existence tests — order never shows).
 
     For the oblivious and semi-oblivious variants, the paper recalls
     that all fair sequences agree on termination (CT_∀ = CT_∃), so the
@@ -83,9 +94,12 @@ def run_chase(
         raise ValueError(f"unknown chase variant {variant!r}")
     if max_steps <= 0:
         raise ValueError(f"max_steps must be positive, got {max_steps}")
+    if planner not in ("heuristic", "cost"):
+        raise ValueError(f"unknown planner policy {planner!r}")
     rules = list(rules)
     validate_program(rules)
     instance = Instance(database)
+    instance.order_policy = planner
     factory = null_factory or NullFactory()
     round_scheduler, owns_scheduler = resolve_scheduler(scheduler, workers)
     engine = DeltaEngine(
@@ -150,11 +164,12 @@ def oblivious_chase(
     max_steps: int = DEFAULT_MAX_STEPS,
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    planner: str = "heuristic",
 ) -> ChaseResult:
     """The oblivious chase: every distinct body homomorphism fires."""
     return run_chase(
         database, rules, ChaseVariant.OBLIVIOUS, max_steps,
-        scheduler=scheduler, workers=workers,
+        scheduler=scheduler, workers=workers, planner=planner,
     )
 
 
@@ -164,12 +179,13 @@ def semi_oblivious_chase(
     max_steps: int = DEFAULT_MAX_STEPS,
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    planner: str = "heuristic",
 ) -> ChaseResult:
     """The semi-oblivious chase: homomorphisms agreeing on the frontier
     are indistinguishable."""
     return run_chase(
         database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps,
-        scheduler=scheduler, workers=workers,
+        scheduler=scheduler, workers=workers, planner=planner,
     )
 
 
@@ -179,10 +195,11 @@ def restricted_chase(
     max_steps: int = DEFAULT_MAX_STEPS,
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    planner: str = "heuristic",
 ) -> ChaseResult:
     """The restricted (standard) chase: fire only when the head is not
     yet satisfied."""
     return run_chase(
         database, rules, ChaseVariant.RESTRICTED, max_steps,
-        scheduler=scheduler, workers=workers,
+        scheduler=scheduler, workers=workers, planner=planner,
     )

@@ -433,8 +433,12 @@ class ShipLog:
 
     def init_payload(self, instance: Instance):
         """The once-per-run symbol diff: rules, rule constants and
-        predicates with their parent ids.  Shipped whenever the tail
-        starts at zero (a worker may be rebuilding from scratch).
+        predicates with their parent ids, plus the parent instance's
+        join-order policy (mirrors must plan rest-of-body joins exactly
+        as the parent does, or within-batch trigger order — and with it
+        null numbering — would diverge from the serial run).  Shipped
+        whenever the tail starts at zero (a worker may be rebuilding
+        from scratch).
 
         Predicates cover the rules *and* every predicate the instance
         knows at first ship — the database may hold relations no rule
@@ -466,7 +470,8 @@ class ShipLog:
                     seen_preds.add(pred)
                     pred_pairs.append((pred, pid))
             self._init_payload = (
-                tuple(self.rules), tuple(const_pairs), tuple(pred_pairs)
+                tuple(self.rules), tuple(const_pairs), tuple(pred_pairs),
+                instance.order_policy,
             )
         return self._init_payload
 
@@ -509,10 +514,13 @@ class _Mirror:
 
     __slots__ = ("instance", "version", "rules", "arity")
 
-    def __init__(self, rules, const_pairs, pred_pairs):
+    def __init__(self, rules, const_pairs, pred_pairs, order_policy):
         self.instance = Instance(
             symbols=SymbolTable(const_pairs, sealed=True)
         )
+        # Mirrors must order joins exactly as the parent does — the
+        # policy ships with the init payload.
+        self.instance.order_policy = order_policy
         for pred, pid in pred_pairs:
             self.instance.prime_predicate(pred, pid)
         self.rules = list(rules)

@@ -43,7 +43,8 @@ from ..model import (
     Variable,
     homomorphisms,
 )
-from ..model.joinplan import PlanExec, ResolvedStep, order_atoms, resolve_exec
+from ..model.joinplan import PlanExec, ResolvedStep, resolve_exec
+from ..query.planner import order_for
 
 
 def _empty_emit(assign):
@@ -227,16 +228,17 @@ def _head_exec(instance: Instance, rule: TGD) -> _HeadExec:
 
     Head satisfaction is a pure existence test, so its join order
     affects only speed — never results or enumeration order.  The
-    ordering is therefore recomputed lazily, whenever the instance has
-    doubled since the exec was built (O(log growth) reorders), instead
-    of per probe.
+    ordering is therefore cost-planned (:mod:`repro.query.planner` —
+    an always-safe consumer of the statistics-driven policy) and
+    recomputed lazily, whenever the instance has doubled since the
+    exec was built (O(log growth) reorders), instead of per probe.
     """
     cache = instance._plans
     entry = cache.get(rule)
     size = len(instance)
     if entry is not None and size <= 2 * entry[0]:
         return entry[1]
-    ordered = order_atoms(rule.head, instance, rule.frontier)
+    ordered = order_for(rule.head, instance, rule.frontier, policy="cost")
     key = ("head", rule, ordered)
     exec_ = cache.get(key)
     if exec_ is None:
@@ -439,7 +441,15 @@ class RuleExec:
 
 def rule_exec(instance: Instance, rule: TGD, pivot: int) -> RuleExec:
     """The (cached) :class:`RuleExec` for ``(rule, pivot)`` under the
-    join order the current relation sizes select."""
+    join order the instance's planner policy selects.
+
+    ``instance.order_policy`` ("heuristic" by default — the canonical
+    fair order the sequence-level tests pin; "cost" opts in to
+    statistics-driven ordering, which keeps trigger *sets* identical
+    but may permute discovery order within a round) is consulted here,
+    so the chase engines' discovery goes through the same planner as
+    the query surface.
+    """
     pivot_atom = rule.body[pivot]
     rest = [a for i, a in enumerate(rule.body) if i != pivot]
     if rest:
@@ -449,7 +459,10 @@ def rule_exec(instance: Instance, rule: TGD, pivot: int) -> RuleExec:
         # materializes all triggers before mutating the instance, so
         # the join order cannot go stale mid-loop.
         pivot_vars = pivot_atom.variables()
-        ordered = order_atoms(rest, instance, frozenset(pivot_vars))
+        ordered = order_for(
+            rest, instance, frozenset(pivot_vars),
+            policy=instance.order_policy,
+        )
     else:
         ordered = ()
     key = ("rule", rule, pivot, ordered)

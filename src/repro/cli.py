@@ -7,12 +7,20 @@
                               [--workers N] [--scheduler serial|threaded|process]
     python -m repro chase     RULES.tgd DB.facts [--variant o|so|r] [--max-steps N]
                               [--workers N] [--scheduler serial|threaded|process]
+                              [--planner cost|heuristic]
+    python -m repro query     RULES.tgd DB.facts "q(X) :- body(X, Y)"
+                              [--certain] [--variant o|so|r] [--max-steps N]
+                              [--planner cost|heuristic]
     python -m repro critical  RULES.tgd [--standard]
     python -m repro entail    RULES.tgd DB.facts "atom(a, b)"
     python -m repro dot       RULES.tgd [--graph dep|extdep|joint|types]
 
 Rule files use the library syntax (``p(X) -> exists Z . q(X, Z)``);
-database files hold one ground atom per line.
+database files hold one ground atom per line.  ``query`` chases the
+database to a (universal, when the chase terminates) model and
+evaluates a conjunctive query over it through the cost-based planner
+(:mod:`repro.query`): naive answers by default, null-free certain
+answers with ``--certain``.
 
 ``--workers N`` batches each chase/saturation round over a worker pool
 (``N`` workers; see :mod:`repro.chase.scheduler`).  The executor
@@ -40,10 +48,12 @@ from .classes import classify, narrowest_class
 from .entailment import entails_atom
 from .errors import ReproError
 from .parser import (
+    atom_to_text,
     instance_to_text,
     parse_atom,
     parse_database,
     parse_program,
+    parse_query,
 )
 from .termination import decide_termination
 
@@ -106,6 +116,7 @@ def _cmd_check(args) -> int:
         variant=variant,
         standard=args.standard,
         allow_oracle=args.allow_oracle,
+        order_policy=args.planner,
         **_scheduler_args(args),
     )
     print(verdict.explain())
@@ -118,12 +129,50 @@ def _cmd_chase(args) -> int:
     variant = _VARIANTS[args.variant]
     result = run_chase(
         database, rules, variant, max_steps=args.max_steps,
-        **_scheduler_args(args),
+        planner=args.planner, **_scheduler_args(args),
     )
     status = "fixpoint" if result.terminated else "budget exhausted"
     print(f"% {variant} chase: {status} after {result.step_count} steps, "
           f"{len(result.instance)} facts")
     print(instance_to_text(result.instance))
+    return 0 if result.terminated else 1
+
+
+def _cmd_query(args) -> int:
+    from .model import Atom, Predicate
+
+    rules = _load_rules(args.rules)
+    database = _load_database(args.database)
+    query = parse_query(args.query)
+    variant = _VARIANTS[args.variant]
+    result = run_chase(
+        database, rules, variant, max_steps=args.max_steps,
+        planner=args.planner, **_scheduler_args(args),
+    )
+    status = "fixpoint" if result.terminated else "budget exhausted"
+    print(f"% {variant} chase: {status} after {result.step_count} steps, "
+          f"{len(result.instance)} facts")
+    if args.certain and not result.terminated:
+        print(
+            "% warning: chase budget exhausted — the instance is not a "
+            "universal model; certain answers may be incomplete",
+            file=sys.stderr,
+        )
+    if query.is_boolean():
+        holds = query.holds_in(result.instance, policy=args.planner)
+        print("true" if holds else "false")
+        return 0 if result.terminated else 1
+    # Answers print as atoms over the query's answer predicate.
+    name = query.name
+    if args.certain:
+        answers = query.certain_answers(result.instance, policy=args.planner)
+    else:
+        answers = query.answers(result.instance, policy=args.planner)
+    count = 0
+    for answer in answers:
+        count += 1
+        print(atom_to_text(Atom(Predicate(name, len(answer)), answer)))
+    print(f"% {count} {'certain ' if args.certain else ''}answers")
     return 0 if result.terminated else 1
 
 
@@ -184,6 +233,16 @@ def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
              "is given")
 
 
+def _add_planner_flag(
+    parser: argparse.ArgumentParser, default: str
+) -> None:
+    parser.add_argument(
+        "--planner", choices=("cost", "heuristic"), default=default,
+        help="join-order policy (repro.query.planner); 'cost' plans "
+             "from columnar statistics, 'heuristic' is the fixed "
+             f"syntactic ordering (default: {default})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -209,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full report (classes, the "
                             "sufficient-condition zoo, both variants)")
     _add_scheduler_flags(check)
+    _add_planner_flag(check, default="cost")
     check.set_defaults(func=_cmd_check)
 
     chase = sub.add_parser("chase", help="run a budgeted chase")
@@ -217,7 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
     chase.add_argument("--variant", choices=sorted(_VARIANTS), default="r")
     chase.add_argument("--max-steps", type=int, default=10_000)
     _add_scheduler_flags(chase)
+    _add_planner_flag(chase, default="heuristic")
     chase.set_defaults(func=_cmd_chase)
+
+    query = sub.add_parser(
+        "query", help="chase a database and answer a conjunctive query")
+    query.add_argument("rules")
+    query.add_argument("database")
+    query.add_argument("query",
+                       help="a CQ such as \"q(X) :- e(X, Y)\"; a bare "
+                            "conjunction is evaluated as a boolean query")
+    query.add_argument("--certain", action="store_true",
+                       help="print only null-free (certain) answers, "
+                            "sorted")
+    query.add_argument("--variant", choices=sorted(_VARIANTS), default="r")
+    query.add_argument("--max-steps", type=int, default=10_000)
+    _add_scheduler_flags(query)
+    _add_planner_flag(query, default="cost")
+    query.set_defaults(func=_cmd_query)
 
     critical = sub.add_parser("critical", help="print the critical instance")
     critical.add_argument("rules")

@@ -9,6 +9,17 @@ matter for chase-produced instances:
   model (a terminating chase result) these are exactly the answers
   true in *every* model of D and Σ, which is the standard argument for
   computing certain answers via the chase (§1 of the paper).
+
+Evaluation runs on the int-native query subsystem
+(:mod:`repro.query`): the body is cost-planned from the instance's
+columnar statistics, answers are projected and deduplicated as term-id
+tuples (no ``Term``-tuple dedup sets — the set holds small-int tuples
+and only yielded answers ever materialize as objects), and certain
+answers filter nulls by a memoized id-kind check.  Pass
+``policy="heuristic"`` to any evaluation method to force the retained
+PR 1 ordering; both policies produce the same answer sets, and the
+property tests additionally hold them to the
+``naive_homomorphisms``-derived oracle.
 """
 
 from __future__ import annotations
@@ -18,25 +29,31 @@ from typing import Iterator, List, Sequence, Set, Tuple
 from ..model import (
     Atom,
     Instance,
-    Null,
     Term,
     Variable,
-    homomorphisms,
 )
+from ..query import CompiledQuery
 
 
 class ConjunctiveQuery:
-    """``answers(X1,...,Xn) :- atom, atom, ...``."""
+    """``answers(X1,...,Xn) :- atom, atom, ...``.
 
-    __slots__ = ("answer_variables", "atoms", "_hash")
+    ``name`` is the answer predicate's display name (what the parser
+    saw before ``:-``; what the CLI prints answers under) — pure
+    presentation, excluded from equality and hashing.
+    """
+
+    __slots__ = ("answer_variables", "atoms", "name", "_hash", "_compiled")
 
     def __init__(
         self,
         answer_variables: Sequence[Variable],
         atoms: Sequence[Atom],
+        name: str = "q",
     ):
         self.answer_variables = tuple(answer_variables)
         self.atoms = tuple(atoms)
+        self.name = name
         if not self.atoms:
             raise ValueError("a conjunctive query needs at least one atom")
         body_vars: Set[Variable] = set()
@@ -48,6 +65,7 @@ class ConjunctiveQuery:
                     f"answer variable {var} does not occur in the query body"
                 )
         self._hash = hash((self.answer_variables, self.atoms))
+        self._compiled: dict = {}
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -68,30 +86,35 @@ class ConjunctiveQuery:
         """True iff the query has no answer variables."""
         return not self.answer_variables
 
+    def compiled(self, policy: str = "cost") -> CompiledQuery:
+        """The (cached) int-native compiled form under ``policy``."""
+        compiled = self._compiled.get(policy)
+        if compiled is None:
+            compiled = CompiledQuery(
+                self.answer_variables, self.atoms, policy=policy
+            )
+            self._compiled[policy] = compiled
+        return compiled
+
     # -- evaluation -----------------------------------------------------
 
-    def answers(self, instance: Instance) -> Iterator[Tuple[Term, ...]]:
-        """Naive answers: one tuple per homomorphism image (deduplicated)."""
-        seen: Set[Tuple[Term, ...]] = set()
-        for assignment in homomorphisms(self.atoms, instance):
-            answer = tuple(assignment[v] for v in self.answer_variables)
-            if answer not in seen:
-                seen.add(answer)
-                yield answer
+    def answers(
+        self, instance: Instance, policy: str = "cost"
+    ) -> Iterator[Tuple[Term, ...]]:
+        """Naive answers: one tuple per homomorphism image,
+        deduplicated in id space (only yielded answers materialize)."""
+        return self.compiled(policy).answers(instance)
 
-    def certain_answers(self, instance: Instance) -> List[Tuple[Term, ...]]:
+    def certain_answers(
+        self, instance: Instance, policy: str = "cost"
+    ) -> List[Tuple[Term, ...]]:
         """Null-free answers, sorted for determinism.
 
         When ``instance`` is a universal model of (D, Σ), these are the
         certain answers of the query under Σ.
         """
-        out = [
-            answer
-            for answer in self.answers(instance)
-            if not any(isinstance(t, Null) for t in answer)
-        ]
-        return sorted(out, key=lambda tup: tuple(str(t) for t in tup))
+        return self.compiled(policy).certain_answers(instance)
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(self, instance: Instance, policy: str = "cost") -> bool:
         """Boolean evaluation: does any match exist?"""
-        return next(homomorphisms(self.atoms, instance), None) is not None
+        return self.compiled(policy).holds_in(instance)

@@ -28,18 +28,28 @@ def entails_atom(
     database: Instance,
     atom: Atom,
     max_types: int = DEFAULT_MAX_TYPES,
+    order_policy: str = "cost",
 ) -> bool:
     """Decide ``database ∧ rules ⊨ atom`` for guarded ``rules``.
 
     ``atom`` must be ground and over the database/program constants —
     entailment of atoms mentioning unknown constants is vacuously
     false, and this function returns False for them.
+
+    The saturation fixpoint's body-vs-cloud joins run through the
+    cost-based planner (:mod:`repro.query.planner`); ``order_policy``
+    selects the ordering policy (``"heuristic"`` is the retained PR 1
+    ordering — same verdicts, kept selectable for the equivalence
+    cross-checks and the benchmark baseline).
     """
     if not atom.is_ground():
         raise ValueError(f"entailment is defined for ground atoms, got {atom}")
     if atom.nulls():
         raise ValueError(f"entailment queries must be null-free, got {atom}")
-    analysis = TypeAnalysis(rules, database=database, max_types=max_types)
+    analysis = TypeAnalysis(
+        rules, database=database, max_types=max_types,
+        order_policy=order_policy,
+    )
     if atom.predicate not in analysis.schema:
         return False
     try:
@@ -54,13 +64,17 @@ def saturated_facts(
     rules: Sequence[TGD],
     database: Instance,
     max_types: int = DEFAULT_MAX_TYPES,
+    order_policy: str = "cost",
 ) -> Database:
     """All facts over the database's constants entailed by D ∧ Σ.
 
     This is the restriction of the (possibly infinite) chase to the
     original constants — finite and exactly computable for guarded Σ.
     """
-    analysis = TypeAnalysis(rules, database=database, max_types=max_types)
+    analysis = TypeAnalysis(
+        rules, database=database, max_types=max_types,
+        order_policy=order_policy,
+    )
     analysis.saturate()
     out = Database()
     for pred, classes in analysis.saturated_cloud(analysis.root):

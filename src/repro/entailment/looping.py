@@ -121,12 +121,19 @@ def looping_operator(
     goal: Predicate,
     check_termination: bool = True,
     variant: str = "semi_oblivious",
+    order_policy: str = "cost",
 ) -> LoopingProgram:
     """Apply the looping operator to the entailment instance
     ``(rules, database, goal)``.
 
     Returns a guarded program Σ' with: Σ' ∈ CT_variant (over standard
     databases)  ⇔  database ∧ rules ⊭ goal.
+
+    The ``check_termination`` precondition runs the guarded decider's
+    type saturation, whose pattern joins are ordered by the cost-based
+    planner; ``order_policy`` selects the planner policy
+    (:data:`repro.query.planner.ORDER_POLICIES`) — the check's verdict
+    is policy-independent.
     """
     rules = list(rules)
     validate_program(rules)
@@ -144,7 +151,9 @@ def looping_operator(
     if check_termination:
         from ..termination import decide_termination
 
-        if not decide_termination(rules, variant=variant).terminating:
+        if not decide_termination(
+            rules, variant=variant, order_policy=order_policy
+        ).terminating:
             raise UnsupportedClassError(
                 "the looping operator requires a terminating base program "
                 "(otherwise the reduction is vacuous); pass "

@@ -72,6 +72,8 @@ class Instance:
         "_member_by_pid",
         "_rows_by_pid",
         "_index",
+        "_pos_card",
+        "order_policy",
         "_domain_ids",
         "_domain_cache",
         "_constants_cache",
@@ -100,6 +102,14 @@ class Instance:
         self._rows_by_pid: Dict[int, List[Row]] = {}
         # (pred_id, position, term_id) -> rows carrying term_id there.
         self._index: Dict[Tuple[int, int, int], List[Row]] = {}
+        # (pred_id, position) -> how many distinct term ids occur there
+        # (maintained incrementally; the cost-based planner's column
+        # cardinality statistic — see repro.query.planner).
+        self._pos_card: Dict[Tuple[int, int], int] = {}
+        # Join-order policy consulted by the chase engines' discovery
+        # and head-probe plans ("heuristic" preserves the canonical
+        # fair order; "cost" plans from the statistics above).
+        self.order_policy: str = "heuristic"
         # Incrementally maintained active domain (term ids, insertion
         # order) plus size-validated decode caches.
         self._domain_ids: Dict[int, None] = {}
@@ -145,6 +155,8 @@ class Instance:
             pid: list(rows) for pid, rows in other._rows_by_pid.items()
         }
         self._index = {key: list(rows) for key, rows in other._index.items()}
+        self._pos_card = dict(other._pos_card)
+        self.order_policy = other.order_policy
         self._domain_ids = dict(other._domain_ids)
 
     # -- interning ---------------------------------------------------------
@@ -258,6 +270,7 @@ class Instance:
         index_get = self._index.get
         index_set = self._index.__setitem__
         domain = self._domain_ids
+        pos_card = self._pos_card
         position = 0
         for tid in row:
             key = (pid, position, tid)
@@ -267,6 +280,10 @@ class Instance:
                 # A term already indexed somewhere is already in the
                 # domain; only first-time index rows can introduce one.
                 domain[tid] = None
+                # First occurrence of tid at this column: one more
+                # distinct value for the planner's cardinality stats.
+                ckey = (pid, position)
+                pos_card[ckey] = pos_card.get(ckey, 0) + 1
             else:
                 rows.append(row)
             position += 1
@@ -450,6 +467,12 @@ class Instance:
         """Live ``row -> ordinal`` membership dict of one relation
         (do not mutate)."""
         return self._member_by_pid.get(pid, _EMPTY_MEMBER)
+
+    def distinct_at(self, pid: int, position: int) -> int:
+        """How many distinct term ids occur at ``position`` of relation
+        ``pid`` (maintained incrementally — the planner's per-column
+        cardinality statistic; 0 for empty/unknown columns)."""
+        return self._pos_card.get((pid, position), 0)
 
     def ordinals_of(self, pid: int) -> List[int]:
         """Insertion-ordered fact ordinals of one relation (a fresh

@@ -6,6 +6,7 @@ from .parser import (
     parse_database,
     parse_fact,
     parse_program,
+    parse_query,
     parse_rule,
 )
 from .printer import (
@@ -23,6 +24,7 @@ __all__ = [
     "parse_database",
     "parse_fact",
     "parse_program",
+    "parse_query",
     "parse_rule",
     "program_to_text",
     "rule_to_text",

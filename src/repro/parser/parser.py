@@ -9,6 +9,9 @@ Syntax (one statement per line; ``%`` starts a comment)::
     % facts (for databases): ground atoms
     person(bob)
 
+    % conjunctive queries: answer atom :- body (bare bodies are boolean)
+    q(X) :- person(X), hasFather(X, Y)
+
 Tokens starting with an upper-case letter or underscore are variables;
 everything else (bare lower-case words, numbers, and single-quoted
 strings) are constants.  The existential prefix is optional — head
@@ -37,6 +40,7 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
   | (?P<arrow>->)
+  | (?P<neck>:-)
   | (?P<lpar>\()
   | (?P<rpar>\))
   | (?P<comma>,)
@@ -206,6 +210,53 @@ def parse_rule(text: str, label: str = "") -> TGD:
                 0,
             )
     return rule
+
+
+def parse_query(text: str):
+    """Parse a conjunctive query.
+
+    Syntax: ``q(X, Z) :- e(X, Y), e(Y, Z)`` — the answer atom's terms
+    are the answer variables (its predicate name is decorative) and the
+    conjunction after ``:-`` is the body.  A bare conjunction (no
+    ``:-``) is a *boolean* query.  Returns a
+    :class:`repro.cq.ConjunctiveQuery`.
+    """
+    from ..cq import ConjunctiveQuery
+
+    stream = _TokenStream(text)
+    first = _parse_atom(stream)
+    name = "q"
+    tok = stream.peek()
+    if tok is not None and tok[0] == "neck":
+        stream.next()
+        for term in first.terms:
+            if not isinstance(term, Variable):
+                raise ParseError(
+                    f"answer atom terms must be variables, got {term}",
+                    text,
+                    0,
+                )
+        answer_variables = list(first.terms)
+        name = first.predicate.name
+        atoms = _parse_atom_list(stream)
+    else:
+        # A bare conjunction: boolean query.
+        answer_variables = []
+        atoms = [first]
+        while tok is not None and tok[0] == "comma":
+            stream.next()
+            atoms.append(_parse_atom(stream))
+            tok = stream.peek()
+    tok = stream.peek()
+    if tok is not None and tok[0] == "dot":
+        stream.next()
+    if not stream.at_end():
+        _, value, pos = stream.next()
+        raise ParseError(f"trailing input {value!r}", text, pos)
+    try:
+        return ConjunctiveQuery(answer_variables, atoms, name=name)
+    except ValueError as exc:
+        raise ParseError(str(exc), text, 0) from exc
 
 
 def parse_program(text: str) -> List[TGD]:

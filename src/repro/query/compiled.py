@@ -1,0 +1,300 @@
+"""Compiled conjunctive queries: int-native evaluation end-to-end.
+
+The object-level CQ path (PR 0–4) enumerated ``Variable → Term`` dicts
+through :func:`repro.model.homomorphisms`, built a ``Term`` tuple per
+candidate answer, and deduplicated those tuples in a set — paying an
+object decode, k tuple hashes of interned terms, and a dict per match
+even when the match was a duplicate about to be dropped.
+
+:class:`CompiledQuery` keeps the whole pipeline in id space:
+
+* the body is ordered by the cost-based planner
+  (:mod:`repro.query.planner`) and resolved to a slot-compiled
+  :class:`~repro.model.joinplan.PlanExec`;
+* answers are projected out of the live slot list by a compiled
+  ``itemgetter`` — an *int* tuple, no Term materialization;
+* deduplication happens on those int tuples, so the dedup set holds
+  small-int tuples instead of Term tuples (the ``answers`` memory
+  fix), and only tuples that survive dedup (and, for certain answers,
+  the null-freeness filter) are ever decoded;
+* **distinct-projection pushdown** — the plan is split at the first
+  step binding every answer variable; prefix matches whose projection
+  was already emitted are skipped before the residual join runs at
+  all, and unseen projections need only an *existence* probe of the
+  residual (the first witness proves the answer; enumerating the rest
+  is pure duplicate work).  Answer sets and first-seen emission order
+  are identical to full enumeration;
+* null-freeness is a term-id *kind* check — each distinct id is
+  classified once per instance (memoized), so certain-answer filtering
+  never rebuilds Term tuples just to inspect them;
+* resolved plans are cached per ``(query, fact-count bucket)``: the
+  planner replans only when the instance's statistics have shifted a
+  power-of-two bucket, so repeated evaluation over a growing chase
+  result is two dict hits in the steady state.
+
+The object-level :func:`repro.model.homomorphisms` surface stays
+untouched — it is the public compatibility API and the differential-
+test oracle the property tests compare this engine against.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter as _itemgetter
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..model.atoms import Atom
+from ..model.instances import Instance
+from ..model.joinplan import _RESOLVE_CACHE_CAP, PlanExec, resolve_exec
+from ..model.terms import Null, Term, Variable
+from .planner import order_for
+
+
+def _empty_project(match):
+    return ()
+
+
+def _single_project(slot: int):
+    def project(match):
+        return (match[slot],)
+
+    return project
+
+
+class CompiledQuery:
+    """A conjunctive query compiled for repeated int-native evaluation.
+
+    ``answer_variables`` may repeat and may be empty (a boolean query);
+    every answer variable must occur in ``atoms``.  ``policy`` selects
+    the planner's ordering policy (see
+    :data:`repro.query.planner.ORDER_POLICIES`); both policies yield
+    the same answer *sets*, in possibly different orders.
+
+    Instances are stateless with respect to any particular
+    :class:`~repro.model.instances.Instance` — resolved plans live in
+    the instance's own cache — so one ``CompiledQuery`` may be reused
+    across many instances and many growth stages of one instance.
+    ``stats`` counts plan builds vs cache hits, which is how the tests
+    observe bucket-crossing replans.
+    """
+
+    __slots__ = ("answer_variables", "atoms", "policy", "stats")
+
+    def __init__(
+        self,
+        answer_variables: Sequence[Variable],
+        atoms: Sequence[Atom],
+        policy: str = "cost",
+    ):
+        self.answer_variables: Tuple[Variable, ...] = tuple(answer_variables)
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        self.policy = policy
+        if not self.atoms:
+            raise ValueError("a compiled query needs at least one atom")
+        body_vars = set()
+        for atom in self.atoms:
+            body_vars |= atom.variables()
+        for var in self.answer_variables:
+            if var not in body_vars:
+                raise ValueError(
+                    f"answer variable {var} does not occur in the query body"
+                )
+        self.stats: Dict[str, int] = {"plans": 0, "plan_hits": 0}
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.answer_variables)
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"CompiledQuery(({head}) :- {body}, policy={self.policy})"
+
+    # -- plan resolution ----------------------------------------------------
+
+    def _resolved(self, instance: Instance):
+        """``(prefix, suffix, project)`` for ``instance`` at its
+        current growth bucket.
+
+        The planner-ordered body is resolved into one shared slot
+        space and split at the first step binding every answer
+        variable: ``prefix`` enumerates up to that point (where the
+        projection is determined), ``suffix`` is the residual join
+        (``None`` when the whole body is needed to bind the answers),
+        and ``project`` reads the answer id tuple off the live slot
+        list.  Both execs share the full slot space, so a prefix
+        match's slot list seeds the suffix probe directly.
+        """
+        cache = instance._plans
+        key = (
+            "cq",
+            self.atoms,
+            self.answer_variables,
+            self.policy,
+            len(instance).bit_length(),
+        )
+        entry = cache.get(key)
+        if entry is None:
+            self.stats["plans"] += 1
+            ordered = order_for(
+                self.atoms, instance, policy=self.policy
+            )
+            # Reuse the shared per-instance resolution (same steps and
+            # slot space the engines use) instead of re-resolving.
+            exec_ = resolve_exec(instance, ordered)
+            steps = exec_.steps
+            env = exec_.slot_of
+            slots = tuple(env[v] for v in self.answer_variables)
+            if not slots:
+                project = _empty_project
+            elif len(slots) == 1:
+                project = _single_project(slots[0])
+            else:
+                project = _itemgetter(*slots)
+            need = set(slots)
+            split = len(steps)
+            bound: Set[int] = set()
+            if need <= bound:
+                split = 0
+            else:
+                for index, step in enumerate(steps):
+                    bound.update(slot for slot, _, _ in step.groups)
+                    if need <= bound:
+                        split = index + 1
+                        break
+            if split == len(steps):
+                # No residual: the full plan is the prefix.
+                prefix, suffix = exec_, None
+            else:
+                prefix = PlanExec(steps[:split], env)
+                suffix = PlanExec(steps[split:], env)
+            entry = (prefix, suffix, project)
+            if len(cache) >= _RESOLVE_CACHE_CAP:
+                cache.clear()
+            cache[key] = entry
+        else:
+            self.stats["plan_hits"] += 1
+        return entry
+
+    def _null_kinds(self, instance: Instance) -> Dict[int, bool]:
+        """The instance's ``term id -> is-null`` memo (lives in the
+        instance's plan cache and dies with it)."""
+        cache = instance._plans
+        kinds = cache.get("null_kind")
+        if kinds is None:
+            kinds = cache["null_kind"] = {}
+        return kinds
+
+    # -- evaluation ---------------------------------------------------------
+
+    def matches_ids(self, instance: Instance) -> Iterator[Tuple[int, ...]]:
+        """Every body match, projected to the answer variables' term
+        ids — *not* deduplicated and with no pushdown (consumers doing
+        their own keying, e.g. the universality check, dedup on a
+        coarser projection and need every match)."""
+        ordered = order_for(self.atoms, instance, policy=self.policy)
+        exec_ = resolve_exec(instance, ordered)
+        slot_of = exec_.slot_of
+        slots = tuple(slot_of[v] for v in self.answer_variables)
+        if not slots:
+            project = _empty_project
+        elif len(slots) == 1:
+            project = _single_project(slots[0])
+        else:
+            project = _itemgetter(*slots)
+        assign = exec_.fresh_assign()
+        for match in exec_.run(instance, assign):
+            yield project(match)
+
+    def answer_ids(self, instance: Instance) -> Iterator[Tuple[int, ...]]:
+        """Deduplicated answer tuples in id space, in first-seen order
+        (identical, set and order, to deduplicating the full
+        enumeration — the pushdown only skips work that could not
+        produce a new answer)."""
+        prefix, suffix, project = self._resolved(instance)
+        assign = prefix.fresh_assign()
+        seen: Set[Tuple[int, ...]] = set()
+        add = seen.add
+        if suffix is None:
+            for match in prefix.run(instance, assign):
+                ids = project(match)
+                if ids not in seen:
+                    add(ids)
+                    yield ids
+            return
+        suffix_first = suffix.first
+        for match in prefix.run(instance, assign):
+            ids = project(match)
+            if ids in seen:
+                continue
+            # The suffix probes from a copy: PlanExec.first abandons
+            # its generator mid-enumeration, which may leave bindings
+            # on the list it was given.
+            if suffix_first(instance, list(match)):
+                add(ids)
+                yield ids
+
+    def answers(self, instance: Instance) -> Iterator[Tuple[Term, ...]]:
+        """Naive answers (nulls treated as values), decoded lazily —
+        only tuples that survive the int-space dedup materialize."""
+        obj = instance.symbols.obj
+        for ids in self.answer_ids(instance):
+            yield tuple(obj(tid) for tid in ids)
+
+    def certain_ids(self, instance: Instance) -> Iterator[Tuple[int, ...]]:
+        """Deduplicated null-free answer tuples in id space.
+
+        Null-freeness is a per-id *kind* check: each distinct term id
+        is classified once per instance, so filtering never decodes
+        whole tuples just to drop them — and null-containing
+        projections are dropped *before* the residual-join probe (a
+        null answer can never become certain).
+        """
+        prefix, suffix, project = self._resolved(instance)
+        kinds = self._null_kinds(instance)
+        obj = instance.symbols.obj
+        assign = prefix.fresh_assign()
+        seen: Set[Tuple[int, ...]] = set()
+        add = seen.add
+        suffix_first = suffix.first if suffix is not None else None
+        for match in prefix.run(instance, assign):
+            ids = project(match)
+            if ids in seen:
+                continue
+            certain = True
+            for tid in ids:
+                kind = kinds.get(tid)
+                if kind is None:
+                    kind = kinds[tid] = isinstance(obj(tid), Null)
+                if kind:
+                    certain = False
+                    break
+            if not certain:
+                # Remember the verdict so later duplicates skip the
+                # per-id checks too.
+                add(ids)
+                continue
+            if suffix_first is not None and not suffix_first(
+                instance, list(match)
+            ):
+                continue
+            add(ids)
+            yield ids
+
+    def certain_answers(self, instance: Instance) -> List[Tuple[Term, ...]]:
+        """Null-free answers, decoded and sorted for determinism (the
+        certain answers of the query when ``instance`` is a universal
+        model)."""
+        obj = instance.symbols.obj
+        out = [
+            tuple(obj(tid) for tid in ids)
+            for ids in self.certain_ids(instance)
+        ]
+        return sorted(out, key=lambda tup: tuple(str(t) for t in tup))
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Boolean evaluation: does any body match exist?"""
+        prefix, suffix, project = self._resolved(instance)
+        assign = prefix.fresh_assign()
+        if suffix is None:
+            return prefix.first(instance, assign)
+        suffix_first = suffix.first
+        for match in prefix.run(instance, assign):
+            if suffix_first(instance, list(match)):
+                return True
+        return False

@@ -35,7 +35,9 @@ from typing import (
     Union,
 )
 
-from ..model import Atom, Constant, Instance, Predicate, Variable, plan_for
+from ..model import Atom, Constant, Instance, Predicate, Variable
+from ..model.joinplan import resolve_exec
+from ..query.planner import order_for
 
 # An atom over term classes: (predicate, class ids).
 AtomPattern = Tuple[Predicate, Tuple[int, ...]]
@@ -233,7 +235,7 @@ class PatternCloud:
     insertion is not — keeping enumeration deterministic run to run.
     """
 
-    __slots__ = ("patterns", "instance")
+    __slots__ = ("patterns", "instance", "_tid_class")
 
     def __init__(self, patterns: Iterable[AtomPattern]):
         self.patterns: FrozenSet[AtomPattern] = frozenset(patterns)
@@ -242,6 +244,17 @@ class PatternCloud:
             self.instance.add(
                 Atom(pred, [class_term(c) for c in classes])
             )
+        # term id (in self.instance's id space) -> class int, decoded
+        # lazily: pattern joins emit class ids without materializing
+        # class terms per match.
+        self._tid_class: Dict[int, int] = {}
+
+    def class_of(self, tid: int) -> int:
+        """The class int a term id of this cloud's instance stands for."""
+        cls = self._tid_class.get(tid)
+        if cls is None:
+            cls = self._tid_class[tid] = self.instance.term_of(tid).name[1]
+        return cls
 
     def __len__(self) -> int:
         return len(self.patterns)
@@ -307,6 +320,7 @@ def pattern_homomorphisms(
     body: Sequence[Atom],
     cloud: Union[FrozenSet[AtomPattern], PatternCloud],
     constant_class: Dict[Constant, int],
+    policy: str = "cost",
 ) -> Iterator[Dict[Variable, int]]:
     """All assignments of the body's variables to classes such that
     every body atom maps to a cloud pattern.
@@ -314,18 +328,26 @@ def pattern_homomorphisms(
     The pattern-level analogue of
     :func:`repro.model.homomorphism.homomorphisms`; rule constants must
     land on their own constant class.  ``cloud`` may be a raw frozenset
-    of patterns or an already-built :class:`PatternCloud`; assignments
-    are yielded in the compiled plan's deterministic order (which
-    differs from the naive reference's order — callers treat the result
-    as a set).
+    of patterns or an already-built :class:`PatternCloud`; ``policy``
+    selects the planner's join ordering (class-term posting lists are
+    real columnar statistics, so ``cost`` ordering probes selective
+    constant columns first).  Assignments are yielded in the chosen
+    plan's deterministic order (which differs from the naive
+    reference's order — callers treat the result as a set), and the
+    whole join runs in id space: class ints are decoded through the
+    cloud's memo, never by materializing per-match Term objects.
     """
     index = cloud if isinstance(cloud, PatternCloud) else cloud_index(cloud)
     pattern_body = _pattern_body(body, constant_class)
     if pattern_body is None:
         return
-    plan = plan_for(pattern_body, index.instance)
-    for assignment in plan.run(index.instance, {}):
-        yield {var: term.name[1] for var, term in assignment.items()}
+    instance = index.instance
+    ordered = order_for(pattern_body, instance, policy=policy)
+    exec_ = resolve_exec(instance, ordered)
+    out = exec_.out
+    class_of = index.class_of
+    for match in exec_.run(instance, exec_.fresh_assign()):
+        yield {var: class_of(match[slot]) for var, slot in out}
 
 
 def naive_pattern_homomorphisms(

@@ -36,6 +36,7 @@ def decide_termination(
     max_types: int = DEFAULT_MAX_TYPES,
     allow_oracle: bool = False,
     oracle_steps: int = DEFAULT_ORACLE_STEPS,
+    order_policy: str = "cost",
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
 ) -> TerminationVerdict:
@@ -54,6 +55,10 @@ def decide_termination(
     allow_oracle:
         For non-guarded Σ, permit the (incomplete) budgeted oracle
         instead of raising :class:`UnsupportedClassError`.
+    order_policy:
+        Join-order policy for the guarded procedure's pattern joins
+        (:data:`repro.query.planner.ORDER_POLICIES`); verdicts are
+        policy-independent.
     scheduler, workers:
         Round executor for the procedures that run (bounded) chases —
         currently the guarded type-graph saturation (see
@@ -76,6 +81,7 @@ def decide_termination(
     if method == "guarded":
         return decide_guarded(
             rules, variant, standard=standard, max_types=max_types,
+            order_policy=order_policy,
             scheduler=scheduler, workers=workers,
         )
     if method == "oracle":
@@ -103,6 +109,7 @@ def decide_termination(
     if cls == "guarded":
         return decide_guarded(
             rules, variant, standard=standard, max_types=max_types,
+            order_policy=order_policy,
             scheduler=scheduler, workers=workers,
         )
     if allow_oracle:

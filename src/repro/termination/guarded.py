@@ -31,6 +31,7 @@ def decide_guarded(
     standard: bool = False,
     max_types: int = DEFAULT_MAX_TYPES,
     pattern_engine: str = "indexed",
+    order_policy: str = "cost",
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
 ) -> TerminationVerdict:
@@ -45,7 +46,9 @@ def decide_guarded(
     :data:`~repro.termination.saturation.PATTERN_ENGINES`); the default
     compiled class-indexed plans and the retained ``"naive"`` scan
     produce the same verdict — the latter exists for equivalence tests
-    and as the benchmark baseline.
+    and as the benchmark baseline.  ``order_policy`` selects the
+    planner's join ordering for the indexed engine
+    (:data:`repro.query.planner.ORDER_POLICIES`).
 
     ``scheduler`` / ``workers`` batch saturation's cloud joins across
     rules (:mod:`repro.chase.scheduler`); the verdict, witness, and
@@ -68,6 +71,7 @@ def decide_guarded(
         standard=standard,
         max_types=max_types,
         pattern_engine=pattern_engine,
+        order_policy=order_policy,
         scheduler=scheduler,
         workers=workers,
     )

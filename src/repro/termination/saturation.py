@@ -127,6 +127,7 @@ class TypeAnalysis:
         max_types: int = DEFAULT_MAX_TYPES,
         database: Optional[Instance] = None,
         pattern_engine: str = "indexed",
+        order_policy: str = "cost",
         scheduler: SchedulerSpec = None,
         workers: Optional[int] = None,
     ):
@@ -137,7 +138,11 @@ class TypeAnalysis:
 
         ``pattern_engine`` selects how rule bodies are joined against
         clouds (see :data:`PATTERN_ENGINES`); both engines compute the
-        same assignment sets.
+        same assignment sets.  ``order_policy`` selects the planner's
+        join ordering for the ``indexed`` engine
+        (:data:`repro.query.planner.ORDER_POLICIES`; ``cost`` plans
+        from the cloud's columnar statistics, ``heuristic`` is the
+        retained PR 1 ordering — assignment sets are identical).
 
         ``scheduler`` / ``workers`` batch the body-vs-cloud joins of
         each saturation pass across rules
@@ -166,12 +171,19 @@ class TypeAnalysis:
         self.standard = standard
         self.database = database
         self.max_types = max_types
+        if order_policy not in ("cost", "heuristic"):
+            raise ValueError(f"unknown order policy {order_policy!r}")
         self.pattern_engine = pattern_engine
-        self._pattern_homs = (
-            pattern_homomorphisms
-            if pattern_engine == "indexed"
-            else naive_pattern_homomorphisms
-        )
+        self.order_policy = order_policy
+        if pattern_engine == "indexed":
+            def _homs(body, snapshot, constant_class):
+                return pattern_homomorphisms(
+                    body, snapshot, constant_class, policy=order_policy
+                )
+
+            self._pattern_homs = _homs
+        else:
+            self._pattern_homs = naive_pattern_homomorphisms
         # How many body-vs-cloud joins saturation executed — surfaced
         # through TransitionGraph.stats() for certificates/benchmarks.
         self.pattern_joins = 0
@@ -287,6 +299,7 @@ class TypeAnalysis:
                     cloud,
                     self.constant_class,
                     self.pattern_engine,
+                    self.order_policy,
                 )
                 for chunk in _chunk_rules(
                     list(indexed_rules), scheduler.workers
@@ -494,13 +507,16 @@ def _pattern_join_remote(payload) -> List[List[Dict[Variable, int]]]:
     re-intern on arrival); the worker builds its own class index, which
     amortizes over the whole chunk.
     """
-    bodies, cloud, constant_class, engine = payload
+    bodies, cloud, constant_class, engine, order_policy = payload
     if engine == "indexed":
         snapshot = cloud_index(cloud)
-        homs = pattern_homomorphisms
-    else:
-        snapshot = cloud
-        homs = naive_pattern_homomorphisms
+        return [
+            list(pattern_homomorphisms(
+                body, snapshot, constant_class, policy=order_policy
+            ))
+            for body in bodies
+        ]
     return [
-        list(homs(body, snapshot, constant_class)) for body in bodies
+        list(naive_pattern_homomorphisms(body, cloud, constant_class))
+        for body in bodies
     ]

@@ -81,6 +81,85 @@ class TestChase:
         assert "fixpoint" in out
 
 
+class TestQuery:
+    @pytest.fixture
+    def exchange_rules_file(self, tmp_path):
+        path = tmp_path / "exchange.tgd"
+        path.write_text(
+            "emp(X) -> exists D . works(X, D)\nworks(X, D) -> dept(D)\n"
+        )
+        return str(path)
+
+    @pytest.fixture
+    def emp_db_file(self, tmp_path):
+        path = tmp_path / "emp.facts"
+        path.write_text("emp(ada)\nemp(bob)\n")
+        return str(path)
+
+    def test_naive_answers(self, exchange_rules_file, emp_db_file, capsys):
+        assert main(
+            ["query", exchange_rules_file, emp_db_file,
+             "q(X) :- works(X, D)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "q(ada)" in out and "q(bob)" in out
+        assert "% 2 answers" in out
+
+    def test_certain_answers_drop_nulls(
+        self, exchange_rules_file, emp_db_file, capsys
+    ):
+        # dept(D) only holds for invented nulls -> no certain answers.
+        assert main(
+            ["query", exchange_rules_file, emp_db_file,
+             "q(D) :- dept(D)", "--certain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "% 0 certain answers" in out
+        # ...but naive answers exist (one null witness per employee).
+        assert main(
+            ["query", exchange_rules_file, emp_db_file, "q(D) :- dept(D)"]
+        ) == 0
+        assert "% 2 answers" in capsys.readouterr().out
+
+    def test_boolean_query(self, exchange_rules_file, emp_db_file, capsys):
+        assert main(
+            ["query", exchange_rules_file, emp_db_file, "dept(D)"]
+        ) == 0
+        assert "true" in capsys.readouterr().out
+        assert main(
+            ["query", exchange_rules_file, emp_db_file, "missing(D)"]
+        ) == 0
+        assert "false" in capsys.readouterr().out
+
+    def test_planner_policies_agree(
+        self, exchange_rules_file, emp_db_file, capsys
+    ):
+        outs = []
+        for policy in ("cost", "heuristic"):
+            assert main(
+                ["query", exchange_rules_file, emp_db_file,
+                 "q(X) :- works(X, D)", "--certain", "--planner", policy]
+            ) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+    def test_budget_exhausted_exit_code(self, rules_file, db_file, capsys):
+        assert main(
+            ["query", rules_file, db_file,
+             "q(X) :- person(X)", "--variant", "so", "--max-steps", "3"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "budget exhausted" in captured.out
+
+    def test_malformed_query_errors(
+        self, exchange_rules_file, emp_db_file, capsys
+    ):
+        assert main(
+            ["query", exchange_rules_file, emp_db_file, "q(a) :- dept(D)"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestCritical:
     def test_prints_critical_instance(self, terminating_rules_file, capsys):
         assert main(["critical", terminating_rules_file]) == 0

@@ -1,0 +1,375 @@
+"""The cost-based query subsystem ≡ the object-level oracle.
+
+``repro.query`` plans conjunctions from columnar statistics and
+evaluates them entirely in id space; the retained object-level path
+(:func:`repro.model.naive_homomorphisms` + explicit ``Term``-tuple
+projection) is the oracle.  Planner-ordered answers must be
+*set*-identical to the oracle's — ordering policies may permute
+enumeration order, never membership — on chase-grown instances with
+labelled nulls and (via the Skolem chase) structured Skolem terms.
+
+Also covered: the plan cache's fact-count-bucket invalidation, the
+certain-answer null filtering, the cost/heuristic policy cross-check,
+``is_model`` against an object-level reference, and the chase's
+``planner="cost"`` opt-in (same trigger sets — equal up to null
+renaming).
+"""
+
+import random
+
+import pytest
+
+from repro.chase import ChaseVariant, critical_instance, run_chase
+from repro.cq import ConjunctiveQuery, is_model
+from repro.model import (
+    Atom,
+    Constant,
+    Database,
+    Instance,
+    Null,
+    Predicate,
+    TGD,
+    Variable,
+    has_homomorphism,
+    is_homomorphically_equivalent,
+    naive_homomorphisms,
+)
+from repro.query import CompiledQuery, estimate_extension, order_atoms_cost, order_for
+from repro.termination import skolem_chase
+from repro.workloads import random_database, random_guarded
+from tests.conftest import atom
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def oracle_answer_set(answer_variables, atoms, instance):
+    """The object-level reference: naive backtracking matches projected
+    to Term tuples."""
+    return {
+        tuple(assignment[v] for v in answer_variables)
+        for assignment in naive_homomorphisms(atoms, instance)
+    }
+
+
+def _random_program(rng):
+    """A small random program mixing full and existential rules (the
+    test_join_equivalence idiom)."""
+    preds = [Predicate(f"p{i}", rng.randint(1, 3)) for i in range(3)]
+    variables = [Variable(n) for n in ("X", "Y", "Z", "W")]
+    consts = [Constant(c) for c in ("a", "b")]
+    rules = []
+    for _ in range(rng.randint(2, 4)):
+        body = []
+        for _ in range(rng.randint(1, 2)):
+            pred = rng.choice(preds)
+            body.append(Atom(pred, [
+                rng.choice(consts) if rng.random() < 0.15
+                else rng.choice(variables[:3])
+                for _ in range(pred.arity)
+            ]))
+        body_vars = {t for a in body for t in a.variables()}
+        head_pred = rng.choice(preds)
+        head_pool = sorted(body_vars) + [variables[3]]
+        head = [Atom(head_pred, [
+            rng.choice(head_pool) for _ in range(head_pred.arity)
+        ])]
+        rules.append(TGD(body, head))
+    return rules, preds, consts
+
+
+def _random_query(rng, preds):
+    """A random CQ over ``preds`` with 1-3 body atoms and a random
+    projection of its variables."""
+    variables = [Variable(n) for n in ("X", "Y", "Z")]
+    body = []
+    for _ in range(rng.randint(1, 3)):
+        pred = rng.choice(preds)
+        body.append(Atom(pred, [
+            rng.choice(variables) for _ in range(pred.arity)
+        ]))
+    body_vars = sorted({t for a in body for t in a.variables()})
+    answer = [v for v in body_vars if rng.random() < 0.6]
+    return ConjunctiveQuery(answer, body)
+
+
+def _grown(rng, rules, preds, consts):
+    db = Database()
+    for _ in range(rng.randint(3, 7)):
+        pred = rng.choice(preds)
+        db.add(Atom(pred, [rng.choice(consts)
+                           for _ in range(pred.arity)]))
+    return run_chase(db, rules, ChaseVariant.SEMI_OBLIVIOUS,
+                     max_steps=80).instance
+
+
+class TestAnswerEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_planner_answers_match_oracle_on_chase_grown(self, seed):
+        rng = random.Random(seed)
+        rules, preds, consts = _random_program(rng)
+        grown = _grown(rng, rules, preds, consts)
+        assert grown.nulls() or True  # nulls appear for existential rules
+        for _ in range(4):
+            query = _random_query(rng, preds)
+            oracle = oracle_answer_set(
+                query.answer_variables, query.atoms, grown
+            )
+            cost = set(query.answers(grown, policy="cost"))
+            heuristic = set(query.answers(grown, policy="heuristic"))
+            assert cost == oracle
+            assert heuristic == oracle
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_planner_answers_match_oracle_with_skolem_terms(self, seed):
+        rng = random.Random(seed + 500)
+        rules, preds, consts = _random_program(rng)
+        grown, _, _ = skolem_chase(critical_instance(rules), rules,
+                                   max_steps=200)
+        for _ in range(4):
+            query = _random_query(rng, preds)
+            oracle = oracle_answer_set(
+                query.answer_variables, query.atoms, grown
+            )
+            assert set(query.answers(grown)) == oracle
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_certain_answers_are_exactly_null_free_oracle(self, seed):
+        rng = random.Random(seed + 1000)
+        rules, preds, consts = _random_program(rng)
+        grown = _grown(rng, rules, preds, consts)
+        for _ in range(4):
+            query = _random_query(rng, preds)
+            oracle = {
+                answer
+                for answer in oracle_answer_set(
+                    query.answer_variables, query.atoms, grown
+                )
+                if not any(isinstance(t, Null) for t in answer)
+            }
+            certain = query.certain_answers(grown)
+            assert set(certain) == oracle
+            # Sorted-for-determinism contract.
+            assert certain == sorted(
+                certain, key=lambda tup: tuple(str(t) for t in tup)
+            )
+
+    def test_answers_deduplicate_in_id_space(self):
+        inst = Instance([atom("e", "a", "b"), atom("e", "a", "c"),
+                         atom("e", "b", "c")])
+        query = ConjunctiveQuery([X], [atom("e", "X", "Y")])
+        assert list(query.answers(inst)) == [
+            (Constant("a"),), (Constant("b"),)
+        ]
+
+    def test_boolean_holds_in_both_policies(self):
+        inst = Instance([atom("p", "a")])
+        query = ConjunctiveQuery([], [atom("p", "X")])
+        assert query.holds_in(inst, policy="cost")
+        assert query.holds_in(inst, policy="heuristic")
+        missing = ConjunctiveQuery([], [atom("q", "X")])
+        assert not missing.holds_in(inst)
+
+
+class TestPlanCache:
+    def test_steady_state_hits_and_bucket_replan(self):
+        inst = Instance([atom("e", "c0", "c1")])
+        compiled = CompiledQuery([X], [Atom(Predicate("e", 2), [X, Y])])
+        list(compiled.answers(inst))
+        assert compiled.stats == {"plans": 1, "plan_hits": 0}
+        # Same bucket: pure cache hit.
+        list(compiled.answers(inst))
+        assert compiled.stats == {"plans": 1, "plan_hits": 1}
+        # Grow past the next power-of-two fact-count bucket: the cached
+        # plan expires and the query replans from fresh statistics.
+        before = len(inst)
+        for i in range(1, 2 * before + 2):
+            inst.add(atom("e", f"c{i}", f"c{i + 1}"))
+        assert len(inst).bit_length() > before.bit_length()
+        list(compiled.answers(inst))
+        assert compiled.stats["plans"] == 2
+
+    def test_cache_is_per_instance(self):
+        compiled = CompiledQuery([X], [Atom(Predicate("e", 2), [X, Y])])
+        a = Instance([atom("e", "a", "b")])
+        b = Instance([atom("e", "c", "d")])
+        assert list(compiled.answers(a)) == [(Constant("a"),)]
+        assert list(compiled.answers(b)) == [(Constant("c"),)]
+        assert compiled.stats["plans"] == 2
+
+
+class TestCostOrdering:
+    def test_orders_are_permutations(self):
+        inst = Instance([atom("e", "a", "b"), atom("p", "a")])
+        atoms = (atom("e", "X", "Y"), atom("p", "X"), atom("q", "Y", "Z"))
+        ordered = order_atoms_cost(atoms, inst)
+        assert sorted(map(str, ordered)) == sorted(map(str, atoms))
+
+    def test_selective_constant_first(self):
+        inst = Instance()
+        for i in range(50):
+            inst.add(atom("big", f"x{i}", "hub"))
+        inst.add(atom("small", "x1", "x2"))
+        # big holds 50 rows, small a single one: the one-row relation
+        # seeds the join.
+        ordered = order_atoms_cost(
+            (atom("big", "X", "Y"), atom("small", "X", "Z")), inst
+        )
+        assert ordered[0].predicate.name == "small"
+
+    def test_posting_list_beats_relation_size(self):
+        inst = Instance()
+        for i in range(40):
+            inst.add(atom("r", f"a{i}", "h0" if i else "h1"))
+        for i in range(5):
+            inst.add(atom("s", f"b{i}", f"c{i}"))
+        # r is bigger, but r(X, 'h1') has a single-row posting list.
+        ordered = order_atoms_cost(
+            (atom("s", "X", "Y"), atom("r", "Z", "h1")), inst
+        )
+        assert ordered[0].predicate.name == "r"
+        est = estimate_extension(inst, atom("r", "Z", "h1"), frozenset())
+        assert est == 1.0
+
+    def test_bound_variable_uses_column_cardinality(self):
+        inst = Instance()
+        for i in range(30):
+            inst.add(atom("t", f"k{i % 3}", f"v{i}"))
+        # 3 distinct keys over 30 rows -> ~10 expected matches for a
+        # bound first column, far below the 30-row relation scan.
+        est = estimate_extension(
+            inst, atom("t", "X", "Y"), frozenset({Variable("X")})
+        )
+        assert est == pytest.approx(10.0)
+
+    def test_order_for_rejects_unknown_policy(self):
+        inst = Instance([atom("p", "a")])
+        with pytest.raises(ValueError):
+            order_for((atom("p", "X"),), inst, policy="nope")
+
+    def test_order_for_is_deterministic_and_cached(self):
+        inst = Instance([atom("e", "a", "b"), atom("p", "a")])
+        atoms = (atom("e", "X", "Y"), atom("p", "X"))
+        first = order_for(atoms, inst)
+        assert order_for(atoms, inst) == first
+        assert order_for(atoms, inst) is first  # cached object
+
+
+class TestIsModel:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_object_level_reference(self, seed):
+        rules = random_guarded(3, side_atoms=2, seed=seed)
+        db = random_database(rules, num_constants=3,
+                             facts_per_predicate=2, seed=seed)
+        grown = run_chase(db, rules, ChaseVariant.SEMI_OBLIVIOUS,
+                          max_steps=60).instance
+
+        def reference(instance, rules):
+            for rule in rules:
+                for assignment in naive_homomorphisms(rule.body, instance):
+                    partial = {v: assignment[v] for v in rule.frontier}
+                    if not has_homomorphism(rule.head, instance, partial):
+                        return False
+            return True
+
+        assert is_model(grown, rules) == reference(grown, rules)
+        # A strict sub-instance generally violates some rule; whatever
+        # the truth, the engines must agree on it.
+        sub = Instance(list(grown)[: max(1, len(grown) // 2)])
+        assert is_model(sub, rules) == reference(sub, rules)
+
+
+class TestChaseCostPlanner:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_semi_oblivious_equal_up_to_null_renaming(self, seed):
+        rng = random.Random(seed + 2000)
+        rules, preds, consts = _random_program(rng)
+        db = Database()
+        for _ in range(rng.randint(3, 6)):
+            pred = rng.choice(preds)
+            db.add(Atom(pred, [rng.choice(consts)
+                               for _ in range(pred.arity)]))
+        heuristic = run_chase(db, rules, ChaseVariant.SEMI_OBLIVIOUS,
+                              max_steps=200)
+        cost = run_chase(db, rules, ChaseVariant.SEMI_OBLIVIOUS,
+                         max_steps=200, planner="cost")
+        # Same trigger set -> same step count and fact count; results
+        # may differ only by null renaming (isomorphic instances embed
+        # into each other).
+        assert cost.terminated == heuristic.terminated
+        assert cost.step_count == heuristic.step_count
+        assert len(cost.instance) == len(heuristic.instance)
+        assert is_homomorphically_equivalent(
+            cost.instance, heuristic.instance
+        )
+
+    def test_rejects_unknown_planner(self):
+        db = Database([atom("p", "a")])
+        with pytest.raises(ValueError):
+            run_chase(db, [], planner="nope")
+
+    @pytest.mark.parametrize("kind", ["threaded", "process"])
+    def test_cost_planner_is_executor_independent(self, kind):
+        # The order policy ships to process-executor mirrors with the
+        # init payload; a cost-planned batched run must stay
+        # byte-identical to the cost-planned serial run (regression:
+        # mirrors used to fall back to heuristic ordering, permuting
+        # within-batch trigger order and null numbering).
+        from repro.chase import RoundScheduler
+
+        p, q, r, s, out = (Predicate("p", 1), Predicate("q", 2),
+                           Predicate("r", 2), Predicate("s", 2),
+                           Predicate("out", 4))
+        W = Variable("W")
+        S = Variable("S")
+        # Two stages so the second round's discovery runs through
+        # already-synced worker mirrors (round 1 resyncs locally).  A
+        # single q row makes the cost planner start each rest-of-body
+        # join from q (estimate 1, though disconnected from the pivot)
+        # where the heuristic starts from the connected r — the two
+        # policies genuinely order differently on this shape, so a
+        # mirror planning with the wrong policy permutes null numbers.
+        rules = [
+            TGD([Atom(p, [X]), Atom(q, [Y, Constant("k")]),
+                 Atom(r, [X, Z])],
+                [Atom(s, [X, W])]),
+            TGD([Atom(s, [X, S]), Atom(q, [Y, Constant("k")]),
+                 Atom(r, [X, Z])],
+                [Atom(out, [S, Y, Z, W])]),
+        ]
+        db = Database()
+        # Two q rows: swapping the join nesting transposes the (Y, Z)
+        # emission order, so a wrong-policy mirror renumbers nulls.
+        db.add(Atom(q, [Constant("y0"), Constant("k")]))
+        db.add(Atom(q, [Constant("y1"), Constant("k")]))
+        for i in range(4):
+            db.add(Atom(p, [Constant(f"x{i}")]))
+            for j in range(3):
+                db.add(Atom(r, [Constant(f"x{i}"), Constant(f"z{j}")]))
+        serial = run_chase(db, rules, ChaseVariant.OBLIVIOUS,
+                           max_steps=500, planner="cost")
+        with RoundScheduler(kind, workers=2) as sched:
+            batched = run_chase(db, rules, ChaseVariant.OBLIVIOUS,
+                                max_steps=500, planner="cost",
+                                scheduler=sched)
+        assert batched.instance.facts() == serial.instance.facts()
+        assert batched.step_count == serial.step_count
+
+
+class TestQueryPolicyAgreement:
+    def test_handwritten_join_all_policies(self):
+        inst = Instance([
+            atom("e", "a", "b"), atom("e", "b", "c"), atom("e", "c", "a"),
+            atom("e", "a", "a"),
+            Atom(Predicate("e", 2), [Null(3), Constant("a")]),
+        ])
+        query = ConjunctiveQuery(
+            [X, Z], [atom("e", "X", "Y"), atom("e", "Y", "Z")]
+        )
+        oracle = oracle_answer_set(query.answer_variables, query.atoms, inst)
+        assert set(query.answers(inst, policy="cost")) == oracle
+        assert set(query.answers(inst, policy="heuristic")) == oracle
+        certain = {
+            a for a in oracle
+            if not any(isinstance(t, Null) for t in a)
+        }
+        assert set(query.certain_answers(inst)) == certain
