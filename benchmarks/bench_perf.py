@@ -52,6 +52,12 @@ pipeline — chase → universal model → certain answers):
   database, cost-planner pattern-join ordering vs the retained
   heuristic ordering; verdicts must agree.
 
+PR 6 adds a **fault_recovery** row: the headline chase under a
+generous (never-tripping) :class:`repro.Budget` vs ungoverned,
+interleaved best-of-N — budget checks must cost ≤5%.  The payload also
+records the measurement hardware (`platform`, `machine`, `cpu_count`)
+so rate floors are interpretable across machines.
+
 PR 4 (the interned columnar fact core) re-recorded everything ≥2×
 faster, added a ``peak_mem_mb`` column (measured by ``tracemalloc``
 in a *separate* untimed run per scenario — tracing slows execution),
@@ -83,6 +89,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -920,6 +927,104 @@ QUERY_SCENARIOS = (
 HEADLINE_QUERY = "cq_answering"
 
 
+# -- runtime-governance overhead (PR 6) ------------------------------------
+
+
+FAULT_GATE_PCT = 5.0
+#: Interleaved repeats per arm.  The headline wall is ~20 ms, so a 5%
+#: delta is ~1 ms — best-of-5 still carries scheduler noise of that
+#: order; best-of-11 resolves it (measured: noise <1%, real ~2-3%).
+FAULT_RECOVERY_REPEATS = 11
+#: Below this wall the headline run is too fast to resolve a 5%
+#: delta against host noise; the gate reports "skipped" instead of a
+#: coin-flip verdict (the full-scale recording still measures it).
+FAULT_MIN_WALL_S = 0.005
+
+
+def run_fault_recovery(scale: float) -> Dict:
+    """Budget-check overhead on the headline chase scenario.
+
+    The governed arm runs ``deep_chain`` under a :class:`repro.Budget`
+    with generous limits — every check executes (deadline clock, fact
+    cap, throttled memory probe), none trips — against the ungoverned
+    engine.  Arms are interleaved and the walls are best-of-``N`` so
+    host noise hits both equally.  The gate is ≤``FAULT_GATE_PCT``%
+    overhead; governance must be effectively free when it never fires.
+    """
+    from repro.runtime import Budget
+
+    spec = deep_chain_scenario(scale)
+
+    def make_budget():
+        return Budget(
+            timeout_s=3600.0,
+            max_rounds=10**9,
+            max_facts=10**12,
+            max_memory_mb=float(1 << 20),
+        )
+
+    def governed():
+        return run_chase(
+            spec["database"], spec["rules"], spec["variant"],
+            spec["max_steps"], budget=make_budget(),
+        )
+
+    def ungoverned():
+        return run_chase(
+            spec["database"], spec["rules"], spec["variant"],
+            spec["max_steps"],
+        )
+
+    # Warmup both arms; the governed run must not change the result.
+    base_result = ungoverned()
+    gov_result = governed()
+    if gov_result.instance.facts() != base_result.instance.facts():
+        raise AssertionError(
+            "fault_recovery: governed run diverged from ungoverned"
+        )
+    if gov_result.stop_reason != "fixpoint":
+        raise AssertionError(
+            f"fault_recovery: generous budget tripped "
+            f"({gov_result.stop_reason})"
+        )
+
+    base_wall: Optional[float] = None
+    gov_wall: Optional[float] = None
+    for _ in range(FAULT_RECOVERY_REPEATS):
+        start = time.perf_counter()
+        ungoverned()
+        elapsed = time.perf_counter() - start
+        if base_wall is None or elapsed < base_wall:
+            base_wall = elapsed
+        start = time.perf_counter()
+        governed()
+        elapsed = time.perf_counter() - start
+        if gov_wall is None or elapsed < gov_wall:
+            gov_wall = elapsed
+
+    overhead_pct = (
+        round((gov_wall - base_wall) / base_wall * 100.0, 2)
+        if base_wall > 0 else None
+    )
+    measurable = base_wall >= FAULT_MIN_WALL_S
+    within_gate = (
+        (overhead_pct is not None and overhead_pct <= FAULT_GATE_PCT)
+        if measurable else None
+    )
+    return {
+        "name": "fault_recovery",
+        "scenario": spec["name"],
+        "facts_final": len(gov_result.instance),
+        "budget_checks": gov_result.resource.get("budget_checks"),
+        "ungoverned_wall_s": round(base_wall, 6),
+        "governed_wall_s": round(gov_wall, 6),
+        "overhead_pct": overhead_pct,
+        "gate_pct": FAULT_GATE_PCT,
+        "within_gate": within_gate,
+        "equivalent": True,
+    }
+
+
 # -- the CI regression gate ------------------------------------------------
 
 
@@ -985,6 +1090,24 @@ def check_against(
                 f"{mem_status} {name}: peak {measured_peak:.3f} MB vs "
                 f"recorded {recorded_peak:.3f} (ceiling {ceiling:.3f} "
                 f"at ratio {mem_ratio})"
+            )
+    fault_row = baseline.get("fault_recovery")
+    if fault_row:
+        measured = run_fault_recovery(scale)
+        within = measured["within_gate"]
+        if within is None:
+            lines.append(
+                f"skip fault_recovery: wall "
+                f"{measured['ungoverned_wall_s']}s below "
+                f"{FAULT_MIN_WALL_S}s noise floor at this scale"
+            )
+        else:
+            if not within:
+                ok = False
+            lines.append(
+                f"{'ok  ' if within else 'FAIL'} fault_recovery: "
+                f"{measured['overhead_pct']}% governed overhead "
+                f"(gate {FAULT_GATE_PCT}%)"
             )
     query_rows = [
         row for row in baseline.get("queries", [])
@@ -1141,6 +1264,13 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
         "engine": "interned-columnar",
         "scale": scale,
         "python": platform.python_version(),
+        # Rates are hardware-relative; record where they were measured
+        # so a gate failure on different iron is interpretable.
+        "hardware": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
         "scenarios": scenarios,
         # Decider scenarios always carry their before/after comparison:
         # the baseline replicas double as correctness checks.
@@ -1153,6 +1283,9 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
         # Serial-vs-batched executor rows (each asserts byte-identical
         # results before reporting a speedup).
         "parallel": run_parallel_suite(scale),
+        # Runtime-governance overhead (PR 6): governed vs ungoverned
+        # headline chase, interleaved best-of-N, ≤5% gate.
+        "fault_recovery": run_fault_recovery(scale),
     }
     if compare:
         payload["baseline_comparison"] = run_baseline_comparison(
@@ -1228,6 +1361,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         wall_keys = [k for k in row if k.endswith("_wall_s")]
         walls = ", ".join(f"{k[:-7]} {row[k]}s" for k in wall_keys)
         print(f"parallel {row['name']}: {walls} (byte-identical)")
+    fault = payload["fault_recovery"]
+    if fault["within_gate"] is None:
+        verdict = "gate skipped: wall below noise floor"
+    else:
+        verdict = "pass" if fault["within_gate"] else "FAIL"
+    print(
+        f"governance {fault['name']}: ungoverned "
+        f"{fault['ungoverned_wall_s']}s vs governed "
+        f"{fault['governed_wall_s']}s — {fault['overhead_pct']}% overhead "
+        f"(gate {fault['gate_pct']}%, {verdict})"
+    )
     print(f"wrote {args.output}")
     return 0
 

@@ -137,12 +137,13 @@ def test_check_mode_passes_against_fresh_report():
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
     assert ok, lines
-    # One rate line and one peak-memory line per chase scenario, plus
-    # one rate line per query scenario.
+    # One rate line and one peak-memory line per chase scenario, one
+    # rate line per query scenario, one governance-overhead line.
     assert len(lines) == (
-        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS)
+        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 1
     )
     assert sum("peak" in line for line in lines) == len(bench_perf.SCENARIOS)
+    assert sum("fault_recovery" in line for line in lines) == 1
 
 
 def test_check_mode_fails_on_memory_regression():
@@ -167,6 +168,16 @@ def test_mfa_parallel_reports_delta_shipping():
     # actually shipped must undercut the old ship-everything protocol.
     assert row["ship_rounds"] and row["ship_rows"] is not None
     assert row["ship_rows"] <= row["ship_rows_old_protocol"]
+
+
+def test_fault_recovery_row_smoke():
+    row = bench_perf.run_fault_recovery(SMOKE_SCALE)
+    # The governed run is equivalence-checked inside the runner; at
+    # smoke scale the wall sits under the noise floor, so the gate
+    # verdict is "skipped" (None) rather than a coin flip.
+    assert row["equivalent"] is True
+    assert row["budget_checks"] and row["budget_checks"] > 0
+    assert row["overhead_pct"] is not None
 
 
 def test_check_mode_fails_on_regression():
@@ -231,6 +242,13 @@ def test_suite_payload_shape(tmp_path):
     assert {"deep_chain_parallel", "guarded_ontology_parallel",
             "mfa_decider_parallel"} <= parallel_names
     assert all(row["equivalent"] for row in payload["parallel"])
+    fault = payload["fault_recovery"]
+    for key in ("ungoverned_wall_s", "governed_wall_s", "overhead_pct",
+                "gate_pct", "within_gate", "budget_checks"):
+        assert key in fault
+    hardware = payload["hardware"]
+    assert hardware["cpu_count"] >= 1
+    assert hardware["platform"] and hardware["machine"]
     # The payload must round-trip through JSON (that is the contract
     # BENCH_chase.json consumers rely on).
     assert json.loads(json.dumps(payload)) == payload

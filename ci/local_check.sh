@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q tests
 
+echo "== fault-injection suite =="
+PYTHONPATH=src python -m pytest -x -q tests/test_runtime_faults.py
+
 echo "== bench harness smoke =="
 PYTHONPATH=src python -m pytest -x -q benchmarks/test_perf_smoke.py
 

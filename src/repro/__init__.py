@@ -18,6 +18,8 @@ The library provides:
   (:mod:`repro.termination`);
 * propositional atom entailment and the looping-operator reduction
   (:mod:`repro.entailment`);
+* runtime governance — resource budgets, cooperative cancellation,
+  and fault-tolerant executors (:mod:`repro.runtime`);
 * conjunctive queries and certain answers (:mod:`repro.cq`), data
   exchange on top of the chase (:mod:`repro.exchange`), a rule text
   format (:mod:`repro.parser`), and seeded workload generators
@@ -64,12 +66,15 @@ from .parser import (
     program_to_text,
     rule_to_text,
 )
+from .runtime import STOP_REASONS, Budget, CancelToken
 from .termination import TerminationVerdict, decide_termination
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "Budget",
+    "CancelToken",
     "ChaseResult",
     "ChaseVariant",
     "Constant",
@@ -77,6 +82,7 @@ __all__ = [
     "Instance",
     "Null",
     "Predicate",
+    "STOP_REASONS",
     "Schema",
     "TGD",
     "TerminationVerdict",

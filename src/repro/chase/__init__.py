@@ -15,6 +15,7 @@ from .delta import DeltaEngine, delta_triggers
 from .engine import (
     DEFAULT_MAX_STEPS,
     oblivious_chase,
+    resource_stats,
     restricted_chase,
     run_chase,
     semi_oblivious_chase,
@@ -61,6 +62,7 @@ __all__ = [
     "head_satisfied",
     "oblivious_chase",
     "resolve_scheduler",
+    "resource_stats",
     "restricted_chase",
     "run_chase",
     "scheduled_delta_triggers",

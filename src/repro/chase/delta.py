@@ -173,10 +173,21 @@ class DeltaEngine:
     default — and a plain serial scheduler without sharding — runs the
     unbatched :func:`delta_triggers` loop.  Either way the trigger
     stream is identical; the fired-key dedup below is always serial.
+
+    ``budget`` (optional, a :class:`repro.runtime.budget.Budget`) is
+    checked during each round's discovery pass — every
+    ``BUDGET_CHECK_EVERY`` discovered triggers — and raises
+    :class:`~repro.errors.BudgetExceededError` when tripped.  Discovery
+    is read-only, so an aborted pass leaves the instance exactly as the
+    round started: callers catch the error and return a
+    round-consistent partial result.
     """
 
-    __slots__ = ("rules", "instance", "fired", "_key", "_frontier",
-                 "_scheduler", "_ship", "_variant")
+    __slots__ = ("rules", "instance", "fired", "budget", "_key",
+                 "_frontier", "_scheduler", "_ship", "_variant")
+
+    #: Budget-check cadence inside a round's discovery/dedup loop.
+    BUDGET_CHECK_EVERY = 2048
 
     def __init__(
         self,
@@ -185,6 +196,7 @@ class DeltaEngine:
         key: Callable[[Trigger], Hashable],
         scheduler: Optional[RoundScheduler] = None,
         variant: Optional[str] = None,
+        budget=None,
     ):
         self.rules: List[TGD] = list(rules)
         self.instance = instance
@@ -203,6 +215,7 @@ class DeltaEngine:
             # serial path stays the canonical single loop.
             scheduler = None
         self._scheduler = scheduler
+        self.budget = budget
         self._ship: Optional[ShipLog] = None
         # Pre-intern every rule symbol serially, so batched discovery
         # never allocates ids and id order is thread-independent.
@@ -249,10 +262,17 @@ class DeltaEngine:
             )
         fired = self.fired
         out: List[Trigger] = []
+        budget = self.budget
+        check_every = self.BUDGET_CHECK_EVERY
+        discovered_count = 0
         variant = self._variant
         if variant is not None:
             semi = variant == ChaseVariant.SEMI_OBLIVIOUS
             for trigger in discovered:
+                if budget is not None:
+                    discovered_count += 1
+                    if not discovered_count % check_every:
+                        budget.raise_if_exceeded(facts=len(self.instance))
                 ids = trigger._ids
                 if ids is None:
                     k: Hashable = trigger.key(variant)
@@ -271,6 +291,10 @@ class DeltaEngine:
             return out
         key = self._key
         for trigger in discovered:
+            if budget is not None:
+                discovered_count += 1
+                if not discovered_count % check_every:
+                    budget.raise_if_exceeded(facts=len(self.instance))
             k = key(trigger)
             if k in fired:
                 continue

@@ -23,15 +23,21 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..errors import BudgetExceededError
 from ..model import (
     Instance,
     NullFactory,
     TGD,
     validate_program,
 )
+from ..runtime.budget import (
+    STOP_FIXPOINT,
+    STOP_STEP_BUDGET,
+    Budget,
+)
 from .delta import DeltaEngine, delta_triggers
 from .result import ChaseResult, ChaseStep
-from .scheduler import SchedulerSpec, resolve_scheduler
+from .scheduler import RoundScheduler, SchedulerSpec, resolve_scheduler
 from .triggers import (
     ChaseVariant,
     apply_trigger_ids,
@@ -40,9 +46,26 @@ from .triggers import (
 
 DEFAULT_MAX_STEPS = 10_000
 
+#: Budget-check cadence inside the firing loop (the round boundary is
+#: always checked; this bounds how long a huge round can overrun).
+_STEP_CHECK_EVERY = 64
+
 # Backwards-compatible alias: the discovery pass moved to
 # repro.chase.delta so the deciders can share it.
 _incremental_triggers = delta_triggers
+
+
+def resource_stats(
+    budget: Optional[Budget], scheduler: Optional[RoundScheduler]
+) -> dict:
+    """The ``ChaseResult.resource`` payload: the budget's accounting
+    plus the scheduler's fault counters whenever anything failed."""
+    out: dict = {}
+    if budget is not None:
+        out.update(budget.stats())
+    if scheduler is not None and scheduler.fault_stats.get("pool_failures"):
+        out["executor"] = dict(scheduler.fault_stats)
+    return out
 
 
 def run_chase(
@@ -55,12 +78,22 @@ def run_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """Run a fair ``variant`` chase of ``rules`` on ``database``.
 
     ``database`` is not mutated.  ``max_steps`` bounds the number of
     trigger applications; on exhaustion the result has
     ``terminated=False``.
+
+    ``budget`` (a :class:`repro.runtime.budget.Budget`) adds wall-clock
+    deadline, round/fact caps, a memory ceiling, and cooperative
+    cancellation on top of ``max_steps``.  It is checked at every round
+    boundary and every few trigger applications; a tripped budget stops
+    the run *between* applications and returns a well-formed partial
+    result whose ``stop_reason`` names the limit — the instance is
+    always round-consistent (database plus exactly the recorded steps),
+    never a mid-trigger state.
 
     ``planner`` selects the join-order policy for trigger discovery
     (:mod:`repro.query.planner`): the default ``"heuristic"`` is the
@@ -102,12 +135,15 @@ def run_chase(
     instance.order_policy = planner
     factory = null_factory or NullFactory()
     round_scheduler, owns_scheduler = resolve_scheduler(scheduler, workers)
+    if budget is not None:
+        budget.start()
     engine = DeltaEngine(
         rules,
         instance,
         key=lambda trigger: trigger.key(variant),
         scheduler=round_scheduler,
         variant=variant,
+        budget=budget,
     )
     steps: List[ChaseStep] = []
     rng = None
@@ -116,10 +152,26 @@ def run_chase(
 
         rng = random.Random(order_seed)
 
+    def finish(terminated: bool, reason: str) -> ChaseResult:
+        return ChaseResult(
+            instance, terminated, steps, variant, max_steps,
+            stop_reason=reason,
+            resource=resource_stats(budget, round_scheduler),
+        )
+
     restricted = variant == ChaseVariant.RESTRICTED
     try:
         while True:
-            round_triggers = engine.next_round()
+            if budget is not None:
+                reason = budget.check(facts=len(instance))
+                if reason is not None:
+                    return finish(False, reason)
+            try:
+                round_triggers = engine.next_round()
+            except BudgetExceededError as exc:
+                # Discovery is read-only: the instance is still the
+                # round-start state, i.e. round-consistent.
+                return finish(False, exc.stop_reason or STOP_STEP_BUDGET)
             if rng is not None:
                 rng.shuffle(round_triggers)
             # The batched *apply* half of restricted rounds: probe head
@@ -148,11 +200,18 @@ def run_chase(
                 engine.notify(new_ordinals)
                 fired_this_round += 1
                 if len(steps) >= max_steps:
-                    return ChaseResult(
-                        instance, False, steps, variant, max_steps
-                    )
+                    return finish(False, STOP_STEP_BUDGET)
+                if (
+                    budget is not None
+                    and not fired_this_round % _STEP_CHECK_EVERY
+                ):
+                    reason = budget.check(facts=len(instance))
+                    if reason is not None:
+                        return finish(False, reason)
+            if budget is not None:
+                budget.note_round()
             if fired_this_round == 0:
-                return ChaseResult(instance, True, steps, variant, max_steps)
+                return finish(True, STOP_FIXPOINT)
     finally:
         if owns_scheduler:
             round_scheduler.close()
@@ -165,11 +224,13 @@ def oblivious_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """The oblivious chase: every distinct body homomorphism fires."""
     return run_chase(
         database, rules, ChaseVariant.OBLIVIOUS, max_steps,
         scheduler=scheduler, workers=workers, planner=planner,
+        budget=budget,
     )
 
 
@@ -180,12 +241,14 @@ def semi_oblivious_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """The semi-oblivious chase: homomorphisms agreeing on the frontier
     are indistinguishable."""
     return run_chase(
         database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps,
         scheduler=scheduler, workers=workers, planner=planner,
+        budget=budget,
     )
 
 
@@ -196,10 +259,12 @@ def restricted_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """The restricted (standard) chase: fire only when the head is not
     yet satisfied."""
     return run_chase(
         database, rules, ChaseVariant.RESTRICTED, max_steps,
         scheduler=scheduler, workers=workers, planner=planner,
+        budget=budget,
     )

@@ -54,10 +54,18 @@ class ChaseResult:
     """The outcome of a (budgeted) chase run.
 
     ``terminated`` is True iff the chase reached a fixpoint — no
-    applicable trigger remains.  When False the run stopped because the
-    ``max_steps`` budget was exhausted; nothing is implied about the
-    true (in)finiteness of the chase, which is exactly why the paper's
-    deciders exist.
+    applicable trigger remains.  When False the run stopped on a
+    resource limit; ``stop_reason`` (one of
+    :data:`repro.runtime.budget.STOP_REASONS`) says which, and
+    ``resource`` carries the run's resource accounting (elapsed time,
+    rounds, memory, executor-degradation counters).  Nothing is
+    implied about the true (in)finiteness of the chase, which is
+    exactly why the paper's deciders exist.
+
+    Budget-stopped results are always **round-consistent**: engines
+    only check budgets between trigger applications, so the instance
+    is exactly the database plus the facts of the recorded ``steps`` —
+    never a half-applied trigger.
     """
 
     __slots__ = (
@@ -66,6 +74,8 @@ class ChaseResult:
         "steps",
         "variant",
         "max_steps",
+        "stop_reason",
+        "resource",
         "_provenance",
         "_provenance_built",
     )
@@ -77,12 +87,20 @@ class ChaseResult:
         steps: List[ChaseStep],
         variant: str,
         max_steps: int,
+        stop_reason: Optional[str] = None,
+        resource: Optional[Dict[str, object]] = None,
     ):
         self.instance = instance
         self.terminated = terminated
         self.steps = steps
         self.variant = variant
         self.max_steps = max_steps
+        # Legacy constructors (terminated/exhausted only) still get a
+        # well-formed reason.
+        if stop_reason is None:
+            stop_reason = "fixpoint" if terminated else "step_budget"
+        self.stop_reason = stop_reason
+        self.resource: Dict[str, object] = resource or {}
         # fact -> creating step, built lazily on the first provenance
         # lookup (and extended if steps were appended since).
         self._provenance: Dict[Atom, ChaseStep] = {}
@@ -126,7 +144,9 @@ class ChaseResult:
         return out
 
     def __repr__(self) -> str:
-        status = "terminated" if self.terminated else "budget-exhausted"
+        status = (
+            "terminated" if self.terminated else f"stopped:{self.stop_reason}"
+        )
         return (
             f"ChaseResult({self.variant}, {status}, "
             f"{self.step_count} steps, {len(self.instance)} facts)"

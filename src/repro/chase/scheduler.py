@@ -75,6 +75,7 @@ from typing import (
 
 from ..model import Atom, Instance, Predicate, TGD, Term, Variable, atom_step, plan_for
 from ..model.symbols import SymbolTable
+from ..runtime import faults as _faults
 from .triggers import Trigger, head_satisfied, rule_exec
 
 T = TypeVar("T")
@@ -114,10 +115,31 @@ class RoundScheduler:
 
     ``ship_stats`` holds the most recent run's delta-shipping counters
     (rows shipped, full syncs, resyncs) for benchmarks and diagnostics.
+
+    **Fault tolerance.**  A ``process`` round survives worker death
+    (OOM kill, segfault, ``os._exit``): when the pool breaks mid-map,
+    the scheduler discards it, backs off briefly, respawns a fresh
+    pool, and retries the round's tasks — fresh workers hold no
+    mirrors, so they answer *resync* and the existing stale-mirror
+    fallback restores correctness with no extra machinery.  If the
+    respawned pool breaks too, the scheduler **degrades**: ``degraded``
+    flips True, the failed tasks (and every later process round) run
+    inline in the parent — the serial executor's exact code path — and
+    the run completes with a byte-identical result.  ``fault_stats``
+    counts pool failures, retries, and the degradation, and is folded
+    into ``ship_stats`` and :class:`~repro.chase.result.ChaseResult`
+    resource stats.
     """
 
     __slots__ = ("kind", "workers", "shard_size", "ship_stats",
-                 "_threads", "_processes")
+                 "fault_stats", "degraded", "_threads", "_processes")
+
+    #: How many fresh pools a round may spawn after a failure before
+    #: degrading to inline execution.
+    MAX_RESPAWNS = 1
+    #: Base backoff before retrying on a respawned pool (doubles per
+    #: respawn; bounded because MAX_RESPAWNS is).
+    RETRY_BACKOFF_S = 0.05
 
     def __init__(
         self,
@@ -140,6 +162,12 @@ class RoundScheduler:
         self.workers = workers or (os.cpu_count() or 1)
         self.shard_size = shard_size
         self.ship_stats: Dict[str, int] = {}
+        self.fault_stats: Dict[str, int] = {
+            "pool_failures": 0,
+            "pool_respawns": 0,
+            "degraded": 0,
+        }
+        self.degraded = False
         self._threads = None
         self._processes = None
 
@@ -161,7 +189,51 @@ class RoundScheduler:
             if len(tasks) == 1:
                 return [fn(tasks[0])]
             return list(self._thread_pool().map(fn, tasks))
-        return list(self._process_pool().map(fn, tasks))
+        return self._process_map(fn, tasks)
+
+    def _process_map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> List[R]:
+        """The fault-tolerant ``process`` dispatch (see the class
+        docstring): pool map, respawn-and-retry on worker death, inline
+        degradation on repeated failure.
+
+        Retrying a whole task list is safe because discovery/probe
+        tasks are pure reads of the round-start state — re-evaluating a
+        batch yields the same wire rows — and mirror sync is
+        idempotent (a fresh worker answers resync; the parent covers
+        its chunk locally, exactly as for an LRU-evicted mirror).
+        """
+        if self.degraded:
+            return [fn(task) for task in tasks]
+        import time
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        respawns = 0
+        while True:
+            try:
+                return list(self._process_pool().map(fn, tasks))
+            except (BrokenProcessPool, OSError, EOFError):
+                self.fault_stats["pool_failures"] += 1
+                self._discard_broken_pool()
+                if respawns >= self.MAX_RESPAWNS:
+                    self.degraded = True
+                    self.fault_stats["degraded"] = 1
+                    self.ship_stats.update(self.fault_stats)
+                    return [fn(task) for task in tasks]
+                respawns += 1
+                self.fault_stats["pool_respawns"] += 1
+                self.ship_stats.update(self.fault_stats)
+                time.sleep(self.RETRY_BACKOFF_S * respawns)
+
+    def _discard_broken_pool(self) -> None:
+        pool, self._processes = self._processes, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                # A broken pool may refuse even shutdown; it holds no
+                # live workers at this point, so dropping it is safe.
+                pass
 
     def _thread_pool(self):
         if self._threads is None:
@@ -563,6 +635,7 @@ def _process_discover(task):
     """Worker entry point: sync the mirror, evaluate a chunk of
     interned-form batches, return wire triggers in canonical order.
     Module-level for picklability."""
+    _faults.batch_hook()
     token, base, tail, chunk = task
     pid = os.getpid()
     mirror = _sync_mirror(token, base, tail)
@@ -579,6 +652,7 @@ def _process_probe(task):
     """Worker entry point: sync the mirror, answer head-satisfaction
     probes (``(rule_index, id-tuple)`` rows) against the round-start
     mirror."""
+    _faults.batch_hook()
     token, base, tail, probes = task
     pid = os.getpid()
     mirror = _sync_mirror(token, base, tail)
@@ -660,7 +734,11 @@ def scheduled_delta_triggers(
     if not batches:
         return
     rule_list = list(rules)
-    if scheduler.kind == "process":
+    # A degraded scheduler (repeated pool failure this run) evaluates
+    # rounds inline against the real instance — the serial executor's
+    # exact path — instead of building tails for a pool it no longer
+    # trusts.
+    if scheduler.kind == "process" and not scheduler.degraded:
         if state is None:
             state = ShipLog(rule_list)
         base = len(instance)
@@ -713,7 +791,7 @@ def scheduled_head_probes(
     like discovery, and shipped to ``process`` workers as pure-int
     ``(rule_index, id-tuple)`` rows against their existing mirrors.
     """
-    if scheduler.kind == "process":
+    if scheduler.kind == "process" and not scheduler.degraded:
         if state is None:
             state = ShipLog(list(rules))
         wire = [

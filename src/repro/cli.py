@@ -5,12 +5,15 @@
     python -m repro classify  RULES.tgd
     python -m repro check     RULES.tgd  [--variant so|o] [--standard]
                               [--workers N] [--scheduler serial|threaded|process]
+                              [--timeout S] [--max-memory-mb M] [--max-rounds N]
     python -m repro chase     RULES.tgd DB.facts [--variant o|so|r] [--max-steps N]
                               [--workers N] [--scheduler serial|threaded|process]
                               [--planner cost|heuristic]
+                              [--timeout S] [--max-memory-mb M] [--max-rounds N]
     python -m repro query     RULES.tgd DB.facts "q(X) :- body(X, Y)"
                               [--certain] [--variant o|so|r] [--max-steps N]
                               [--planner cost|heuristic]
+                              [--timeout S] [--max-memory-mb M] [--max-rounds N]
     python -m repro critical  RULES.tgd [--standard]
     python -m repro entail    RULES.tgd DB.facts "atom(a, b)"
     python -m repro dot       RULES.tgd [--graph dep|extdep|joint|types]
@@ -29,11 +32,20 @@ with ``--scheduler`` (``process`` pays per-round pickling in exchange
 for real CPU parallelism on saturation-heavy runs).  Results are
 byte-identical across executors — batching never changes a chase
 result or a verdict, only how the round's join work is executed.
+
+``--timeout``, ``--max-memory-mb``, and ``--max-rounds`` govern the
+run through a :class:`repro.runtime.budget.Budget`; a tripped limit
+stops the run between trigger applications, prints what was computed,
+and exits with the stop reason's code (see :data:`EXIT_CODES`).
+Ctrl-C is cooperative cancellation: the governed commands catch
+SIGINT, finish the current step, and report a round-consistent partial
+result with exit code 6 instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -46,7 +58,7 @@ from .chase import (
 )
 from .classes import classify, narrowest_class
 from .entailment import entails_atom
-from .errors import ReproError
+from .errors import BudgetExceededError, ReproError
 from .parser import (
     atom_to_text,
     instance_to_text,
@@ -55,7 +67,31 @@ from .parser import (
     parse_program,
     parse_query,
 )
+from .runtime import Budget
 from .termination import decide_termination
+
+#: Exit code per stop reason (2 stays the usage/input-error code; 3 is
+#: the fallback for budget stops without a structured reason, e.g. the
+#: guarded decider's type-space cap reported before PR 6).
+EXIT_CODES = {
+    "fixpoint": 0,
+    "step_budget": 1,
+    "deadline": 4,
+    "memory": 5,
+    "cancelled": 6,
+    "executor_degraded": 7,
+}
+_BUDGET_EXIT_FALLBACK = 3
+
+#: Human-readable status per stop reason (the chase/query summary line).
+_STATUS = {
+    "fixpoint": "fixpoint",
+    "step_budget": "budget exhausted",
+    "deadline": "deadline exceeded",
+    "memory": "memory ceiling exceeded",
+    "cancelled": "cancelled",
+    "executor_degraded": "executor degraded",
+}
 
 _VARIANTS = {
     "o": ChaseVariant.OBLIVIOUS,
@@ -85,6 +121,51 @@ def _scheduler_args(args):
     return {"scheduler": args.scheduler, "workers": args.workers or None}
 
 
+def _budget_from(args) -> Budget:
+    """The run's :class:`Budget` from the governance flags.  Always
+    built — a limit-free budget still carries the cancel token the
+    SIGINT handler flips, which is what makes Ctrl-C graceful."""
+    return Budget(
+        timeout_s=args.timeout,
+        max_memory_mb=args.max_memory_mb,
+        max_rounds=args.max_rounds,
+    )
+
+
+@contextlib.contextmanager
+def _sigint_cancels(budget: Budget):
+    """Route SIGINT to the budget's cancel token for the duration:
+    the governed run stops at its next budget check and reports
+    ``cancelled`` instead of unwinding mid-round."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGINT)
+
+    def _cancel(signum, frame):
+        budget.cancel.cancel()
+
+    signal.signal(signal.SIGINT, _cancel)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+
+
+def _warn_degraded(resource: dict) -> None:
+    executor = resource.get("executor")
+    if executor and executor.get("degraded"):
+        print(
+            "% warning: process executor degraded to serial after "
+            f"{executor.get('pool_failures', 0)} pool failure(s); "
+            "the result is complete and identical to a serial run",
+            file=sys.stderr,
+        )
+
+
 def _cmd_classify(args) -> int:
     rules = _load_rules(args.rules)
     report = classify(rules)
@@ -111,31 +192,41 @@ def _cmd_check(args) -> int:
             return 2
         return 0 if verdict.terminating else 1
     variant = _VARIANTS[args.variant]
-    verdict = decide_termination(
-        rules,
-        variant=variant,
-        standard=args.standard,
-        allow_oracle=args.allow_oracle,
-        order_policy=args.planner,
-        **_scheduler_args(args),
-    )
+    budget = _budget_from(args)
+    with _sigint_cancels(budget):
+        verdict = decide_termination(
+            rules,
+            variant=variant,
+            standard=args.standard,
+            allow_oracle=args.allow_oracle,
+            order_policy=args.planner,
+            budget=budget,
+            **_scheduler_args(args),
+        )
     print(verdict.explain())
     return 0 if verdict.terminating else 1
+
+
+def _chase_summary(variant: str, result) -> None:
+    status = _STATUS.get(result.stop_reason, result.stop_reason)
+    print(f"% {variant} chase: {status} after {result.step_count} steps, "
+          f"{len(result.instance)} facts")
+    _warn_degraded(result.resource)
 
 
 def _cmd_chase(args) -> int:
     rules = _load_rules(args.rules)
     database = _load_database(args.database)
     variant = _VARIANTS[args.variant]
-    result = run_chase(
-        database, rules, variant, max_steps=args.max_steps,
-        planner=args.planner, **_scheduler_args(args),
-    )
-    status = "fixpoint" if result.terminated else "budget exhausted"
-    print(f"% {variant} chase: {status} after {result.step_count} steps, "
-          f"{len(result.instance)} facts")
+    budget = _budget_from(args)
+    with _sigint_cancels(budget):
+        result = run_chase(
+            database, rules, variant, max_steps=args.max_steps,
+            planner=args.planner, budget=budget, **_scheduler_args(args),
+        )
+    _chase_summary(variant, result)
     print(instance_to_text(result.instance))
-    return 0 if result.terminated else 1
+    return EXIT_CODES.get(result.stop_reason, 1)
 
 
 def _cmd_query(args) -> int:
@@ -145,35 +236,42 @@ def _cmd_query(args) -> int:
     database = _load_database(args.database)
     query = parse_query(args.query)
     variant = _VARIANTS[args.variant]
-    result = run_chase(
-        database, rules, variant, max_steps=args.max_steps,
-        planner=args.planner, **_scheduler_args(args),
-    )
-    status = "fixpoint" if result.terminated else "budget exhausted"
-    print(f"% {variant} chase: {status} after {result.step_count} steps, "
-          f"{len(result.instance)} facts")
-    if args.certain and not result.terminated:
-        print(
-            "% warning: chase budget exhausted — the instance is not a "
-            "universal model; certain answers may be incomplete",
-            file=sys.stderr,
+    budget = _budget_from(args)
+    with _sigint_cancels(budget):
+        result = run_chase(
+            database, rules, variant, max_steps=args.max_steps,
+            planner=args.planner, budget=budget, **_scheduler_args(args),
         )
-    if query.is_boolean():
-        holds = query.holds_in(result.instance, policy=args.planner)
-        print("true" if holds else "false")
-        return 0 if result.terminated else 1
-    # Answers print as atoms over the query's answer predicate.
-    name = query.name
-    if args.certain:
-        answers = query.certain_answers(result.instance, policy=args.planner)
-    else:
-        answers = query.answers(result.instance, policy=args.planner)
-    count = 0
-    for answer in answers:
-        count += 1
-        print(atom_to_text(Atom(Predicate(name, len(answer)), answer)))
+        _chase_summary(variant, result)
+        if args.certain and not result.terminated:
+            print(
+                "% warning: chase budget exhausted — the instance is not a "
+                "universal model; certain answers may be incomplete",
+                file=sys.stderr,
+            )
+        exit_code = EXIT_CODES.get(result.stop_reason, 1)
+        if query.is_boolean():
+            holds = query.holds_in(
+                result.instance, policy=args.planner, budget=budget
+            )
+            print("true" if holds else "false")
+            return exit_code
+        # Answers print as atoms over the query's answer predicate.
+        name = query.name
+        if args.certain:
+            answers = query.certain_answers(
+                result.instance, policy=args.planner, budget=budget
+            )
+        else:
+            answers = query.answers(
+                result.instance, policy=args.planner, budget=budget
+            )
+        count = 0
+        for answer in answers:
+            count += 1
+            print(atom_to_text(Atom(Predicate(name, len(answer)), answer)))
     print(f"% {count} {'certain ' if args.certain else ''}answers")
-    return 0 if result.terminated else 1
+    return exit_code
 
 
 def _cmd_critical(args) -> int:
@@ -243,6 +341,21 @@ def _add_planner_flag(
              f"syntactic ordering (default: {default})")
 
 
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="wall-clock deadline in seconds; on expiry the run stops "
+             "at the next step boundary and exits with code 4")
+    parser.add_argument(
+        "--max-memory-mb", type=float, default=None, metavar="M",
+        help="process working-set ceiling in MiB; exceeded -> the run "
+             "stops round-consistently and exits with code 5")
+    parser.add_argument(
+        "--max-rounds", type=int, default=None, metavar="N",
+        help="stop after N chase/saturation rounds (exit code 1, like "
+             "--max-steps)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -269,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "sufficient-condition zoo, both variants)")
     _add_scheduler_flags(check)
     _add_planner_flag(check, default="cost")
+    _add_budget_flags(check)
     check.set_defaults(func=_cmd_check)
 
     chase = sub.add_parser("chase", help="run a budgeted chase")
@@ -278,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     chase.add_argument("--max-steps", type=int, default=10_000)
     _add_scheduler_flags(chase)
     _add_planner_flag(chase, default="heuristic")
+    _add_budget_flags(chase)
     chase.set_defaults(func=_cmd_chase)
 
     query = sub.add_parser(
@@ -294,6 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--max-steps", type=int, default=10_000)
     _add_scheduler_flags(query)
     _add_planner_flag(query, default="cost")
+    _add_budget_flags(query)
     query.set_defaults(func=_cmd_query)
 
     critical = sub.add_parser("critical", help="print the critical instance")
@@ -320,6 +436,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # A second Ctrl-C (or one outside the governed region) lands
+        # here; still exit cleanly with the cancellation code.
+        print("% cancelled: interrupted before completion",
+              file=sys.stderr)
+        return EXIT_CODES["cancelled"]
+    except BudgetExceededError as exc:
+        # The deciders/saturation raise instead of returning a partial
+        # result (a half-saturated type table proves nothing): print a
+        # one-line summary of where the budget tripped and exit with
+        # the stop reason's code — no traceback.
+        reason = exc.stop_reason or "step_budget"
+        stats = ", ".join(
+            f"{key}={value}" for key, value in sorted(exc.stats.items())
+            if not isinstance(value, dict)
+        )
+        status = _STATUS.get(reason, reason)
+        print(f"% {status}: {exc}" + (f" [{stats}]" if stats else ""),
+              file=sys.stderr)
+        return EXIT_CODES.get(reason, _BUDGET_EXIT_FALLBACK)
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -99,22 +99,24 @@ class ConjunctiveQuery:
     # -- evaluation -----------------------------------------------------
 
     def answers(
-        self, instance: Instance, policy: str = "cost"
+        self, instance: Instance, policy: str = "cost", budget=None
     ) -> Iterator[Tuple[Term, ...]]:
         """Naive answers: one tuple per homomorphism image,
         deduplicated in id space (only yielded answers materialize)."""
-        return self.compiled(policy).answers(instance)
+        return self.compiled(policy).answers(instance, budget=budget)
 
     def certain_answers(
-        self, instance: Instance, policy: str = "cost"
+        self, instance: Instance, policy: str = "cost", budget=None
     ) -> List[Tuple[Term, ...]]:
         """Null-free answers, sorted for determinism.
 
         When ``instance`` is a universal model of (D, Σ), these are the
         certain answers of the query under Σ.
         """
-        return self.compiled(policy).certain_answers(instance)
+        return self.compiled(policy).certain_answers(instance, budget=budget)
 
-    def holds_in(self, instance: Instance, policy: str = "cost") -> bool:
+    def holds_in(
+        self, instance: Instance, policy: str = "cost", budget=None
+    ) -> bool:
         """Boolean evaluation: does any match exist?"""
-        return self.compiled(policy).holds_in(instance)
+        return self.compiled(policy).holds_in(instance, budget=budget)

@@ -29,6 +29,7 @@ def entails_atom(
     atom: Atom,
     max_types: int = DEFAULT_MAX_TYPES,
     order_policy: str = "cost",
+    budget=None,
 ) -> bool:
     """Decide ``database ∧ rules ⊨ atom`` for guarded ``rules``.
 
@@ -48,16 +49,24 @@ def entails_atom(
         raise ValueError(f"entailment queries must be null-free, got {atom}")
     analysis = TypeAnalysis(
         rules, database=database, max_types=max_types,
-        order_policy=order_policy,
+        order_policy=order_policy, budget=budget,
     )
-    if atom.predicate not in analysis.schema:
-        return False
+    # close() on every exit path — an exception (budget trip, bad
+    # input) must not strand an executor pool the analysis created.
     try:
-        classes = tuple(analysis.constant_class[t] for t in atom.terms)
-    except KeyError:
-        return False
-    analysis.saturate()
-    return (atom.predicate, classes) in analysis.saturated_cloud(analysis.root)
+        if atom.predicate not in analysis.schema:
+            return False
+        try:
+            classes = tuple(analysis.constant_class[t] for t in atom.terms)
+        except KeyError:
+            return False
+        analysis.saturate()
+        return (
+            (atom.predicate, classes)
+            in analysis.saturated_cloud(analysis.root)
+        )
+    finally:
+        analysis.close()
 
 
 def saturated_facts(
@@ -65,6 +74,7 @@ def saturated_facts(
     database: Instance,
     max_types: int = DEFAULT_MAX_TYPES,
     order_policy: str = "cost",
+    budget=None,
 ) -> Database:
     """All facts over the database's constants entailed by D ∧ Σ.
 
@@ -73,10 +83,13 @@ def saturated_facts(
     """
     analysis = TypeAnalysis(
         rules, database=database, max_types=max_types,
-        order_policy=order_policy,
+        order_policy=order_policy, budget=budget,
     )
-    analysis.saturate()
-    out = Database()
-    for pred, classes in analysis.saturated_cloud(analysis.root):
-        out.add(Atom(pred, [analysis.constants[c] for c in classes]))
-    return out
+    try:
+        analysis.saturate()
+        out = Database()
+        for pred, classes in analysis.saturated_cloud(analysis.root):
+            out.add(Atom(pred, [analysis.constants[c] for c in classes]))
+        return out
+    finally:
+        analysis.close()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 
 class ReproError(Exception):
     """Base class of all library errors."""
@@ -17,9 +19,24 @@ class UnsupportedClassError(ReproError):
 
 
 class BudgetExceededError(ReproError):
-    """A configured resource budget (types, steps) was exhausted.
+    """A configured resource budget was exhausted.
 
     The guarded decision procedure is 2EXPTIME-complete, so worst-case
     inputs legitimately explode; the budget turns that into a clean
     failure instead of an apparent hang.
+
+    ``stop_reason`` (one of
+    :data:`repro.runtime.budget.STOP_REASONS`, when known) says *which*
+    limit tripped, and ``stats`` carries the resource accounting at the
+    moment of the stop — the CLI renders both in its one-line summary.
     """
+
+    def __init__(
+        self,
+        message: str,
+        stop_reason: Optional[str] = None,
+        stats: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(message)
+        self.stop_reason = stop_reason
+        self.stats = stats or {}

@@ -48,6 +48,9 @@ from ..model.joinplan import _RESOLVE_CACHE_CAP, PlanExec, resolve_exec
 from ..model.terms import Null, Term, Variable
 from .planner import order_for
 
+#: Budget-check cadence inside evaluation loops (per prefix match).
+_BUDGET_CHECK_EVERY = 1024
+
 
 def _empty_project(match):
     return ()
@@ -182,7 +185,9 @@ class CompiledQuery:
 
     # -- evaluation ---------------------------------------------------------
 
-    def matches_ids(self, instance: Instance) -> Iterator[Tuple[int, ...]]:
+    def matches_ids(
+        self, instance: Instance, budget=None
+    ) -> Iterator[Tuple[int, ...]]:
         """Every body match, projected to the answer variables' term
         ids — *not* deduplicated and with no pushdown (consumers doing
         their own keying, e.g. the universality check, dedup on a
@@ -198,20 +203,38 @@ class CompiledQuery:
         else:
             project = _itemgetter(*slots)
         assign = exec_.fresh_assign()
+        seen = 0
         for match in exec_.run(instance, assign):
+            if budget is not None:
+                seen += 1
+                if not seen % _BUDGET_CHECK_EVERY:
+                    budget.raise_if_exceeded()
             yield project(match)
 
-    def answer_ids(self, instance: Instance) -> Iterator[Tuple[int, ...]]:
+    def answer_ids(
+        self, instance: Instance, budget=None
+    ) -> Iterator[Tuple[int, ...]]:
         """Deduplicated answer tuples in id space, in first-seen order
         (identical, set and order, to deduplicating the full
         enumeration — the pushdown only skips work that could not
-        produce a new answer)."""
+        produce a new answer).
+
+        ``budget`` (a :class:`repro.runtime.budget.Budget`) is checked
+        every few prefix matches; a tripped budget raises
+        :class:`~repro.errors.BudgetExceededError` — already-yielded
+        answers are valid (evaluation is read-only, enumeration just
+        stops early)."""
         prefix, suffix, project = self._resolved(instance)
         assign = prefix.fresh_assign()
         seen: Set[Tuple[int, ...]] = set()
         add = seen.add
+        matches = 0
         if suffix is None:
             for match in prefix.run(instance, assign):
+                if budget is not None:
+                    matches += 1
+                    if not matches % _BUDGET_CHECK_EVERY:
+                        budget.raise_if_exceeded()
                 ids = project(match)
                 if ids not in seen:
                     add(ids)
@@ -219,6 +242,10 @@ class CompiledQuery:
             return
         suffix_first = suffix.first
         for match in prefix.run(instance, assign):
+            if budget is not None:
+                matches += 1
+                if not matches % _BUDGET_CHECK_EVERY:
+                    budget.raise_if_exceeded()
             ids = project(match)
             if ids in seen:
                 continue
@@ -229,14 +256,18 @@ class CompiledQuery:
                 add(ids)
                 yield ids
 
-    def answers(self, instance: Instance) -> Iterator[Tuple[Term, ...]]:
+    def answers(
+        self, instance: Instance, budget=None
+    ) -> Iterator[Tuple[Term, ...]]:
         """Naive answers (nulls treated as values), decoded lazily —
         only tuples that survive the int-space dedup materialize."""
         obj = instance.symbols.obj
-        for ids in self.answer_ids(instance):
+        for ids in self.answer_ids(instance, budget=budget):
             yield tuple(obj(tid) for tid in ids)
 
-    def certain_ids(self, instance: Instance) -> Iterator[Tuple[int, ...]]:
+    def certain_ids(
+        self, instance: Instance, budget=None
+    ) -> Iterator[Tuple[int, ...]]:
         """Deduplicated null-free answer tuples in id space.
 
         Null-freeness is a per-id *kind* check: each distinct term id
@@ -252,7 +283,12 @@ class CompiledQuery:
         seen: Set[Tuple[int, ...]] = set()
         add = seen.add
         suffix_first = suffix.first if suffix is not None else None
+        matches = 0
         for match in prefix.run(instance, assign):
+            if budget is not None:
+                matches += 1
+                if not matches % _BUDGET_CHECK_EVERY:
+                    budget.raise_if_exceeded()
             ids = project(match)
             if ids in seen:
                 continue
@@ -276,25 +312,32 @@ class CompiledQuery:
             add(ids)
             yield ids
 
-    def certain_answers(self, instance: Instance) -> List[Tuple[Term, ...]]:
+    def certain_answers(
+        self, instance: Instance, budget=None
+    ) -> List[Tuple[Term, ...]]:
         """Null-free answers, decoded and sorted for determinism (the
         certain answers of the query when ``instance`` is a universal
         model)."""
         obj = instance.symbols.obj
         out = [
             tuple(obj(tid) for tid in ids)
-            for ids in self.certain_ids(instance)
+            for ids in self.certain_ids(instance, budget=budget)
         ]
         return sorted(out, key=lambda tup: tuple(str(t) for t in tup))
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(self, instance: Instance, budget=None) -> bool:
         """Boolean evaluation: does any body match exist?"""
         prefix, suffix, project = self._resolved(instance)
         assign = prefix.fresh_assign()
         if suffix is None:
             return prefix.first(instance, assign)
         suffix_first = suffix.first
+        matches = 0
         for match in prefix.run(instance, assign):
+            if budget is not None:
+                matches += 1
+                if not matches % _BUDGET_CHECK_EVERY:
+                    budget.raise_if_exceeded()
             if suffix_first(instance, list(match)):
                 return True
         return False

@@ -39,6 +39,7 @@ def decide_termination(
     order_policy: str = "cost",
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    budget=None,
 ) -> TerminationVerdict:
     """Decide all-instance ``variant``-chase termination for ``rules``.
 
@@ -67,6 +68,14 @@ def decide_termination(
         :class:`~repro.chase.scheduler.RoundScheduler`.  Verdicts are
         executor-independent; the NL/PSPACE graph procedures ignore
         the knob.
+    budget:
+        Optional :class:`repro.runtime.budget.Budget` governing the
+        guarded saturation (deadline, memory ceiling, cancellation);
+        a tripped budget raises
+        :class:`~repro.errors.BudgetExceededError` with the stop
+        reason — the verdict is then unknown.  The NL/PSPACE graph
+        procedures finish far below any sensible budget and ignore
+        the knob.
     """
     rules = list(rules)
     if variant not in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS):
@@ -82,7 +91,7 @@ def decide_termination(
         return decide_guarded(
             rules, variant, standard=standard, max_types=max_types,
             order_policy=order_policy,
-            scheduler=scheduler, workers=workers,
+            scheduler=scheduler, workers=workers, budget=budget,
         )
     if method == "oracle":
         return _oracle_or_raise(rules, variant, standard, oracle_steps)
@@ -110,7 +119,7 @@ def decide_termination(
         return decide_guarded(
             rules, variant, standard=standard, max_types=max_types,
             order_policy=order_policy,
-            scheduler=scheduler, workers=workers,
+            scheduler=scheduler, workers=workers, budget=budget,
         )
     if allow_oracle:
         return _oracle_or_raise(rules, variant, standard, oracle_steps)

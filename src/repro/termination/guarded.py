@@ -34,12 +34,16 @@ def decide_guarded(
     order_policy: str = "cost",
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    budget=None,
 ) -> TerminationVerdict:
     """Decide ``Σ ∈ CT_variant`` for guarded Σ (Theorem 4).
 
     Raises :class:`~repro.errors.UnsupportedClassError` on non-guarded
     input and :class:`~repro.errors.BudgetExceededError` if the type
-    space outgrows ``max_types`` (the procedure is 2EXPTIME-complete).
+    space outgrows ``max_types`` (the procedure is 2EXPTIME-complete)
+    or the optional ``budget`` (a
+    :class:`repro.runtime.budget.Budget`) trips — the verdict is then
+    *unknown*; the error's ``stop_reason`` names the limit.
 
     ``pattern_engine`` selects the body-vs-cloud join implementation
     used by saturation (see
@@ -74,6 +78,7 @@ def decide_guarded(
         order_policy=order_policy,
         scheduler=scheduler,
         workers=workers,
+        budget=budget,
     )
     try:
         graph = TransitionGraph(analysis)

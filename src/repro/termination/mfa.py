@@ -44,6 +44,7 @@ from ..model import (
     Term,
     validate_program,
 )
+from ..runtime.budget import Budget
 
 DEFAULT_MFA_STEPS = 20_000
 
@@ -127,6 +128,7 @@ def skolem_chase(
     max_steps: int = DEFAULT_MFA_STEPS,
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[Instance, Optional[SkolemTerm], bool]:
     """Run the Skolem chase.
 
@@ -134,6 +136,12 @@ def skolem_chase(
     run stops at the first round producing a cyclic term (MFA is
     already refuted), at a fixpoint, or on budget (then both flags are
     falsy and the caller should raise).
+
+    ``budget`` adds deadline/memory/cancellation governance on top of
+    ``max_steps``; it is checked at round boundaries and every few
+    fact additions.  A tripped budget stops the run exactly like step
+    exhaustion (both flags falsy, the instance round-consistent) and
+    records its reason in ``budget.stop_reason``.
 
     The witness is canonical: rounds are well-defined units (each
     round's triggers are materialized against the round-start instance
@@ -152,15 +160,18 @@ def skolem_chase(
     validate_program(rules)
     instance = Instance(database)
     round_scheduler, owns_scheduler = resolve_scheduler(scheduler, workers)
+    if budget is not None:
+        budget.start()
     engine = DeltaEngine(
         rules,
         instance,
         key=lambda trigger: trigger.key(ChaseVariant.SEMI_OBLIVIOUS),
         scheduler=round_scheduler,
         variant=ChaseVariant.SEMI_OBLIVIOUS,
+        budget=budget,
     )
     try:
-        return _run_skolem_rounds(engine, instance, max_steps)
+        return _run_skolem_rounds(engine, instance, max_steps, budget)
     finally:
         if owns_scheduler:
             round_scheduler.close()
@@ -170,13 +181,22 @@ def _run_skolem_rounds(
     engine: DeltaEngine,
     instance: Instance,
     max_steps: int,
+    budget: Optional[Budget] = None,
 ) -> Tuple[Instance, Optional[SkolemTerm], bool]:
     steps = 0
     decode = instance.symbols.obj
     term_id = instance.term_id
     add_row = instance.add_row
     while True:
-        triggers = engine.next_round()
+        if budget is not None:
+            if budget.check(facts=len(instance)) is not None:
+                return instance, None, False
+        try:
+            triggers = engine.next_round()
+        except BudgetExceededError:
+            # Discovery is read-only; the instance is the round-start
+            # state and budget.stop_reason records why we stopped.
+            return instance, None, False
         if not triggers:
             return instance, None, True
         cyclic: List[SkolemTerm] = []
@@ -209,8 +229,16 @@ def _run_skolem_rounds(
                     steps += 1
                     if steps >= max_steps:
                         return instance, None, False
+                    if (
+                        budget is not None
+                        and not steps % 64
+                        and budget.check(facts=len(instance)) is not None
+                    ):
+                        return instance, None, False
         if cyclic:
             return instance, min(cyclic, key=_witness_key), False
+        if budget is not None:
+            budget.note_round()
 
 
 def is_mfa(
@@ -218,26 +246,37 @@ def is_mfa(
     max_steps: int = DEFAULT_MFA_STEPS,
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> bool:
     """Model-faithful acyclicity of Σ (checked over the critical
     instance).  Raises :class:`BudgetExceededError` if the Skolem
-    chase neither cycles nor saturates within ``max_steps`` facts —
-    which cannot happen for the classes this library targets but keeps
-    the function total."""
+    chase neither cycles nor saturates within ``max_steps`` facts (or
+    within ``budget``) — the MFA verdict is then *unknown*, and the
+    error's ``stop_reason``/``stats`` say which limit tripped."""
     rules = list(rules)
     if not rules:
         return True
     database = critical_instance(rules)
     _, cyclic, fixpoint = skolem_chase(
-        database, rules, max_steps, scheduler=scheduler, workers=workers
+        database, rules, max_steps, scheduler=scheduler, workers=workers,
+        budget=budget,
     )
     if cyclic is not None:
         return False
     if fixpoint:
         return True
+    if budget is not None and budget.stop_reason is not None:
+        raise BudgetExceededError(
+            f"the Skolem chase stopped on its resource budget "
+            f"({budget.stop_reason}) before cycling or saturating; "
+            f"the MFA verdict is unknown",
+            stop_reason=budget.stop_reason,
+            stats=budget.stats(),
+        )
     raise BudgetExceededError(
         f"the Skolem chase neither cycled nor saturated within "
-        f"{max_steps} facts; raise max_steps"
+        f"{max_steps} facts; raise max_steps",
+        stop_reason="step_budget",
     )
 
 
@@ -246,6 +285,7 @@ def mfa_witness(
     max_steps: int = DEFAULT_MFA_STEPS,
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[SkolemTerm]:
     """The first cyclic Skolem term, or ``None`` when Σ is MFA."""
     rules = list(rules)
@@ -253,6 +293,6 @@ def mfa_witness(
         return None
     _, cyclic, _ = skolem_chase(
         critical_instance(rules), rules, max_steps,
-        scheduler=scheduler, workers=workers,
+        scheduler=scheduler, workers=workers, budget=budget,
     )
     return cyclic

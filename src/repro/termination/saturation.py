@@ -130,6 +130,7 @@ class TypeAnalysis:
         order_policy: str = "cost",
         scheduler: SchedulerSpec = None,
         workers: Optional[int] = None,
+        budget=None,
     ):
         """Analyse ``rules`` over the critical instance (default), the
         *standard* critical instance (``standard=True``), or a concrete
@@ -187,9 +188,10 @@ class TypeAnalysis:
         # How many body-vs-cloud joins saturation executed — surfaced
         # through TransitionGraph.stats() for certificates/benchmarks.
         self.pattern_joins = 0
-        self._scheduler, self._owns_scheduler = resolve_scheduler(
-            scheduler, workers
-        )
+        # ``budget`` governs saturation (deadline / memory ceiling /
+        # cancellation on top of ``max_types``); checked once per
+        # fixpoint pass over a bag type.
+        self.budget = budget
         constants: Set[Constant] = set(program_constants(rules))
         schema = Schema.from_rules(rules)
         if database is not None:
@@ -212,6 +214,12 @@ class TypeAnalysis:
         # Saturated cloud per creation type; grows monotonically.
         self.table: Dict[BagType, FrozenSet[AtomPattern]] = {}
         self._saturated = False
+        # The scheduler (and its worker pool) is resolved *last*: every
+        # validation above may raise, and a pool spawned before a raise
+        # would be stranded — the caller never gets an object to close.
+        self._scheduler, self._owns_scheduler = resolve_scheduler(
+            scheduler, workers
+        )
 
     def close(self) -> None:
         """Release any executor pools this analysis created."""
@@ -241,14 +249,25 @@ class TypeAnalysis:
         return BagType(self.num_constants, 0, cloud)
 
     def saturate(self) -> None:
-        """Run the global least fixpoint; idempotent."""
+        """Run the global least fixpoint; idempotent.
+
+        Raises :class:`~repro.errors.BudgetExceededError` when the type
+        space outgrows ``max_types`` or the attached ``budget`` trips
+        (deadline, memory, cancellation); the table is left in a
+        consistent (if unsaturated) state either way.
+        """
         if self._saturated:
             return
+        budget = self.budget
+        if budget is not None:
+            budget.start()
         self.table[self.root] = self.root.cloud
         changed = True
         while changed:
             changed = False
             for bag_type in list(self.table):
+                if budget is not None:
+                    budget.raise_if_exceeded(facts=len(self.table))
                 types_before = len(self.table)
                 new_cloud = self._saturate_one(bag_type)
                 if new_cloud != self.table[bag_type]:
@@ -257,6 +276,8 @@ class TypeAnalysis:
                 if len(self.table) != types_before:
                     # Newly discovered child types need their own pass.
                     changed = True
+            if budget is not None:
+                budget.note_round()
         self._saturated = True
 
     def _register(self, bag_type: BagType) -> None:
@@ -265,7 +286,9 @@ class TypeAnalysis:
                 raise BudgetExceededError(
                     f"type budget exhausted ({self.max_types} types); the "
                     "guarded procedure is 2EXPTIME-complete — raise "
-                    "max_types if this input is expected to be this large"
+                    "max_types if this input is expected to be this large",
+                    stop_reason="step_budget",
+                    stats={"types": len(self.table)},
                 )
             self.table[bag_type] = bag_type.cloud
 

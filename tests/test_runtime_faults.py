@@ -1,0 +1,336 @@
+"""Runtime governance under injected faults.
+
+The contracts under test (see :mod:`repro.runtime` and
+:mod:`repro.chase.scheduler`):
+
+* a crashed worker pool is respawned (once) and the run finishes with
+  a result byte-identical to a serial run;
+* a pool that keeps dying degrades the scheduler to in-parent serial
+  evaluation — the run still finishes, still byte-identical, and the
+  degradation is recorded in ``fault_stats`` / ``ChaseResult.resource``;
+* budget stops (deadline, memory ceiling, cancellation, round/fact
+  caps) are round-consistent: the partial instance equals the database
+  plus exactly the facts of the recorded steps, and ``stop_reason``
+  names the limit that tripped;
+* cancellation is honored by all three executors;
+* the budget-raising surfaces (MFA, saturation, compiled queries)
+  raise :class:`BudgetExceededError` carrying the structured reason.
+
+Fault plans travel via the ``REPRO_FAULTS`` environment variable so
+spawned workers see them (:mod:`repro.runtime.faults`).
+"""
+
+import pytest
+
+from repro.chase import ChaseVariant, RoundScheduler, run_chase
+from repro.errors import BudgetExceededError
+from repro.parser import parse_database, parse_program
+from repro.runtime import Budget, CancelToken
+from repro.runtime.faults import ENV_VAR
+from repro.termination import decide_guarded, is_mfa, skolem_chase
+
+DIVERGING = "person(X) -> exists Y . father(X, Y), person(Y)"
+DIVERGING_DB = "person(bob)"
+
+# Terminating fixture with enough rounds/triggers that the process
+# executor ships several batches (so injected crashes actually land in
+# workers).
+CLOSURE = "e(X, Y), e(Y, Z) -> e(X, Z)"
+CLOSURE_DB = "\n".join(f"e(c{i}, c{i + 1})" for i in range(12))
+
+
+def chase_fingerprint(result):
+    """Everything a byte-equivalence claim is made of."""
+    return (
+        result.instance.facts(),
+        result.terminated,
+        [step.trigger.key(result.variant) for step in result.steps],
+        [step.new_facts for step in result.steps],
+        result.facts_by_rule(),
+    )
+
+
+def assert_round_consistent(result, database):
+    """A budget-stopped result is the database plus exactly the facts
+    of the recorded steps — never a mid-trigger torso."""
+    added = sum(len(step.new_facts) for step in result.steps)
+    assert len(result.instance) == len(database) + added
+    for step in result.steps:
+        for fact in step.new_facts:
+            assert fact in result.instance
+
+
+def fake_clock(step=1.0):
+    """A deterministic monotonic clock advancing ``step`` per call."""
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+@pytest.fixture
+def closure():
+    return parse_program(CLOSURE), parse_database(CLOSURE_DB)
+
+
+@pytest.fixture
+def diverging():
+    return parse_program(DIVERGING), parse_database(DIVERGING_DB)
+
+
+class TestWorkerCrashRecovery:
+    def test_single_crash_respawns_and_matches_serial(
+        self, closure, tmp_path, monkeypatch
+    ):
+        rules, database = closure
+        serial = run_chase(database, rules, ChaseVariant.OBLIVIOUS, 10_000)
+        # One global crash token: the first worker batch dies, the
+        # respawned pool finds the token claimed and completes.
+        monkeypatch.setenv(ENV_VAR, f"crash:1:{tmp_path}")
+        scheduler = RoundScheduler("process", workers=2)
+        try:
+            crashed = run_chase(
+                database, rules, ChaseVariant.OBLIVIOUS, 10_000,
+                scheduler=scheduler,
+            )
+        finally:
+            scheduler.close()
+        assert chase_fingerprint(crashed) == chase_fingerprint(serial)
+        assert crashed.terminated
+        assert crashed.stop_reason == "fixpoint"
+        assert scheduler.fault_stats["pool_failures"] >= 1
+        assert scheduler.fault_stats["pool_respawns"] == 1
+        assert not scheduler.degraded
+        # One token file was actually claimed.
+        assert (tmp_path / "crash-0").exists()
+
+    def test_persistent_crashes_degrade_to_serial(
+        self, closure, tmp_path, monkeypatch
+    ):
+        rules, database = closure
+        serial = run_chase(database, rules, ChaseVariant.OBLIVIOUS, 10_000)
+        # More tokens than the respawn budget: the pool dies, the
+        # respawn dies too, and the scheduler degrades — the run must
+        # still finish, in-parent, with the identical result.
+        monkeypatch.setenv(ENV_VAR, f"crash:500:{tmp_path}")
+        scheduler = RoundScheduler("process", workers=2)
+        try:
+            degraded = run_chase(
+                database, rules, ChaseVariant.OBLIVIOUS, 10_000,
+                scheduler=scheduler,
+            )
+        finally:
+            scheduler.close()
+        assert chase_fingerprint(degraded) == chase_fingerprint(serial)
+        assert degraded.terminated
+        assert scheduler.degraded
+        assert scheduler.fault_stats["degraded"] == 1
+        assert scheduler.fault_stats["pool_failures"] >= 2
+        assert scheduler.ship_stats["degraded"] == 1
+        # The degradation is visible on the result's resource report.
+        executor = degraded.resource.get("executor")
+        assert executor is not None
+        assert executor["degraded"] == 1
+
+    def test_degraded_scheduler_stays_serial(self, closure, monkeypatch):
+        rules, database = closure
+        # No token dir and a huge per-process crash budget: a pool
+        # would never survive.  A pre-degraded scheduler must not spawn
+        # one at all (map() goes straight to in-parent evaluation).
+        monkeypatch.setenv(ENV_VAR, "crash:1000000")
+        scheduler = RoundScheduler("process", workers=2)
+        scheduler.degraded = True
+        try:
+            result = run_chase(
+                database, rules, ChaseVariant.OBLIVIOUS, 10_000,
+                scheduler=scheduler,
+            )
+        finally:
+            scheduler.close()
+        serial = run_chase(database, rules, ChaseVariant.OBLIVIOUS, 10_000)
+        assert chase_fingerprint(result) == chase_fingerprint(serial)
+
+
+class TestBudgetStops:
+    def test_deadline_stop_is_round_consistent(self, diverging):
+        rules, database = diverging
+        # Deterministic mid-run deadline: the injected clock advances
+        # 1s per budget probe, so the 10s deadline trips after a few
+        # rounds — no sleeping, no wall-clock flakiness.
+        budget = Budget(timeout_s=10.0, clock=fake_clock(1.0))
+        result = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000_000,
+            budget=budget,
+        )
+        assert not result.terminated
+        assert result.stop_reason == "deadline"
+        assert result.resource["rounds"] >= 1
+        assert_round_consistent(result, database)
+
+    def test_memory_ceiling_stop(self, diverging, monkeypatch):
+        rules, database = diverging
+        # A fault-injected allocation spike makes the working-set probe
+        # report ~1 TiB, tripping any sane ceiling deterministically.
+        monkeypatch.setenv(ENV_VAR, f"spike:{1 << 40}")
+        budget = Budget(max_memory_mb=256.0, memory_check_every=1)
+        result = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000_000,
+            budget=budget,
+        )
+        assert not result.terminated
+        assert result.stop_reason == "memory"
+        assert result.resource["memory_mb"] > 256.0
+        assert_round_consistent(result, database)
+
+    def test_max_rounds_and_max_facts(self, diverging):
+        rules, database = diverging
+        by_rounds = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000_000,
+            budget=Budget(max_rounds=3),
+        )
+        assert by_rounds.stop_reason == "step_budget"
+        assert by_rounds.resource["rounds"] == 3
+        assert_round_consistent(by_rounds, database)
+
+        by_facts = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000_000,
+            budget=Budget(max_facts=9),
+        )
+        assert by_facts.stop_reason == "step_budget"
+        assert len(by_facts.instance) >= 9
+        assert_round_consistent(by_facts, database)
+
+    def test_budget_stop_matches_unbudgeted_prefix(self, diverging):
+        rules, database = diverging
+        governed = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000_000,
+            budget=Budget(max_rounds=4),
+        )
+        free = run_chase(database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000)
+        # The governed run is a prefix of the ungoverned one — budgets
+        # stop the engine, they never change what it computes.
+        n = len(governed.steps)
+        assert [s.new_facts for s in governed.steps] == \
+            [s.new_facts for s in free.steps[:n]]
+
+
+class TestCancellation:
+    @pytest.mark.parametrize("kind", ["serial", "threaded", "process"])
+    def test_pre_cancelled_budget_stops_every_executor(
+        self, diverging, kind
+    ):
+        rules, database = diverging
+        token = CancelToken()
+        token.cancel()
+        scheduler = (
+            RoundScheduler(kind, workers=2) if kind != "serial" else "serial"
+        )
+        try:
+            result = run_chase(
+                database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000_000,
+                scheduler=scheduler, budget=Budget(cancel=token),
+            )
+        finally:
+            if kind != "serial":
+                scheduler.close()
+        assert result.stop_reason == "cancelled"
+        assert not result.terminated
+        assert result.step_count == 0
+        assert result.instance.facts() == database.facts()
+
+    def test_mid_run_cancellation_is_round_consistent(self, diverging):
+        rules, database = diverging
+        token = CancelToken()
+        calls = {"n": 0}
+
+        def cancelling_clock():
+            # Cancel from "outside" after a handful of budget probes —
+            # the engine must notice at the next boundary.
+            calls["n"] += 1
+            if calls["n"] == 6:
+                token.cancel()
+            return float(calls["n"])
+
+        budget = Budget(
+            timeout_s=1e9, cancel=token, clock=cancelling_clock
+        )
+        result = run_chase(
+            database, rules, ChaseVariant.SEMI_OBLIVIOUS, 1_000_000,
+            budget=budget,
+        )
+        assert result.stop_reason == "cancelled"
+        assert result.step_count >= 1
+        assert_round_consistent(result, database)
+
+
+class TestRaisingSurfaces:
+    def test_skolem_chase_stops_on_budget(self, closure):
+        # A terminating full program that needs several rounds: a
+        # 1-round budget stops it before fixpoint, without a cycle.
+        rules, database = closure
+        budget = Budget(max_rounds=1)
+        instance, cyclic, fixpoint = skolem_chase(
+            database, rules, max_steps=1_000_000, budget=budget,
+        )
+        assert cyclic is None and not fixpoint
+        assert budget.stop_reason == "step_budget"
+        # Stopped early: the full closure of a 12-chain is larger.
+        assert len(database) < len(instance) < 12 * 13 // 2
+
+    def test_is_mfa_raises_with_stop_reason(self, diverging):
+        rules, _ = diverging
+        with pytest.raises(BudgetExceededError) as info:
+            is_mfa(rules, max_steps=1_000_000, budget=Budget(max_rounds=1))
+        assert info.value.stop_reason == "step_budget"
+        assert info.value.stats["rounds"] >= 1
+
+    def test_decide_guarded_raises_on_deadline(self):
+        rules = parse_program(
+            "r(X, Y), p(Y) -> exists Z . r(Y, Z)\nr(X, Y) -> p(Y)"
+        )
+        budget = Budget(timeout_s=3.0, clock=fake_clock(1.0))
+        with pytest.raises(BudgetExceededError) as info:
+            decide_guarded(
+                rules, ChaseVariant.SEMI_OBLIVIOUS, budget=budget
+            )
+        assert info.value.stop_reason == "deadline"
+        assert "deadline" in str(info.value)
+
+    def test_compiled_query_honors_budget(self):
+        from repro.parser import parse_query
+
+        database = parse_database(
+            "\n".join(f"p(c{i})" for i in range(1300))
+        )
+        query = parse_query("q(X) :- p(X)")
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(BudgetExceededError) as info:
+            list(query.answers(database, budget=Budget(cancel=token)))
+        assert info.value.stop_reason == "cancelled"
+
+    def test_unstarted_limits_validate(self):
+        with pytest.raises(ValueError):
+            Budget(timeout_s=0)
+        with pytest.raises(ValueError):
+            Budget(max_rounds=-1)
+
+
+class TestSlowFault:
+    def test_slow_batches_still_identical(self, closure, monkeypatch):
+        rules, database = closure
+        serial = run_chase(database, rules, ChaseVariant.OBLIVIOUS, 10_000)
+        monkeypatch.setenv(ENV_VAR, "slow:0.01")
+        scheduler = RoundScheduler("process", workers=2)
+        try:
+            slowed = run_chase(
+                database, rules, ChaseVariant.OBLIVIOUS, 10_000,
+                scheduler=scheduler,
+            )
+        finally:
+            scheduler.close()
+        assert chase_fingerprint(slowed) == chase_fingerprint(serial)
+        assert not scheduler.degraded
