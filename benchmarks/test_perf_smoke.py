@@ -137,27 +137,63 @@ def test_check_mode_passes_against_fresh_report():
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
     assert ok, lines
-    # One rate line and one peak-memory line per chase scenario, one
-    # rate line per query scenario, one governance-overhead line.
+    # One rate line and one memory line per chase scenario, one rate
+    # line per query scenario, one governance-overhead line, one
+    # persistence line.
     assert len(lines) == (
-        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 1
+        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 2
     )
     assert sum("peak" in line for line in lines) == len(bench_perf.SCENARIOS)
     assert sum("fault_recovery" in line for line in lines) == 1
+    assert sum("persistence" in line for line in lines) == 1
 
 
 def test_check_mode_fails_on_memory_regression():
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     for row in payload["scenarios"]:
-        row["peak_mem_mb"] /= 1e9  # impossibly small recorded peak
+        # Strip the working-set column (as a pre-PR-7 recording would
+        # lack it) so the gate falls back to the traced-peak ceiling,
+        # then make that ceiling impossible.
+        row["working_set_mb"] = None
+        row["peak_mem_mb"] /= 1e9
     ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
     assert not ok
     assert any(line.startswith("FAIL") and "peak" in line for line in lines)
 
 
+def test_working_set_gate_prefers_rss_when_recorded():
+    payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
+    measurable = [
+        row for row in payload["scenarios"]
+        if row.get("working_set_mb")
+    ]
+    if not measurable:
+        pytest.skip("no RSS probe on this host")
+    ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
+    assert ok, lines
+    assert sum("working-set" in line for line in lines) == len(measurable)
+
+
 def test_scenario_rows_carry_peak_memory():
     row = bench_perf.run_scenario(bench_perf.deep_chain_scenario(SMOKE_SCALE))
     assert row["peak_mem_mb"] is not None and row["peak_mem_mb"] > 0
+    # The working-set column exists everywhere; it is None only on
+    # hosts with no RSS probe at all.
+    assert "working_set_mb" in row
+    if row["working_set_mb"] is not None:
+        assert row["working_set_mb"] >= 0
+
+
+def test_persistence_row_smoke(tmp_path):
+    row = bench_perf.run_persistence(
+        bench_perf.persistence_scenario(SMOKE_SCALE)
+    )
+    # The runner raises if the reopened store answers differently.
+    assert row["equivalent"] is True
+    assert row["certain_answers"] > 0
+    assert row["disk_mb"] > 0
+    assert row["save_s"] >= 0 and row["open_s"] >= 0
+    assert row["rate_per_s"] is not None and row["rate_per_s"] > 0
 
 
 def test_mfa_parallel_reports_delta_shipping():
@@ -246,6 +282,11 @@ def test_suite_payload_shape(tmp_path):
     for key in ("ungoverned_wall_s", "governed_wall_s", "overhead_pct",
                 "gate_pct", "within_gate", "budget_checks"):
         assert key in fault
+    stored = payload["persistence"]
+    for key in ("save_s", "open_s", "disk_mb", "certain_answers",
+                "rate_per_s", "equivalent"):
+        assert key in stored
+    assert stored["equivalent"] is True
     hardware = payload["hardware"]
     assert hardware["cpu_count"] >= 1
     assert hardware["platform"] and hardware["machine"]

@@ -11,12 +11,14 @@ from .critical import (
     critical_instance,
     standard_critical_instance,
 )
+from .checkpoint import Checkpointer, load_state
 from .delta import DeltaEngine, delta_triggers
 from .engine import (
     DEFAULT_MAX_STEPS,
     oblivious_chase,
     resource_stats,
     restricted_chase,
+    resume_chase,
     run_chase,
     semi_oblivious_chase,
 )
@@ -43,6 +45,7 @@ __all__ = [
     "ChaseResult",
     "ChaseStep",
     "ChaseVariant",
+    "Checkpointer",
     "DEFAULT_MAX_STEPS",
     "DeltaEngine",
     "ONE_CONSTANT",
@@ -60,10 +63,12 @@ __all__ = [
     "discovery_batches",
     "evaluate_batch",
     "head_satisfied",
+    "load_state",
     "oblivious_chase",
     "resolve_scheduler",
     "resource_stats",
     "restricted_chase",
+    "resume_chase",
     "run_chase",
     "scheduled_delta_triggers",
     "semi_oblivious_chase",

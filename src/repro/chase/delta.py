@@ -60,6 +60,7 @@ from typing import (
     Union,
 )
 
+from ..errors import BudgetExceededError
 from ..model import Atom, Instance, TGD
 from .scheduler import (
     RoundScheduler,
@@ -79,8 +80,10 @@ def _group_rows(
     arrival order.  Atoms are encoded (interning); ordinals are read
     straight off the fact log."""
     groups: Dict[int, List[Tuple[int, ...]]] = {}
-    log_pids = instance._log_pids
-    log_rows = instance._log_rows
+    store = instance.store
+    store.ensure_all()
+    log_pids = store.log_pids
+    log_rows = store.log_rows
     for fact in new_facts:
         if type(fact) is int:
             pid = log_pids[fact]
@@ -183,8 +186,9 @@ class DeltaEngine:
     round-consistent partial result.
     """
 
-    __slots__ = ("rules", "instance", "fired", "budget", "_key",
-                 "_frontier", "_scheduler", "_ship", "_variant")
+    __slots__ = ("rules", "instance", "fired", "budget", "fired_log",
+                 "store_ref", "_key", "_frontier", "_scheduler", "_ship",
+                 "_variant")
 
     #: Budget-check cadence inside a round's discovery/dedup loop.
     BUDGET_CHECK_EVERY = 2048
@@ -197,10 +201,16 @@ class DeltaEngine:
         scheduler: Optional[RoundScheduler] = None,
         variant: Optional[str] = None,
         budget=None,
+        fired: Optional[Set[Hashable]] = None,
+        frontier: Optional[Sequence[FrontierFact]] = None,
     ):
         self.rules: List[TGD] = list(rules)
         self.instance = instance
-        self.fired: Set[Hashable] = set()
+        # ``fired``/``frontier`` pre-seed the evaluation state when a
+        # checkpointed run resumes (repro.chase.checkpoint): the set of
+        # already-handed-out keys and the ordinals still awaiting a
+        # discovery pass, exactly as persisted at the round boundary.
+        self.fired: Set[Hashable] = set() if fired is None else fired
         self._key = key
         # When the key policy is a plain chase variant, the dedup loop
         # computes interned-form keys inline (no per-trigger lambda /
@@ -217,11 +227,45 @@ class DeltaEngine:
         self._scheduler = scheduler
         self.budget = budget
         self._ship: Optional[ShipLog] = None
+        #: When not None, every key newly added to ``fired`` is also
+        #: appended here, in hand-out order — the checkpointer's
+        #: append-only persistence feed (see :meth:`track_fired`).
+        self.fired_log: Optional[List[Hashable]] = None
+        #: ``(path, facts_at_flush)`` of a durable store holding a
+        #: flushed prefix of this instance; process-executor worker
+        #: mirrors hydrate from it instead of receiving a full ship.
+        self.store_ref: Optional[Tuple[str, int]] = None
         # Pre-intern every rule symbol serially, so batched discovery
         # never allocates ids and id order is thread-independent.
         instance.prepare_rules(self.rules)
-        # The first round treats every existing fact as new.
-        self._frontier: List[FrontierFact] = list(range(len(instance)))
+        # The first round treats every existing fact as new (unless a
+        # resumed frontier says otherwise).
+        self._frontier: List[FrontierFact] = (
+            list(range(len(instance))) if frontier is None
+            else list(frontier)
+        )
+
+    def track_fired(self) -> List[Hashable]:
+        """Start (or return) the append-only log of newly fired keys —
+        the checkpointer reads persistence tails off it.  Only keys
+        handed out *after* this call are logged."""
+        if self.fired_log is None:
+            self.fired_log = []
+        return self.fired_log
+
+    def frontier_snapshot(self) -> Tuple[int, ...]:
+        """The current frontier as a tuple of fact ordinals (the
+        checkpoint wire form).  Engines on the int path only ever
+        notify ordinals; Atom frontiers are rejected."""
+        out: List[int] = []
+        for fact in self._frontier:
+            if type(fact) is not int:
+                raise TypeError(
+                    "cannot snapshot an Atom-bearing frontier; "
+                    "checkpointing requires the int-only engine path"
+                )
+            out.append(fact)
+        return tuple(out)
 
     def notify(self, facts: Iterable[Union[Atom, int]]) -> None:
         """Report facts added to the instance (Atoms or fact ordinals);
@@ -236,7 +280,7 @@ class DeltaEngine:
         """The delta-shipping state for the ``process`` executor
         (created on first use; one per engine run)."""
         if self._ship is None:
-            self._ship = ShipLog(self.rules)
+            self._ship = ShipLog(self.rules, store_ref=self.store_ref)
         return self._ship
 
     def next_round(self) -> List[Trigger]:
@@ -262,44 +306,63 @@ class DeltaEngine:
             )
         fired = self.fired
         out: List[Trigger] = []
+        new_keys: List[Hashable] = []
         budget = self.budget
         check_every = self.BUDGET_CHECK_EVERY
         discovered_count = 0
         variant = self._variant
-        if variant is not None:
-            semi = variant == ChaseVariant.SEMI_OBLIVIOUS
-            for trigger in discovered:
-                if budget is not None:
-                    discovered_count += 1
-                    if not discovered_count % check_every:
-                        budget.raise_if_exceeded(facts=len(self.instance))
-                ids = trigger._ids
-                if ids is None:
-                    k: Hashable = trigger.key(variant)
-                elif semi:
-                    get = trigger.rule._frontier_get
-                    k = (
-                        trigger.rule_index,
-                        ids if get is None else get(ids),
-                    )
-                else:
-                    k = (trigger.rule_index, ids)
-                if k in fired:
-                    continue
-                fired.add(k)
-                out.append(trigger)
-            return out
-        key = self._key
-        for trigger in discovered:
-            if budget is not None:
-                discovered_count += 1
-                if not discovered_count % check_every:
-                    budget.raise_if_exceeded(facts=len(self.instance))
-            k = key(trigger)
-            if k in fired:
-                continue
-            fired.add(k)
-            out.append(trigger)
+        try:
+            if variant is not None:
+                semi = variant == ChaseVariant.SEMI_OBLIVIOUS
+                for trigger in discovered:
+                    if budget is not None:
+                        discovered_count += 1
+                        if not discovered_count % check_every:
+                            budget.raise_if_exceeded(
+                                facts=len(self.instance)
+                            )
+                    ids = trigger._ids
+                    if ids is None:
+                        k: Hashable = trigger.key(variant)
+                    elif semi:
+                        get = trigger.rule._frontier_get
+                        k = (
+                            trigger.rule_index,
+                            ids if get is None else get(ids),
+                        )
+                    else:
+                        k = (trigger.rule_index, ids)
+                    if k in fired:
+                        continue
+                    fired.add(k)
+                    new_keys.append(k)
+                    out.append(trigger)
+            else:
+                key = self._key
+                for trigger in discovered:
+                    if budget is not None:
+                        discovered_count += 1
+                        if not discovered_count % check_every:
+                            budget.raise_if_exceeded(
+                                facts=len(self.instance)
+                            )
+                    k = key(trigger)
+                    if k in fired:
+                        continue
+                    fired.add(k)
+                    new_keys.append(k)
+                    out.append(trigger)
+        except BudgetExceededError:
+            # An aborted pass hands out nothing, so un-mark its keys
+            # and restore the frontier: discovery is a pure read, and
+            # a resumed run must re-discover this round identically.
+            for k in new_keys:
+                fired.discard(k)
+            self._frontier = frontier
+            raise
+        log = self.fired_log
+        if log is not None:
+            log.extend(new_keys)
         return out
 
     def head_probes(self, triggers: Sequence[Trigger]) -> Optional[List[bool]]:

@@ -35,11 +35,13 @@ from ..runtime.budget import (
     STOP_STEP_BUDGET,
     Budget,
 )
+from .checkpoint import Checkpointer, load_state
 from .delta import DeltaEngine, delta_triggers
 from .result import ChaseResult, ChaseStep
 from .scheduler import RoundScheduler, SchedulerSpec, resolve_scheduler
 from .triggers import (
     ChaseVariant,
+    Trigger,
     apply_trigger_ids,
     head_satisfied,
 )
@@ -68,6 +70,133 @@ def resource_stats(
     return out
 
 
+def _drive(
+    instance: Instance,
+    rules: List[TGD],
+    variant: str,
+    max_steps: int,
+    factory: NullFactory,
+    budget: Optional[Budget],
+    engine: DeltaEngine,
+    round_scheduler: RoundScheduler,
+    owns_scheduler: bool,
+    steps: List[ChaseStep],
+    rng=None,
+    ckpt: Optional[Checkpointer] = None,
+    checkpoint_every: int = 1,
+    pending: Sequence[Trigger] = (),
+    rounds_done: int = 0,
+) -> ChaseResult:
+    """The shared round loop behind :func:`run_chase` and
+    :func:`resume_chase`: materialize a round, apply it in canonical
+    order, checkpoint at round boundaries when a checkpointer is
+    attached.  ``pending`` replays the not-yet-applied remainder of an
+    interrupted round first (resume)."""
+    restricted = variant == ChaseVariant.RESTRICTED
+    rounds = rounds_done
+
+    def finish(terminated: bool, reason: str,
+               leftover: Sequence[Trigger] = ()) -> ChaseResult:
+        if ckpt is not None:
+            ckpt.checkpoint(engine, steps, leftover, rounds,
+                            terminated, reason)
+        return ChaseResult(
+            instance, terminated, steps, variant, max_steps,
+            stop_reason=reason,
+            resource=resource_stats(budget, round_scheduler),
+        )
+
+    def fire(round_triggers, probes):
+        """Apply one materialized round; returns ``(stop, fired)``
+        where ``stop`` is a budget-stopped result (checkpointed with
+        the round's unapplied remainder) or None."""
+        fired = 0
+        for position, trigger in enumerate(round_triggers):
+            if restricted:
+                if probes is not None and probes[position]:
+                    # Satisfied triggers never become unsatisfied,
+                    # so skipping them for good — they are already
+                    # in the engine's fired-key set — is safe.
+                    continue
+                if head_satisfied(trigger, instance):
+                    continue
+            new_ordinals = apply_trigger_ids(trigger, instance, factory)
+            steps.append(ChaseStep(trigger, instance, new_ordinals))
+            engine.notify(new_ordinals)
+            fired += 1
+            if len(steps) >= max_steps:
+                return finish(False, STOP_STEP_BUDGET,
+                              round_triggers[position + 1:]), fired
+            if (
+                budget is not None
+                and not fired % _STEP_CHECK_EVERY
+            ):
+                reason = budget.check(facts=len(instance))
+                if reason is not None:
+                    return finish(False, reason,
+                                  round_triggers[position + 1:]), fired
+        return None, fired
+
+    try:
+        if len(steps) >= max_steps:
+            # A resumed run whose step budget was not raised: stop
+            # where the interrupted run stopped, byte-identically.
+            return finish(False, STOP_STEP_BUDGET, pending)
+        if pending:
+            # Resume mid-round: replay the interrupted round's
+            # remainder.  Restricted head checks run serially against
+            # the current instance — exactly what the uninterrupted
+            # engine does for triggers whose round-start probe came
+            # back False, and satisfaction is monotone, so the firing
+            # sequence is byte-identical.
+            stop, _ = fire(tuple(pending), None)
+            if stop is not None:
+                return stop
+            if budget is not None:
+                budget.note_round()
+            rounds += 1
+            if ckpt is not None and not rounds % checkpoint_every:
+                ckpt.checkpoint(engine, steps, (), rounds)
+        while True:
+            if budget is not None:
+                reason = budget.check(facts=len(instance))
+                if reason is not None:
+                    return finish(False, reason)
+            try:
+                round_triggers = engine.next_round()
+            except BudgetExceededError as exc:
+                # Discovery is read-only and rolls its dedup state
+                # back: instance and engine are still the round-start
+                # state, i.e. round-consistent (and resumable).
+                return finish(False, exc.stop_reason or STOP_STEP_BUDGET)
+            if rng is not None:
+                rng.shuffle(round_triggers)
+            # The batched *apply* half of restricted rounds: probe head
+            # satisfaction for the whole materialized round against the
+            # round-start instance through the scheduler's executor.
+            # Satisfaction is monotone (instances only grow), so a
+            # True probe is a certain skip; a False probe is re-checked
+            # serially at its canonical turn against the current
+            # instance — the firing sequence is byte-identical to the
+            # fully serial engine's.
+            probes = (
+                engine.head_probes(round_triggers) if restricted else None
+            )
+            stop, fired_this_round = fire(round_triggers, probes)
+            if stop is not None:
+                return stop
+            if budget is not None:
+                budget.note_round()
+            rounds += 1
+            if fired_this_round == 0:
+                return finish(True, STOP_FIXPOINT)
+            if ckpt is not None and not rounds % checkpoint_every:
+                ckpt.checkpoint(engine, steps, (), rounds)
+    finally:
+        if owns_scheduler:
+            round_scheduler.close()
+
+
 def run_chase(
     database: Instance,
     rules: Sequence[TGD],
@@ -79,6 +208,9 @@ def run_chase(
     workers: Optional[int] = None,
     planner: str = "heuristic",
     budget: Optional[Budget] = None,
+    save: Optional[str] = None,
+    checkpoint_every: int = 1,
+    overwrite: bool = False,
 ) -> ChaseResult:
     """Run a fair ``variant`` chase of ``rules`` on ``database``.
 
@@ -122,6 +254,17 @@ def run_chase(
     facts in the same order, same trigger keys, same null numbering —
     because only the read-only discovery half of a round is batched and
     the merge applies firings in canonical round order.
+
+    ``save`` names a directory to checkpoint the run into (a durable
+    fact store plus the evaluation state, see
+    :mod:`repro.chase.checkpoint`), every ``checkpoint_every`` rounds
+    and always at the stop; :func:`resume_chase` continues such a run
+    from exactly where it stopped, byte-identically to the
+    uninterrupted run.  ``overwrite`` replaces an existing store at
+    that path.  Incompatible with ``order_seed`` (a shuffled order is
+    not reconstructible) and with a custom ``null_factory`` (resume
+    derives null numbering from the step log, which assumes the
+    default counter).
     """
     if variant not in ChaseVariant.ALL:
         raise ValueError(f"unknown chase variant {variant!r}")
@@ -129,6 +272,21 @@ def run_chase(
         raise ValueError(f"max_steps must be positive, got {max_steps}")
     if planner not in ("heuristic", "cost"):
         raise ValueError(f"unknown planner policy {planner!r}")
+    if save is not None:
+        if order_seed is not None:
+            raise ValueError(
+                "save is incompatible with order_seed: a shuffled "
+                "round order cannot be reconstructed at resume"
+            )
+        if null_factory is not None:
+            raise ValueError(
+                "save requires the default null numbering: resume "
+                "derives the null counter from the step log"
+            )
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
     rules = list(rules)
     validate_program(rules)
     instance = Instance(database)
@@ -151,70 +309,123 @@ def run_chase(
         import random
 
         rng = random.Random(order_seed)
-
-    def finish(terminated: bool, reason: str) -> ChaseResult:
-        return ChaseResult(
-            instance, terminated, steps, variant, max_steps,
-            stop_reason=reason,
-            resource=resource_stats(budget, round_scheduler),
-        )
-
-    restricted = variant == ChaseVariant.RESTRICTED
+    ckpt = None
     try:
-        while True:
-            if budget is not None:
-                reason = budget.check(facts=len(instance))
-                if reason is not None:
-                    return finish(False, reason)
-            try:
-                round_triggers = engine.next_round()
-            except BudgetExceededError as exc:
-                # Discovery is read-only: the instance is still the
-                # round-start state, i.e. round-consistent.
-                return finish(False, exc.stop_reason or STOP_STEP_BUDGET)
-            if rng is not None:
-                rng.shuffle(round_triggers)
-            # The batched *apply* half of restricted rounds: probe head
-            # satisfaction for the whole materialized round against the
-            # round-start instance through the scheduler's executor.
-            # Satisfaction is monotone (instances only grow), so a
-            # True probe is a certain skip; a False probe is re-checked
-            # serially at its canonical turn against the current
-            # instance — the firing sequence is byte-identical to the
-            # fully serial engine's.
-            probes = (
-                engine.head_probes(round_triggers) if restricted else None
+        if save is not None:
+            engine.track_fired()
+            ckpt = Checkpointer.create(
+                save, instance, rules, variant, planner, max_steps,
+                overwrite=overwrite,
             )
-            fired_this_round = 0
-            for position, trigger in enumerate(round_triggers):
-                if restricted:
-                    if probes is not None and probes[position]:
-                        # Satisfied triggers never become unsatisfied,
-                        # so skipping them for good — they are already
-                        # in the engine's fired-key set — is safe.
-                        continue
-                    if head_satisfied(trigger, instance):
-                        continue
-                new_ordinals = apply_trigger_ids(trigger, instance, factory)
-                steps.append(ChaseStep(trigger, instance, new_ordinals))
-                engine.notify(new_ordinals)
-                fired_this_round += 1
-                if len(steps) >= max_steps:
-                    return finish(False, STOP_STEP_BUDGET)
-                if (
-                    budget is not None
-                    and not fired_this_round % _STEP_CHECK_EVERY
-                ):
-                    reason = budget.check(facts=len(instance))
-                    if reason is not None:
-                        return finish(False, reason)
-            if budget is not None:
-                budget.note_round()
-            if fired_this_round == 0:
-                return finish(True, STOP_FIXPOINT)
-    finally:
+            # Checkpoint 0: the database and the rule symbols — also
+            # the hydration source for process-executor worker mirrors
+            # (they open the store instead of receiving a full ship).
+            ckpt.checkpoint(engine, steps)
+            engine.store_ref = (save, ckpt.writer.facts)
+    except BaseException:
         if owns_scheduler:
             round_scheduler.close()
+        raise
+    return _drive(
+        instance, rules, variant, max_steps, factory, budget, engine,
+        round_scheduler, owns_scheduler, steps, rng=rng, ckpt=ckpt,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def resume_chase(
+    path: str,
+    rules: Optional[Sequence[TGD]] = None,
+    *,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    max_steps: Optional[int] = None,
+    save: bool = True,
+    checkpoint_every: int = 1,
+) -> ChaseResult:
+    """Continue a checkpointed chase from a store directory.
+
+    The store carries everything a continuation needs — facts, symbol
+    ids, applied steps, fired keys, frontier, null counter, the rules
+    themselves — so ``rules`` is optional; when supplied it is checked
+    against the checkpointed program (by string form) and mismatches
+    are refused.  The continued run is byte-identical to the
+    uninterrupted run: same facts in the same order, same trigger
+    keys, same null numbering, same provenance — on every executor.
+
+    ``max_steps`` (default: the checkpointed value) must be raised
+    above the recorded step count to make progress after a
+    ``step_budget`` stop; ``budget`` is a *fresh* budget for this leg
+    (deadlines restart — wall-clock spent before the stop is not
+    carried over).  ``save=False`` continues in memory without
+    advancing the on-disk checkpoint.  A store whose run already
+    terminated returns the finished result immediately.
+    """
+    from ..storage.durable import open_store
+
+    store = open_store(path)
+    state = load_state(path, store)
+    stored_rules = list(state["rules"])
+    if rules is not None:
+        if [str(r) for r in rules] != [str(r) for r in stored_rules]:
+            raise ValueError(
+                f"{path}: supplied rules differ from the "
+                f"checkpointed program"
+            )
+    rules = stored_rules
+    variant = state["variant"]
+    if max_steps is None:
+        max_steps = state["max_steps"]
+    store.ensure_all()
+    instance = Instance(store=store)
+    instance.order_policy = state["planner"]
+    steps = [
+        ChaseStep(
+            Trigger.from_ids(rules[ri], ri, ids, instance),
+            instance, ords,
+        )
+        for ri, ids, ords in state["steps"]
+    ]
+    if state["terminated"]:
+        return ChaseResult(
+            instance, True, steps, variant, max_steps,
+            stop_reason=state["stop_reason"] or STOP_FIXPOINT,
+        )
+    factory = NullFactory(start=state["null_next"])
+    round_scheduler, owns_scheduler = resolve_scheduler(scheduler, workers)
+    if budget is not None:
+        budget.start()
+    try:
+        engine = DeltaEngine(
+            rules,
+            instance,
+            key=lambda trigger: trigger.key(variant),
+            scheduler=round_scheduler,
+            variant=variant,
+            budget=budget,
+            fired=state["fired"],
+            frontier=state["frontier"],
+        )
+        engine.store_ref = (path, state["facts"])
+        ckpt = None
+        if save:
+            engine.track_fired()
+            ckpt = Checkpointer.attach(path, instance, state, max_steps)
+        pending = tuple(
+            Trigger.from_ids(rules[ri], ri, tuple(ids), instance)
+            for ri, ids in state["pending"]
+        )
+    except BaseException:
+        if owns_scheduler:
+            round_scheduler.close()
+        raise
+    return _drive(
+        instance, rules, variant, max_steps, factory, budget, engine,
+        round_scheduler, owns_scheduler, steps, ckpt=ckpt,
+        checkpoint_every=checkpoint_every, pending=pending,
+        rounds_done=state["rounds"],
+    )
 
 
 def oblivious_chase(

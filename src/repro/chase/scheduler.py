@@ -358,9 +358,12 @@ def _ordinal_batches(
     """The interned-form analogue of :func:`discovery_batches`: the
     frontier is a list of fact ordinals and candidates are grouped by
     predicate *id*, in the same canonical order."""
+    store = instance.store
+    store.ensure_all()
+    log_pids = store.log_pids
     by_pid: Dict[int, List[int]] = {}
     for ordinal in ordinals:
-        pid = instance._log_pids[ordinal]
+        pid = log_pids[ordinal]
         group = by_pid.get(pid)
         if group is None:
             by_pid[pid] = [ordinal]
@@ -438,7 +441,7 @@ def evaluate_ordinal_batch(
     rest = exec_.rest
     emit = exec_.emit
     assign: List[Optional[int]] = [None] * exec_.nslots
-    log_rows = instance._log_rows
+    log_rows = instance.store.log_rows
     out: List[WireTrigger] = []
     for ordinal in candidates:
         row = log_rows[ordinal]
@@ -472,9 +475,10 @@ class ShipLog:
     """
 
     __slots__ = ("token", "rules", "worker_versions", "stats",
-                 "_init_payload")
+                 "store_ref", "_init_payload")
 
-    def __init__(self, rules: Sequence[TGD]):
+    def __init__(self, rules: Sequence[TGD],
+                 store_ref: Optional[Tuple[str, int]] = None):
         self.token = (os.getpid(), next(_token_counter))
         self.rules = list(rules)
         self.worker_versions: Dict[int, int] = {}
@@ -488,6 +492,14 @@ class ShipLog:
             # round-start instance, (at least) once per round.
             "rows_old_protocol": 0,
         }
+        # ``(path, facts_at_flush)`` of a durable store holding a
+        # committed prefix of the run's instance (checkpointed or
+        # resumed runs).  Workers hydrate their mirror from the store
+        # instead of receiving the prefix over the wire; shipping
+        # starts at the flush watermark rather than zero.
+        self.store_ref = store_ref
+        if store_ref is not None:
+            self.stats["store_base"] = store_ref[1]
         self._init_payload = None
 
     def note(self, pid: int, version: Optional[int]) -> None:
@@ -499,9 +511,13 @@ class ShipLog:
 
     def ship_from(self) -> int:
         """The log position shipping must start from: the most-behind
-        known worker's version (0 when no worker is known yet)."""
+        known worker's version (with no worker known yet, the durable
+        store's flush watermark when one is attached — fresh mirrors
+        hydrate that prefix from disk — else 0)."""
         versions = self.worker_versions
-        return min(versions.values()) if versions else 0
+        if versions:
+            return min(versions.values())
+        return self.store_ref[1] if self.store_ref is not None else 0
 
     def init_payload(self, instance: Instance):
         """The once-per-run symbol diff: rules, rule constants and
@@ -537,13 +553,13 @@ class ShipLog:
                             const_pairs.append(
                                 (term, instance.term_id(term))
                             )
-            for pred, pid in list(instance._pred_ids.items()):
+            for pred, pid in list(instance.store.pred_ids.items()):
                 if pred not in seen_preds:
                     seen_preds.add(pred)
                     pred_pairs.append((pred, pid))
             self._init_payload = (
                 tuple(self.rules), tuple(const_pairs), tuple(pred_pairs),
-                instance.order_policy,
+                instance.order_policy, self.store_ref,
             )
         return self._init_payload
 
@@ -559,12 +575,19 @@ class ShipLog:
         old-protocol comparison column.
         """
         start = self.ship_from()
-        pids = array("q", instance._log_pids[start:base])
+        store = instance.store
+        pids = array("q", store.log_pids[start:base])
         flat = array("q")
-        rows = instance._log_rows
+        rows = store.log_rows
         for ordinal in range(start, base):
             flat.extend(rows[ordinal])
-        init = self.init_payload(instance) if start == 0 else None
+        # With a store ref the init payload rides along on every tail
+        # (it is tiny): a fresh worker can then hydrate from disk and
+        # join mid-run without ever seeing a zero-based tail.
+        init = (
+            self.init_payload(instance)
+            if start == 0 or self.store_ref is not None else None
+        )
         self.stats["rows_shipped"] += base - start
         if count_round:
             self.stats["rounds"] += 1
@@ -586,10 +609,30 @@ class _Mirror:
 
     __slots__ = ("instance", "version", "rules", "arity")
 
-    def __init__(self, rules, const_pairs, pred_pairs, order_policy):
-        self.instance = Instance(
-            symbols=SymbolTable(const_pairs, sealed=True)
-        )
+    def __init__(self, rules, const_pairs, pred_pairs, order_policy,
+                 store_ref=None):
+        if store_ref is not None:
+            # Hydrate the committed prefix from the durable store: the
+            # full parent symbol table comes along for free (sealed so
+            # fresh allocations can never shadow parent ids), and only
+            # the post-flush tail ever crosses the wire.
+            from ..storage.durable import open_store
+
+            path, _watermark = store_ref
+            store = open_store(path)
+            store.ensure_all()
+            store.symbols.seal()
+            self.instance = Instance(store=store)
+            # Validate the shipped rule-constant ids against the
+            # persisted table (prime is idempotent, conflicts raise).
+            for term, tid in const_pairs:
+                store.symbols.prime(term, tid)
+            self.version = store.size()
+        else:
+            self.instance = Instance(
+                symbols=SymbolTable(const_pairs, sealed=True)
+            )
+            self.version = 0
         # Mirrors must order joins exactly as the parent does — the
         # policy ships with the init payload.
         self.instance.order_policy = order_policy
@@ -597,7 +640,6 @@ class _Mirror:
             self.instance.prime_predicate(pred, pid)
         self.rules = list(rules)
         self.arity = {pid: pred.arity for pred, pid in pred_pairs}
-        self.version = 0
 
 
 def _sync_mirror(token, base, tail) -> Optional[_Mirror]:
@@ -607,9 +649,20 @@ def _sync_mirror(token, base, tail) -> Optional[_Mirror]:
     start, pids, flat, init = tail
     mirror = _MIRRORS.get(token)
     if mirror is None:
-        if init is None or start != 0:
+        if init is None:
             return None
-        mirror = _Mirror(*init)
+        store_ref = init[4]
+        if start != 0 and store_ref is None:
+            return None
+        try:
+            mirror = _Mirror(*init)
+        except Exception:
+            if store_ref is None:
+                raise
+            # A store ref that no longer opens (moved, torn mid-write)
+            # degrades to a resync — the parent evaluates this chunk
+            # locally — instead of failing the round.
+            return None
         _MIRRORS[token] = mirror
         while len(_MIRRORS) > _MIRROR_CAP:
             _MIRRORS.popitem(last=False)

@@ -10,10 +10,16 @@
                               [--workers N] [--scheduler serial|threaded|process]
                               [--planner cost|heuristic]
                               [--timeout S] [--max-memory-mb M] [--max-rounds N]
+                              [--save DIR [--overwrite] [--checkpoint-every N]]
+    python -m repro chase     --resume DIR [--max-steps N] [--no-save]
+                              [--workers N] [--scheduler serial|threaded|process]
+                              [--timeout S] [--max-memory-mb M] [--max-rounds N]
     python -m repro query     RULES.tgd DB.facts "q(X) :- body(X, Y)"
                               [--certain] [--variant o|so|r] [--max-steps N]
                               [--planner cost|heuristic]
                               [--timeout S] [--max-memory-mb M] [--max-rounds N]
+    python -m repro query     --db DIR "q(X) :- body(X, Y)" [--certain]
+    python -m repro inspect   DIR
     python -m repro critical  RULES.tgd [--standard]
     python -m repro entail    RULES.tgd DB.facts "atom(a, b)"
     python -m repro dot       RULES.tgd [--graph dep|extdep|joint|types]
@@ -40,6 +46,17 @@ and exits with the stop reason's code (see :data:`EXIT_CODES`).
 Ctrl-C is cooperative cancellation: the governed commands catch
 SIGINT, finish the current step, and report a round-consistent partial
 result with exit code 6 instead of a traceback.
+
+``chase --save DIR`` checkpoints the run into a durable fact store
+(:mod:`repro.storage`) at every round boundary and at the stop.  Any
+non-zero stop — ``step_budget`` (1), ``deadline`` (4), ``memory`` (5),
+``cancelled`` (6) — leaves a resumable store: ``chase --resume DIR``
+continues from exactly where the run stopped (raise ``--max-steps`` /
+the budget flags to make progress) and produces a byte-identical
+result to the uninterrupted run.  A store whose run reached
+``fixpoint`` (0) resumes to an immediate no-op.  ``query --db DIR``
+answers over a saved store without re-chasing, and ``inspect DIR``
+summarizes one from its manifest alone (no row data is read).
 """
 
 from __future__ import annotations
@@ -53,6 +70,7 @@ from .chase import (
     SCHEDULER_KINDS,
     ChaseVariant,
     critical_instance,
+    resume_chase,
     run_chase,
     standard_critical_instance,
 )
@@ -215,28 +233,116 @@ def _chase_summary(variant: str, result) -> None:
 
 
 def _cmd_chase(args) -> int:
+    budget = _budget_from(args)
+    if args.resume is not None:
+        if args.save is not None:
+            raise ValueError(
+                "--resume continues its own store; --save is for "
+                "fresh runs"
+            )
+        rules = _load_rules(args.rules) if args.rules else None
+        # A bare --resume must make progress after a step_budget stop,
+        # so the CLI applies its own fresh-run default rather than
+        # replaying the checkpointed (possibly exhausted) cap.
+        max_steps = args.max_steps if args.max_steps is not None else 10_000
+        with _sigint_cancels(budget):
+            result = resume_chase(
+                args.resume, rules,
+                max_steps=max_steps, budget=budget,
+                save=not args.no_save,
+                checkpoint_every=args.checkpoint_every,
+                **_scheduler_args(args),
+            )
+        _chase_summary(result.variant, result)
+        print(instance_to_text(result.instance))
+        return EXIT_CODES.get(result.stop_reason, 1)
+    if not args.rules or not args.database:
+        raise ValueError("chase needs RULES and DB (or --resume DIR)")
     rules = _load_rules(args.rules)
     database = _load_database(args.database)
     variant = _VARIANTS[args.variant]
-    budget = _budget_from(args)
+    max_steps = args.max_steps if args.max_steps is not None else 10_000
     with _sigint_cancels(budget):
         result = run_chase(
-            database, rules, variant, max_steps=args.max_steps,
-            planner=args.planner, budget=budget, **_scheduler_args(args),
+            database, rules, variant, max_steps=max_steps,
+            planner=args.planner, budget=budget,
+            save=args.save, overwrite=args.overwrite,
+            checkpoint_every=args.checkpoint_every,
+            **_scheduler_args(args),
         )
     _chase_summary(variant, result)
+    if args.save is not None and result.stop_reason != "fixpoint":
+        print(f"% resumable: repro chase --resume {args.save}",
+              file=sys.stderr)
     print(instance_to_text(result.instance))
     return EXIT_CODES.get(result.stop_reason, 1)
+
+
+def _query_over_store(args, budget) -> int:
+    """``query --db DIR``: answer over a saved store, no re-chase."""
+    from .model import Atom, Predicate
+    from .storage import open_instance
+
+    query = parse_query(args.query)
+    instance = open_instance(args.db)
+    terminated = None
+    try:
+        from .chase import load_state
+
+        terminated = load_state(args.db, instance.store)["terminated"]
+    except (ReproError, ValueError, OSError):
+        pass  # a plain Instance.save() store carries no chase state
+    print(f"% store {args.db}: {len(instance)} facts")
+    if args.certain and terminated is False:
+        print(
+            "% warning: the saved chase did not terminate — the store "
+            "is not a universal model; certain answers may be "
+            "incomplete",
+            file=sys.stderr,
+        )
+    if query.is_boolean():
+        holds = query.holds_in(
+            instance, policy=args.planner, budget=budget
+        )
+        print("true" if holds else "false")
+        return 0
+    name = query.name
+    if args.certain:
+        answers = query.certain_answers(
+            instance, policy=args.planner, budget=budget
+        )
+    else:
+        answers = query.answers(
+            instance, policy=args.planner, budget=budget
+        )
+    count = 0
+    for answer in answers:
+        count += 1
+        print(atom_to_text(Atom(Predicate(name, len(answer)), answer)))
+    print(f"% {count} {'certain ' if args.certain else ''}answers")
+    return 0
 
 
 def _cmd_query(args) -> int:
     from .model import Atom, Predicate
 
+    budget = _budget_from(args)
+    inputs = args.inputs
+    if args.db is not None:
+        if len(inputs) != 1:
+            raise ValueError("with --db, pass just the query")
+        args.query = inputs[0]
+        with _sigint_cancels(budget):
+            return _query_over_store(args, budget)
+    if len(inputs) != 3:
+        raise ValueError(
+            "query needs RULES DB QUERY (or --db DIR QUERY)"
+        )
+    args.rules, args.database, args.query = inputs
     rules = _load_rules(args.rules)
     database = _load_database(args.database)
     query = parse_query(args.query)
     variant = _VARIANTS[args.variant]
-    budget = _budget_from(args)
     with _sigint_cancels(budget):
         result = run_chase(
             database, rules, variant, max_steps=args.max_steps,
@@ -272,6 +378,48 @@ def _cmd_query(args) -> int:
             print(atom_to_text(Atom(Predicate(name, len(answer)), answer)))
     print(f"% {count} {'certain ' if args.certain else ''}answers")
     return exit_code
+
+
+def _cmd_inspect(args) -> int:
+    """Summarize a saved store from its manifest and chase header
+    alone — O(1) in the number of facts, no row segment is read."""
+    import pickle
+
+    from .storage import CHASE_STATE, read_manifest
+
+    manifest = read_manifest(args.store)
+    print(f"store: {args.store}")
+    print(f"  facts: {manifest['facts']}")
+    print(f"  symbols: {manifest['symbols']}")
+    print(f"  predicates: {manifest['preds']}")
+    print(f"  domain: {manifest['domain']}")
+    rows = {
+        pid: meta["rows"]
+        for pid, meta in manifest["predicates"].items()
+    }
+    nonempty = sum(1 for n in rows.values() if n)
+    print(f"  nonempty relations: {nonempty}")
+    header_path = f"{args.store}/{CHASE_STATE}"
+    import os
+
+    if not os.path.exists(header_path):
+        print("  chase state: none (plain instance store)")
+        return 0
+    with open(header_path, "rb") as handle:
+        state = pickle.load(handle)
+    status = (
+        "terminated" if state["terminated"]
+        else f"stopped: {_STATUS.get(state['stop_reason'], state['stop_reason'])}"
+    )
+    print(f"  chase: {state['variant']}, {status}")
+    print(f"  steps: {state['n_steps']} (max_steps {state['max_steps']})")
+    print(f"  rounds: {state['rounds']}")
+    print(f"  rules: {len(state['rules'])}")
+    print(f"  frontier: {len(state['frontier'])} fact(s) undiscovered")
+    print(f"  pending: {len(state['pending'])} trigger(s) unapplied")
+    if not state["terminated"]:
+        print(f"  resumable: repro chase --resume {args.store}")
+    return 0
 
 
 def _cmd_critical(args) -> int:
@@ -386,10 +534,30 @@ def build_parser() -> argparse.ArgumentParser:
     check.set_defaults(func=_cmd_check)
 
     chase = sub.add_parser("chase", help="run a budgeted chase")
-    chase.add_argument("rules")
-    chase.add_argument("database")
+    chase.add_argument("rules", nargs="?", default=None)
+    chase.add_argument("database", nargs="?", default=None)
     chase.add_argument("--variant", choices=sorted(_VARIANTS), default="r")
-    chase.add_argument("--max-steps", type=int, default=10_000)
+    chase.add_argument("--max-steps", type=int, default=None,
+                       help="total trigger-application budget, counting "
+                            "steps taken before a --resume (default "
+                            "10000)")
+    chase.add_argument("--save", metavar="DIR", default=None,
+                       help="checkpoint the run into a durable fact "
+                            "store at DIR (resumable after any "
+                            "non-fixpoint stop)")
+    chase.add_argument("--overwrite", action="store_true",
+                       help="with --save, replace an existing store")
+    chase.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="N", help="checkpoint every N rounds "
+                                         "(default 1; stops always "
+                                         "checkpoint)")
+    chase.add_argument("--resume", metavar="DIR", default=None,
+                       help="continue a checkpointed run from DIR "
+                            "(RULES/DB come from the store; RULES may "
+                            "be given to cross-check)")
+    chase.add_argument("--no-save", action="store_true",
+                       help="with --resume, continue in memory without "
+                            "advancing the on-disk checkpoint")
     _add_scheduler_flags(chase)
     _add_planner_flag(chase, default="heuristic")
     _add_budget_flags(chase)
@@ -397,11 +565,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser(
         "query", help="chase a database and answer a conjunctive query")
-    query.add_argument("rules")
-    query.add_argument("database")
-    query.add_argument("query",
-                       help="a CQ such as \"q(X) :- e(X, Y)\"; a bare "
-                            "conjunction is evaluated as a boolean query")
+    query.add_argument("inputs", nargs="+",
+                       metavar="RULES DB QUERY",
+                       help="RULES DB QUERY — or just QUERY with --db; "
+                            "a CQ such as \"q(X) :- e(X, Y)\" (a bare "
+                            "conjunction is evaluated as a boolean "
+                            "query)")
+    query.add_argument("--db", metavar="DIR", default=None,
+                       help="answer over a saved fact store instead of "
+                            "chasing (no RULES/DB arguments)")
     query.add_argument("--certain", action="store_true",
                        help="print only null-free (certain) answers, "
                             "sorted")
@@ -411,6 +583,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_planner_flag(query, default="cost")
     _add_budget_flags(query)
     query.set_defaults(func=_cmd_query)
+
+    inspect = sub.add_parser(
+        "inspect", help="summarize a saved fact store (manifest only)")
+    inspect.add_argument("store")
+    inspect.set_defaults(func=_cmd_inspect)
 
     critical = sub.add_parser("critical", help="print the critical instance")
     critical.add_argument("rules")

@@ -16,6 +16,17 @@ relation is an append-only list of int-tuple *rows*, indexed two ways:
   bound by outer join levels — int hashing and int equality instead of
   object ``__hash__``/``__eq__`` dispatch.
 
+The physical side — symbol table, fact log, row lists, indexes, the
+planner's column statistics — lives in a pluggable
+:class:`~repro.storage.base.FactStore` (the ``store`` property).  The
+default in-memory backend is byte-identical to the pre-storage-layer
+core; the durable backend (:mod:`repro.storage.durable`) hydrates the
+same structures lazily from append-only segment files, so a saved
+instance reopens in O(symbols + facts) and pays row decoding only for
+the predicates actually touched.  Instances built on either backend
+are indistinguishable to every consumer: same ids, same rows, same
+iteration order, same planner statistics.
+
 Atoms are materialized lazily, only at API boundaries (``facts()``,
 iteration, ``facts_with_predicate``, provenance, printing): the fact
 log keeps one slot per row, filled with the original object on the
@@ -44,15 +55,17 @@ from typing import (
     Tuple,
 )
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.base import FactStore
+
 from .atoms import Atom, Predicate
 from .schema import Schema
 from .symbols import SymbolTable
 from .terms import Constant, Null, Term
 
 Row = Tuple[int, ...]
-
-_EMPTY_ROWS: List[Row] = []
-_EMPTY_MEMBER: Dict[Row, int] = {}
 
 
 class Instance:
@@ -63,18 +76,9 @@ class Instance:
     """
 
     __slots__ = (
-        "_symbols",
-        "_pred_ids",
-        "_pred_objs",
-        "_log_pids",
-        "_log_rows",
+        "_store",
         "_atoms",
-        "_member_by_pid",
-        "_rows_by_pid",
-        "_index",
-        "_pos_card",
         "order_policy",
-        "_domain_ids",
         "_domain_cache",
         "_constants_cache",
         "_nulls_cache",
@@ -88,35 +92,33 @@ class Instance:
         self,
         facts: Iterable[Atom] = (),
         symbols: Optional[SymbolTable] = None,
+        store: Optional[FactStore] = None,
     ):
-        self._symbols = symbols if symbols is not None else SymbolTable()
-        self._pred_ids: Dict[Predicate, int] = {}
-        self._pred_objs: Dict[int, Predicate] = {}
-        self._log_pids: List[int] = []
-        self._log_rows: List[Row] = []
+        # Function-level import: storage.base imports model submodules
+        # for its structures, so a module-level import here would be
+        # circular whichever package loads first.
+        from ..storage.base import MemoryFactStore
+
+        if store is not None:
+            if symbols is not None:
+                raise ValueError("pass symbols or store, not both")
+            self._store = store
+        else:
+            self._store = MemoryFactStore(symbols)
         # Sparse ordinal -> Atom store: filled with the caller's object
         # on object-level adds, decoded on demand everywhere else (most
         # engine-created facts never materialize at all).
         self._atoms: Dict[int, Atom] = {}
-        self._member_by_pid: Dict[int, Dict[Row, int]] = {}
-        self._rows_by_pid: Dict[int, List[Row]] = {}
-        # (pred_id, position, term_id) -> rows carrying term_id there.
-        self._index: Dict[Tuple[int, int, int], List[Row]] = {}
-        # (pred_id, position) -> how many distinct term ids occur there
-        # (maintained incrementally; the cost-based planner's column
-        # cardinality statistic — see repro.query.planner).
-        self._pos_card: Dict[Tuple[int, int], int] = {}
         # Join-order policy consulted by the chase engines' discovery
         # and head-probe plans ("heuristic" preserves the canonical
-        # fair order; "cost" plans from the statistics above).
+        # fair order; "cost" plans from the store's statistics).
         self.order_policy: str = "heuristic"
-        # Incrementally maintained active domain (term ids, insertion
-        # order) plus size-validated decode caches.
-        self._domain_ids: Dict[int, None] = {}
+        # Size-validated decode caches over the store's domain.
         self._domain_cache: Optional[FrozenSet[Term]] = None
         self._constants_cache: Optional[Tuple[int, FrozenSet[Constant]]] = None
         self._nulls_cache: Optional[Tuple[int, FrozenSet[Null]]] = None
-        # Cached facts_with_predicate() tuples, invalidated by length.
+        # Cached facts_with_predicate() tuples, invalidated by the
+        # store's per-relation row counts (backend-agnostic).
         self._snapshots: Dict[int, Tuple[Atom, ...]] = {}
         # Join-engine resolution caches (managed by repro.model.joinplan
         # and repro.chase.triggers; they die with the instance, unlike
@@ -126,6 +128,7 @@ class Instance:
         self._templates: Dict = {}
         if (
             symbols is None
+            and store is None
             and type(self) is Instance
             and isinstance(facts, Instance)
             and type(facts) in (Instance, Database)
@@ -135,80 +138,55 @@ class Instance:
             # every Atom — the chase engines copy their input database
             # this way.  Subclasses fall through to per-fact adds so
             # their add() checks still run.
-            self._copy_core(facts)
+            self._store = facts._store.clone()
+            self._atoms = dict(facts._atoms)
+            self.order_policy = facts.order_policy
             return
         for fact in facts:
             self.add(fact)
 
-    def _copy_core(self, other: "Instance") -> None:
-        self._symbols = other._symbols.clone()
-        self._pred_ids = dict(other._pred_ids)
-        self._pred_objs = dict(other._pred_objs)
-        self._log_pids = list(other._log_pids)
-        self._log_rows = list(other._log_rows)
-        self._atoms = dict(other._atoms)
-        self._member_by_pid = {
-            pid: dict(member)
-            for pid, member in other._member_by_pid.items()
-        }
-        self._rows_by_pid = {
-            pid: list(rows) for pid, rows in other._rows_by_pid.items()
-        }
-        self._index = {key: list(rows) for key, rows in other._index.items()}
-        self._pos_card = dict(other._pos_card)
-        self.order_policy = other.order_policy
-        self._domain_ids = dict(other._domain_ids)
+    @property
+    def store(self) -> FactStore:
+        """The physical backend holding this instance's rows (the
+        :class:`~repro.storage.base.FactStore` API is the only
+        sanctioned access to raw storage structures)."""
+        return self._store
 
     # -- interning ---------------------------------------------------------
 
     def pred_id(self, predicate: Predicate) -> int:
         """The (interning) dense id of ``predicate``."""
-        pid = self._pred_ids.get(predicate)
-        if pid is None:
-            pid = len(self._pred_objs)
-            while pid in self._pred_objs:  # primed tables may be sparse
-                pid += 1
-            self._pred_ids[predicate] = pid
-            self._pred_objs[pid] = predicate
-        return pid
+        return self._store.pred_id(predicate)
 
     def pred_id_get(self, predicate: Predicate) -> Optional[int]:
         """The id of ``predicate`` if seen before, else ``None``."""
-        return self._pred_ids.get(predicate)
+        return self._store.pred_id_get(predicate)
 
     def predicate_of(self, pid: int) -> Predicate:
         """Decode a predicate id."""
-        return self._pred_objs[pid]
+        return self._store.pred_objs[pid]
 
     def prime_predicate(self, predicate: Predicate, pid: int) -> None:
         """Install a parent-assigned predicate id (worker mirrors)."""
-        known = self._pred_ids.get(predicate)
-        if known is not None:
-            if known != pid:
-                raise ValueError(
-                    f"{predicate} already has id {known}, not {pid}"
-                )
-            return
-        self._pred_ids[predicate] = pid
-        self._pred_objs[pid] = predicate
+        self._store.prime_predicate(predicate, pid)
 
     def term_id(self, term: Term) -> int:
         """The (interning) dense id of ``term``."""
-        return self._symbols.intern(term)
+        return self._store.symbols.intern(term)
 
     def term_id_get(self, term: Term) -> Optional[int]:
         """The id of ``term`` if interned, else ``None``."""
-        return self._symbols.get(term)
+        return self._store.symbols.get(term)
 
     def term_of(self, tid: int) -> Term:
         """Decode a term id."""
-        return self._symbols.obj(tid)
+        return self._store.symbols.obj(tid)
 
     @property
     def symbols(self) -> SymbolTable:
         """The instance's symbol table (terms only; predicates are kept
         in a separate id space)."""
-        return self._symbols
+        return self._store.symbols
 
     def prepare_rules(self, rules: Iterable) -> None:
         """Pre-intern every predicate and constant of ``rules`` in a
@@ -217,15 +195,19 @@ class Instance:
         Engines call this once, serially, before any batched round so
         that threaded discovery only ever *reads* the symbol table —
         id assignment order can then never depend on thread timing.
+        (On a reopened durable store this also hydrates every relation
+        the rules mention, before any round runs.)
         """
         from .terms import Variable
 
+        store = self._store
+        intern = store.symbols.intern
         for rule in rules:
             for atom in rule.body + rule.head:
-                self.pred_id(atom.predicate)
+                store.pred_id(atom.predicate)
                 for term in atom.terms:
                     if not isinstance(term, Variable):
-                        self.term_id(term)
+                        intern(term)
 
     # -- mutation ----------------------------------------------------------
 
@@ -237,10 +219,11 @@ class Instance:
         """
         if not fact.is_ground():
             raise ValueError(f"instances hold ground atoms only, got {fact}")
-        pid = self.pred_id(fact.predicate)
-        intern = self._symbols.intern
+        store = self._store
+        pid = store.pred_id(fact.predicate)
+        intern = store.symbols.intern
         row = tuple(intern(t) for t in fact.terms)
-        ordinal = self.add_row(pid, row)
+        ordinal = store.add_row(pid, row)
         if ordinal is None:
             return False
         # Keep the caller's object so facts() hands back identical
@@ -255,39 +238,7 @@ class Instance:
         present.  The Atom is materialized lazily.  No groundness check
         — ids always denote ground terms.
         """
-        member = self._member_by_pid.get(pid)
-        if member is None:
-            member = self._member_by_pid[pid] = {}
-            self._rows_by_pid[pid] = []
-        if row in member:
-            return None
-        log_rows = self._log_rows
-        ordinal = len(log_rows)
-        member[row] = ordinal
-        self._log_pids.append(pid)
-        log_rows.append(row)
-        self._rows_by_pid[pid].append(row)
-        index_get = self._index.get
-        index_set = self._index.__setitem__
-        domain = self._domain_ids
-        pos_card = self._pos_card
-        position = 0
-        for tid in row:
-            key = (pid, position, tid)
-            rows = index_get(key)
-            if rows is None:
-                index_set(key, [row])
-                # A term already indexed somewhere is already in the
-                # domain; only first-time index rows can introduce one.
-                domain[tid] = None
-                # First occurrence of tid at this column: one more
-                # distinct value for the planner's cardinality stats.
-                ckey = (pid, position)
-                pos_card[ckey] = pos_card.get(ckey, 0) + 1
-            else:
-                rows.append(row)
-            position += 1
-        return ordinal
+        return self._store.add_row(pid, row)
 
     def add_all(self, facts: Iterable[Atom]) -> int:
         """Insert many facts; return how many were new."""
@@ -299,31 +250,31 @@ class Instance:
         """The fact at log position ``ordinal`` (materialized lazily)."""
         atom = self._atoms.get(ordinal)
         if atom is None:
-            obj = self._symbols.obj
-            atom = Atom(
-                self._pred_objs[self._log_pids[ordinal]],
-                [obj(t) for t in self._log_rows[ordinal]],
-            )
+            store = self._store
+            pid, row = store.row_at(ordinal)
+            obj = store.symbols.obj
+            atom = Atom(store.pred_objs[pid], [obj(t) for t in row])
             self._atoms[ordinal] = atom
         return atom
 
     def row_at(self, ordinal: int) -> Tuple[int, Row]:
         """``(pred_id, row)`` at log position ``ordinal``."""
-        return self._log_pids[ordinal], self._log_rows[ordinal]
+        return self._store.row_at(ordinal)
 
     def ordinal_of(self, fact: Atom) -> Optional[int]:
         """The log position of ``fact``, or ``None`` if absent."""
-        pid = self._pred_ids.get(fact.predicate)
+        store = self._store
+        pid = store.pred_id_get(fact.predicate)
         if pid is None:
             return None
-        get = self._symbols.get
+        get = store.symbols.get
         row: List[int] = []
         for term in fact.terms:
             tid = get(term)
             if tid is None:
                 return None
             row.append(tid)
-        return self._member_by_pid.get(pid, _EMPTY_MEMBER).get(tuple(row))
+        return store.member_rows(pid).get(tuple(row))
 
     # -- queries ------------------------------------------------------------
 
@@ -333,13 +284,15 @@ class Instance:
         return self.ordinal_of(fact) is not None
 
     def __iter__(self) -> Iterator[Atom]:
-        for ordinal in range(len(self._log_rows)):
+        for ordinal in range(self._store.size()):
             yield self.atom_at(ordinal)
 
     def __len__(self) -> int:
-        return len(self._log_rows)
+        return self._store.size()
 
     def __eq__(self, other: object) -> bool:
+        # Compares fact *sets* through the public surface, so instances
+        # on different backends (or mid-hydration) compare correctly.
         if not isinstance(other, Instance):
             return NotImplemented
         return set(self) == set(other)
@@ -354,42 +307,48 @@ class Instance:
         # Ship the fact tuple only; the receiving interpreter re-interns
         # every symbol and rebuilds the indexes (whose dict keys would
         # otherwise carry hashes from the sending interpreter).  Also
-        # covers Database: ``self.__class__`` re-runs its null check.
+        # covers Database (``self.__class__`` re-runs its null check)
+        # and durable-backed instances (facts() hydrates; the copy is
+        # rebuilt on the default in-memory backend).
         return (self.__class__, (self.facts(),))
 
     def facts(self) -> Tuple[Atom, ...]:
         """All facts in insertion order."""
         atom_at = self.atom_at
-        return tuple(atom_at(o) for o in range(len(self._log_rows)))
+        return tuple(atom_at(o) for o in range(self._store.size()))
 
     def facts_with_predicate(self, predicate: Predicate) -> Tuple[Atom, ...]:
         """The facts of one relation, in insertion order.
 
         The returned tuple is cached and only rebuilt after the
-        relation has grown, so calling this in a loop is cheap; callers
-        may hold on to it as an immutable snapshot.
+        relation has grown — validity is checked against the store's
+        row count, which both backends answer without hydrating, so
+        callers may hold on to it as an immutable snapshot.
         """
-        pid = self._pred_ids.get(predicate)
+        store = self._store
+        pid = store.pred_id_get(predicate)
         if pid is None:
             return ()
-        member = self._member_by_pid.get(pid)
-        if not member:
+        count = store.count_rows(pid)
+        if not count:
             return ()
         cached = self._snapshots.get(pid)
-        if cached is None or len(cached) != len(member):
+        if cached is None or len(cached) != count:
             atom_at = self.atom_at
             # Membership values are ordinals in insertion order.
-            cached = tuple(atom_at(o) for o in member.values())
+            cached = tuple(
+                atom_at(o) for o in store.member_rows(pid).values()
+            )
             self._snapshots[pid] = cached
         return cached
 
     def count_with_predicate(self, predicate: Predicate) -> int:
-        """How many facts one relation holds (no allocation)."""
-        pid = self._pred_ids.get(predicate)
+        """How many facts one relation holds (no allocation — and no
+        hydration on a reopened durable store)."""
+        pid = self._store.pred_id_get(predicate)
         if pid is None:
             return 0
-        rows = self._rows_by_pid.get(pid)
-        return len(rows) if rows else 0
+        return self._store.count_rows(pid)
 
     def facts_matching(
         self, predicate: Predicate, bindings: Mapping[int, Term]
@@ -404,14 +363,14 @@ class Instance:
         with empty ``bindings`` it is the whole relation.  Returns a
         fresh list the caller may keep.
         """
-        pid = self._pred_ids.get(predicate)
+        store = self._store
+        pid = store.pred_id_get(predicate)
         if pid is None:
             return []
         atom_at = self.atom_at
         if not bindings:
-            member = self._member_by_pid.get(pid, _EMPTY_MEMBER)
-            return [atom_at(o) for o in member.values()]
-        get = self._symbols.get
+            return [atom_at(o) for o in store.member_rows(pid).values()]
+        get = store.symbols.get
         encoded: List[Tuple[int, int]] = []
         for position, term in bindings.items():
             if not 0 <= position < predicate.arity:
@@ -421,7 +380,7 @@ class Instance:
             if tid is None:
                 return []
             encoded.append((position, tid))
-        member = self._member_by_pid.get(pid, _EMPTY_MEMBER)
+        member = store.member_rows(pid)
         if len(encoded) == predicate.arity:
             # Fully bound: the row is determined — one O(1) probe.
             probe = [0] * predicate.arity
@@ -429,12 +388,11 @@ class Instance:
                 probe[position] = tid
             ordinal = member.get(tuple(probe))
             return [] if ordinal is None else [atom_at(ordinal)]
-        index = self._index
         best: Optional[List[Row]] = None
         best_position = -1
         for position, tid in encoded:
-            rows = index.get((pid, position, tid))
-            if rows is None:
+            rows = store.probe_rows(pid, position, tid)
+            if not rows:
                 return []
             if best is None or len(rows) < len(best):
                 best = rows
@@ -451,40 +409,41 @@ class Instance:
             matched = list(best)
         return [atom_at(member[row]) for row in matched]
 
-    # -- join-engine accessors (internal, zero-copy) -----------------------
+    # -- join-engine accessors (zero-copy, via the store) ------------------
 
     def rows_of(self, pid: int) -> List[Row]:
         """Live insertion-ordered row list of one relation (do not
         mutate; may be empty and unregistered)."""
-        return self._rows_by_pid.get(pid, _EMPTY_ROWS)
+        return self._store.rows_of(pid)
 
     def probe_rows(self, pid: int, position: int, tid: int) -> List[Row]:
         """Live row list of the ``(pred_id, position, term_id)`` index
         (do not mutate)."""
-        return self._index.get((pid, position, tid), _EMPTY_ROWS)
+        return self._store.probe_rows(pid, position, tid)
 
     def member_rows(self, pid: int) -> Dict[Row, int]:
         """Live ``row -> ordinal`` membership dict of one relation
         (do not mutate)."""
-        return self._member_by_pid.get(pid, _EMPTY_MEMBER)
+        return self._store.member_rows(pid)
 
     def distinct_at(self, pid: int, position: int) -> int:
         """How many distinct term ids occur at ``position`` of relation
         ``pid`` (maintained incrementally — the planner's per-column
-        cardinality statistic; 0 for empty/unknown columns)."""
-        return self._pos_card.get((pid, position), 0)
+        cardinality statistic; 0 for empty/unknown columns).  On a
+        reopened store the counters come from the manifest, so the
+        cost planner orders joins identically across backends."""
+        return self._store.distinct_at(pid, position)
 
     def ordinals_of(self, pid: int) -> List[int]:
         """Insertion-ordered fact ordinals of one relation (a fresh
         list; membership values are ordinals in insertion order)."""
-        return list(self._member_by_pid.get(pid, _EMPTY_MEMBER).values())
+        return self._store.ordinals_of(pid)
 
     def predicates(self) -> FrozenSet[Predicate]:
         """The predicates with at least one fact."""
+        store = self._store
         return frozenset(
-            self._pred_objs[pid]
-            for pid, rows in self._rows_by_pid.items()
-            if rows
+            store.pred_objs[pid] for pid in store.nonempty_pids()
         )
 
     def schema(self) -> Schema:
@@ -497,17 +456,18 @@ class Instance:
         Maintained incrementally by ``add_row`` — no rescan; the
         decoded frozenset is cached until the domain grows.
         """
+        store = self._store
         cached = self._domain_cache
-        if cached is not None and len(cached) == len(self._domain_ids):
+        if cached is not None and len(cached) == len(store.domain_ids):
             return cached
-        obj = self._symbols.obj
-        cached = frozenset(obj(tid) for tid in self._domain_ids)
+        obj = store.symbols.obj
+        cached = frozenset(obj(tid) for tid in store.domain_ids)
         self._domain_cache = cached
         return cached
 
     def constants(self) -> FrozenSet[Constant]:
         """All constants occurring in some fact."""
-        size = len(self._domain_ids)
+        size = len(self._store.domain_ids)
         cached = self._constants_cache
         if cached is not None and cached[0] == size:
             return cached[1]
@@ -519,7 +479,7 @@ class Instance:
 
     def nulls(self) -> FrozenSet[Null]:
         """All labelled nulls occurring in some fact."""
-        size = len(self._domain_ids)
+        size = len(self._store.domain_ids)
         cached = self._nulls_cache
         if cached is not None and cached[0] == size:
             return cached[1]
@@ -534,8 +494,20 @@ class Instance:
         return not self.nulls()
 
     def copy(self) -> "Instance":
-        """An independent copy sharing no mutable state."""
+        """An independent copy sharing no mutable state (cloned through
+        the store API — works identically on either backend, always
+        yielding an in-memory copy)."""
         return Instance(self)
+
+    def save(self, path: str, overwrite: bool = False):
+        """Persist this instance as a durable store directory at
+        ``path`` (see :mod:`repro.storage.durable`); returns the
+        :class:`~repro.storage.durable.StoreWriter` so callers may
+        keep appending.  Reopen with
+        :func:`repro.storage.open_instance`."""
+        from ..storage.durable import save_store
+
+        return save_store(self._store, path, overwrite=overwrite)
 
     def frozen(self) -> FrozenSet[Atom]:
         """A hashable snapshot of the fact set."""

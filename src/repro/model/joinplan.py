@@ -87,10 +87,14 @@ class ResolvedStep:
 
     def __init__(self, instance: Instance, atom: Atom,
                  slot_env: Dict[Variable, int]):
+        # pred_id first: on a lazily reopened durable store it hydrates
+        # the relation, so the dicts bound below are already complete
+        # (and, per the FactStore contract, never replaced afterwards).
         self.pid = instance.pred_id(atom.predicate)
-        self._index_get = instance._index.get
-        self._rows_get = instance._rows_by_pid.get
-        self._members_get = instance._member_by_pid.get
+        store = instance.store
+        self._index_get = store.index.get
+        self._rows_get = store.rows_by_pid.get
+        self._members_get = store.member_by_pid.get
         const_checks: List[Tuple[int, int]] = []
         positions_of: Dict[Variable, List[int]] = {}
         order: List[Variable] = []

@@ -142,6 +142,20 @@ class SymbolTable:
         process-executor workers and used by the round-trip tests."""
         return sorted(self._ids.items(), key=lambda kv: kv[1])
 
+    def items_from(self, start: int) -> List[Tuple[object, int]]:
+        """``(object, id)`` pairs with ``id >= start``, in id order —
+        the durable store's append-only persistence tail.  Assumes a
+        dense (intern-built) table; raises ``KeyError`` on sparse
+        primed tables, for which callers fall back to :meth:`items`."""
+        objs = self._objs
+        return [(objs[i], i) for i in range(start, self._next)]
+
+    def seal(self) -> None:
+        """Switch to sealed allocation (negative ids) from now on —
+        worker mirrors hydrated from a store seal the full parent
+        table so they can never mint a colliding id."""
+        self._sealed = True
+
     def __reduce__(self):
         # Rebuild through the constructor: dict keys carry hashes from
         # the sending interpreter (see module docstring).

@@ -1,0 +1,36 @@
+"""Pluggable fact-store backends (ROADMAP item 4).
+
+The physical half of every :class:`~repro.model.instances.Instance` —
+symbol table, fact log, row lists, term-level indexes, planner
+statistics — lives behind the :class:`FactStore` surface, with an
+in-memory backend (the byte-identical default) and a durable one
+(append-only ``array('q')`` segment files, lazy mmap-backed reopen,
+round-boundary chase checkpoints).  See ``storage/base.py`` and
+``storage/durable.py``.
+"""
+
+from .base import FactStore, MemoryFactStore, Row
+from .durable import (
+    CHASE_STATE,
+    DurableFactStore,
+    StoreFormatError,
+    StoreWriter,
+    open_instance,
+    open_store,
+    read_manifest,
+    save_store,
+)
+
+__all__ = [
+    "CHASE_STATE",
+    "DurableFactStore",
+    "FactStore",
+    "MemoryFactStore",
+    "Row",
+    "StoreFormatError",
+    "StoreWriter",
+    "open_instance",
+    "open_store",
+    "read_manifest",
+    "save_store",
+]

@@ -1,0 +1,479 @@
+"""The durable fact-store backend: append-only segment files on disk.
+
+A saved store is a **directory**:
+
+``MANIFEST.json``
+    The commit point.  Counts (facts, symbols, predicates, domain
+    size, per-predicate row counts), the persisted per-column
+    ``distinct_at`` statistics, and format/byte-order markers.  It is
+    rewritten atomically (tmp + ``os.replace``) *after* the data files
+    are appended, so a reader never trusts bytes the manifest does not
+    cover — appends beyond the manifest counts are invisible.
+``symbols.pkl`` / ``preds.pkl``
+    Appended pickle chunks of ``(term, id)`` / ``(predicate, pid)``
+    pairs in id-assignment order.  Terms and predicates rebuild
+    through their interned constructors (see ``model.terms``).
+``log.q``
+    ``array('q')`` of predicate ids, one per fact — the global fact
+    log, i.e. the instance's iteration order.
+``domain.q``
+    Active-domain term ids in first-occurrence order.
+``seg/p<pid>.rows.q`` / ``seg/p<pid>.ords.q``
+    Per-predicate segments: the relation's rows flattened into one
+    ``array('q')`` (arity ints per row, insertion order) and the rows'
+    global log ordinals.  Mapped with :mod:`mmap` and decoded lazily —
+    opening a store touches no segment until its predicate is used.
+``chase.pkl`` / ``steps.q`` / ``fired.q``
+    The chase checkpoint (written by :mod:`repro.chase.checkpoint`):
+    a small pickled header plus append-only int encodings of the
+    applied steps and the fired-key set.
+
+Everything is append-only; a checkpoint costs O(new data), not O(run).
+Crash semantics are *detected, not repaired*: the manifest commits the
+fact data and the chase header self-describes the fact count it
+expects, so a checkpoint torn between the two is refused at resume
+with a clear error instead of silently diverging (checkpoints are
+driven by clean stops — budget exhaustion, ``--max-rounds`` — which
+cannot tear).
+
+Reopening (:func:`open_store`) reads the manifest, symbols,
+predicates, fact log and domain eagerly — O(symbols + facts) with tiny
+constants, no row decoding — and hydrates row segments per predicate
+on first use, at ``pred_id`` resolution (see
+:mod:`repro.storage.base`).  A query touching two relations pays for
+two segments; ``inspect`` pays for none.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import pickle
+from array import array
+from itertools import islice
+from typing import Dict, List, Optional, Tuple
+
+from ..model.symbols import SymbolTable
+from .base import FactStore, Row
+
+FORMAT_VERSION = 1
+MANIFEST = "MANIFEST.json"
+SYMBOLS = "symbols.pkl"
+PREDS = "preds.pkl"
+LOG = "log.q"
+DOMAIN = "domain.q"
+SEG_DIR = "seg"
+CHASE_STATE = "chase.pkl"
+
+#: Every file a store directory may contain (used by ``overwrite``).
+_STORE_FILES = (MANIFEST, SYMBOLS, PREDS, LOG, DOMAIN, CHASE_STATE,
+                "steps.q", "fired.q")
+
+_ITEMSIZE = array("q").itemsize
+
+
+class StoreFormatError(ValueError):
+    """A store directory is missing, torn, or from another format."""
+
+
+def _seg_paths(path: str, pid: int) -> Tuple[str, str]:
+    seg = os.path.join(path, SEG_DIR)
+    return (
+        os.path.join(seg, f"p{pid}.rows.q"),
+        os.path.join(seg, f"p{pid}.ords.q"),
+    )
+
+
+def _read_ints(path: str, count: int) -> array:
+    """The first ``count`` ints of an ``array('q')`` file (the file may
+    be longer — un-committed appends are ignored)."""
+    out = array("q")
+    if count:
+        with open(path, "rb") as fh:
+            out.fromfile(fh, count)
+    return out
+
+
+def _map_ints(path: str, count: int):
+    """A read-only ``memoryview('q')`` over the first ``count`` ints of
+    a segment file (mmap-backed; pages fault in as rows decode)."""
+    if not count:
+        return memoryview(b"").cast("q")
+    with open(path, "rb") as fh:
+        mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    view = memoryview(mm).cast("q")
+    if len(view) < count:
+        raise StoreFormatError(
+            f"{path}: {len(view)} ints on disk, manifest expects {count}"
+        )
+    return view[:count]
+
+
+def _append_ints(path: str, values) -> None:
+    data = values if isinstance(values, array) else array("q", values)
+    if not data:
+        return
+    with open(path, "ab") as fh:
+        data.tofile(fh)
+
+
+def _append_pickle(path: str, chunk: list) -> None:
+    if not chunk:
+        return
+    with open(path, "ab") as fh:
+        pickle.dump(chunk, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _read_pickle_chunks(path: str, count: int) -> list:
+    """Concatenate appended pickle chunks until ``count`` items are
+    collected (later, possibly torn chunks are never read)."""
+    out: list = []
+    if not count:
+        return out
+    with open(path, "rb") as fh:
+        while len(out) < count:
+            out.extend(pickle.load(fh))
+    return out[:count]
+
+
+def _atomic_json(path: str, payload: dict) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=0, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def read_manifest(path: str) -> dict:
+    """Load and sanity-check a store directory's manifest."""
+    manifest_path = os.path.join(path, MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise StoreFormatError(f"{path}: no {MANIFEST} — not a fact store")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("format") != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{path}: format {manifest.get('format')!r}, "
+            f"this build reads {FORMAT_VERSION}"
+        )
+    import sys
+
+    if manifest.get("byteorder") != sys.byteorder or (
+        manifest.get("itemsize") != _ITEMSIZE
+    ):
+        raise StoreFormatError(
+            f"{path}: written on a {manifest.get('byteorder')}-endian/"
+            f"{manifest.get('itemsize')}-byte platform, "
+            f"this one is {sys.byteorder}/{_ITEMSIZE}"
+        )
+    return manifest
+
+
+class DurableFactStore(FactStore):
+    """A fact store hydrated lazily from an on-disk segment directory.
+
+    Behaviourally identical to the in-memory backend — same ids, same
+    row order, same iteration order, same planner statistics — because
+    every structure is rebuilt from data persisted in exactly the
+    order the in-memory store created it.  Mutation is allowed (the
+    resume path chases on top of a reopened store) but forces full
+    residency first.
+    """
+
+    kind = "durable"
+
+    __slots__ = ("path", "manifest", "_lazy", "_arity")
+
+    def __init__(self, path: str):
+        manifest = read_manifest(path)
+        symbols = SymbolTable(
+            _read_pickle_chunks(
+                os.path.join(path, SYMBOLS), manifest["symbols"]
+            )
+        )
+        FactStore.__init__(self, symbols)
+        self.path = path
+        self.manifest = manifest
+        for pred, pid in _read_pickle_chunks(
+            os.path.join(path, PREDS), manifest["preds"]
+        ):
+            self.prime_predicate(pred, pid)
+        n = manifest["facts"]
+        self.log_pids = _read_ints(os.path.join(path, LOG), n)
+        self.log_rows = [None] * n
+        self.domain_ids = dict.fromkeys(
+            _read_ints(os.path.join(path, DOMAIN), manifest["domain"])
+        )
+        for pid, position, count in manifest["pos_card"]:
+            self.pos_card[(pid, position)] = count
+        # pid -> not-yet-hydrated row count; arity from the predicate.
+        self._lazy: Dict[int, int] = {
+            int(pid): meta["rows"]
+            for pid, meta in manifest["predicates"].items()
+            if meta["rows"]
+        }
+        self._arity = {
+            pid: self.pred_objs[pid].arity for pid in self._lazy
+        }
+
+    # -- hydration ---------------------------------------------------------
+
+    def ensure_pred(self, pid: int) -> None:
+        nrows = self._lazy.pop(pid, None)
+        if nrows is None:
+            return
+        arity = self._arity[pid]
+        rows_path, ords_path = _seg_paths(self.path, pid)
+        flat = _map_ints(rows_path, nrows * arity)
+        ords = _read_ints(ords_path, nrows)
+        rows_list: List[Row] = []
+        member: Dict[Row, int] = {}
+        log_rows = self.log_rows
+        index = self.index
+        index_get = index.get
+        offset = 0
+        for i in range(nrows):
+            row = tuple(flat[offset:offset + arity])
+            offset += arity
+            rows_list.append(row)
+            ordinal = ords[i]
+            member[row] = ordinal
+            log_rows[ordinal] = row
+            for position in range(arity):
+                key = (pid, position, row[position])
+                bucket = index_get(key)
+                if bucket is None:
+                    index[key] = [row]
+                else:
+                    bucket.append(row)
+        # The dicts themselves are never replaced (bound-.get contract,
+        # see storage.base); their per-pid values are installed exactly
+        # once, before any consumer could have resolved this pid.
+        self.rows_by_pid[pid] = rows_list
+        self.member_by_pid[pid] = member
+
+    def ensure_all(self) -> None:
+        for pid in list(self._lazy):
+            self.ensure_pred(pid)
+        if isinstance(self.log_pids, array):
+            # Mutation appends int objects; a plain list keeps the
+            # in-memory and reopened stores structurally identical.
+            self.log_pids = list(self.log_pids)
+
+    def loaded(self) -> bool:
+        return not self._lazy
+
+    # -- hydration-aware overrides -----------------------------------------
+
+    def pred_id(self, predicate) -> int:
+        pid = self.pred_ids.get(predicate)
+        if pid is None:
+            return FactStore.pred_id(self, predicate)
+        if pid in self._lazy:
+            self.ensure_pred(pid)
+        return pid
+
+    def pred_id_get(self, predicate) -> Optional[int]:
+        pid = self.pred_ids.get(predicate)
+        if pid is not None and pid in self._lazy:
+            self.ensure_pred(pid)
+        return pid
+
+    def add_row(self, pid: int, row: Row) -> Optional[int]:
+        if self._lazy or isinstance(self.log_pids, array):
+            self.ensure_all()
+        return FactStore.add_row(self, pid, row)
+
+    def row_at(self, ordinal: int) -> Tuple[int, Row]:
+        pid = self.log_pids[ordinal]
+        row = self.log_rows[ordinal]
+        if row is None:
+            self.ensure_pred(pid)
+            row = self.log_rows[ordinal]
+        return pid, row
+
+    def count_rows(self, pid: int) -> int:
+        pending = self._lazy.get(pid)
+        if pending is not None:
+            return pending
+        return FactStore.count_rows(self, pid)
+
+    def nonempty_pids(self) -> List[int]:
+        out = list(self._lazy)
+        for pid, rows in self.rows_by_pid.items():
+            if rows:
+                out.append(pid)
+        return out
+
+
+class StoreWriter:
+    """Append-only persister binding one :class:`FactStore` (either
+    backend) to one store directory.
+
+    Tracks per-structure watermarks — how much of the store's current
+    state the directory already holds — so :meth:`flush` writes only
+    tails plus one small manifest rewrite.  Round-boundary chase
+    checkpoints reuse one writer; ``save()`` of a finished instance is
+    a writer used once.
+    """
+
+    __slots__ = ("path", "store", "facts", "symbols", "preds", "domain",
+                 "rows")
+
+    def __init__(self, path: str, store: FactStore,
+                 manifest: Optional[dict] = None):
+        self.path = path
+        self.store = store
+        if manifest is None:
+            self.facts = 0
+            self.symbols = 0
+            self.preds = 0
+            self.domain = 0
+            self.rows: Dict[int, int] = {}
+        else:
+            self.facts = manifest["facts"]
+            self.symbols = manifest["symbols"]
+            self.preds = manifest["preds"]
+            self.domain = manifest["domain"]
+            self.rows = {
+                int(pid): meta["rows"]
+                for pid, meta in manifest["predicates"].items()
+            }
+
+    @classmethod
+    def create(cls, path: str, store: FactStore,
+               overwrite: bool = False) -> "StoreWriter":
+        """A writer over a fresh (empty) store directory.
+
+        Refuses a directory already holding data unless ``overwrite``;
+        overwriting removes the known store files only.
+        """
+        os.makedirs(os.path.join(path, SEG_DIR), exist_ok=True)
+        existing = [
+            name for name in os.listdir(path)
+            if name != SEG_DIR and not name.endswith(".tmp")
+        ]
+        segs = os.listdir(os.path.join(path, SEG_DIR))
+        if existing or segs:
+            if not overwrite:
+                raise FileExistsError(
+                    f"{path} is not empty; pass overwrite=True "
+                    f"(or delete it) to start a fresh store"
+                )
+            for name in existing:
+                if name in _STORE_FILES:
+                    os.remove(os.path.join(path, name))
+            for name in segs:
+                os.remove(os.path.join(path, SEG_DIR, name))
+        return cls(path, store)
+
+    @classmethod
+    def attach(cls, path: str, store: "DurableFactStore") -> "StoreWriter":
+        """A writer continuing an existing directory — the resume path.
+        Watermarks come from the manifest, so only post-reopen growth
+        is ever appended."""
+        return cls(path, store, manifest=read_manifest(path))
+
+    def append_ints(self, filename: str, values) -> None:
+        """Append raw ints to an auxiliary append-only file (the chase
+        checkpointer's steps/fired logs live beside the fact data)."""
+        _append_ints(os.path.join(self.path, filename), values)
+
+    def flush(self, extra: Optional[dict] = None) -> dict:
+        """Persist everything the directory is missing, then commit by
+        rewriting the manifest (atomically).  ``extra`` entries are
+        merged into the manifest (the chase checkpointer marks the
+        presence of resume state this way).  Returns the manifest."""
+        store = self.store
+        if not store.loaded() and (
+            store.size() != self.facts or len(store.symbols) != self.symbols
+        ):
+            # Only a fully resident store knows its row tails.
+            store.ensure_all()
+        path = self.path
+        # 1. symbols (id-dense tail; sparse/primed tables fall back to
+        #    a full sorted slice).
+        table = store.symbols
+        try:
+            tail = table.items_from(self.symbols)
+        except KeyError:
+            tail = table.items()[self.symbols:]
+        _append_pickle(os.path.join(path, SYMBOLS), tail)
+        self.symbols += len(tail)
+        # 2. predicates, in id-assignment order.
+        pred_items = list(store.pred_ids.items())
+        _append_pickle(os.path.join(path, PREDS), pred_items[self.preds:])
+        self.preds = len(pred_items)
+        # 3. the global fact log.
+        _append_ints(
+            os.path.join(path, LOG), store.log_pids[self.facts:]
+        )
+        self.facts = store.size()
+        # 4. per-predicate row segments (+ their global ordinals).
+        for pid, rows in store.rows_by_pid.items():
+            n = len(rows)
+            done = self.rows.get(pid, 0)
+            if n <= done:
+                continue
+            rows_path, ords_path = _seg_paths(path, pid)
+            flat = array("q")
+            for row in rows[done:]:
+                flat.extend(row)
+            _append_ints(rows_path, flat)
+            _append_ints(
+                ords_path,
+                islice(store.member_by_pid[pid].values(), done, None),
+            )
+            self.rows[pid] = n
+        # 5. active domain, in first-occurrence order.
+        _append_ints(
+            os.path.join(path, DOMAIN),
+            islice(store.domain_ids, self.domain, None),
+        )
+        self.domain = len(store.domain_ids)
+        # 6. commit.
+        import sys
+
+        manifest = {
+            "format": FORMAT_VERSION,
+            "byteorder": sys.byteorder,
+            "itemsize": _ITEMSIZE,
+            "facts": self.facts,
+            "symbols": self.symbols,
+            "preds": self.preds,
+            "domain": self.domain,
+            "predicates": {
+                str(pid): {"rows": n} for pid, n in self.rows.items()
+            },
+            "pos_card": [
+                [pid, position, count]
+                for (pid, position), count in store.pos_card.items()
+            ],
+        }
+        if extra:
+            manifest.update(extra)
+        _atomic_json(os.path.join(path, MANIFEST), manifest)
+        if isinstance(store, DurableFactStore):
+            store.manifest = manifest
+        return manifest
+
+
+def open_store(path: str) -> DurableFactStore:
+    """Reopen a saved store (lazy; see the module docstring)."""
+    return DurableFactStore(path)
+
+
+def save_store(store: FactStore, path: str,
+               overwrite: bool = False) -> StoreWriter:
+    """Persist ``store`` to a (fresh) directory at ``path``."""
+    writer = StoreWriter.create(path, store, overwrite=overwrite)
+    writer.flush()
+    return writer
+
+
+def open_instance(path: str):
+    """Reopen a saved store as an :class:`~repro.model.instances.Instance`
+    (lazily hydrated — ready for query serving without re-chasing)."""
+    from ..model.instances import Instance
+
+    return Instance(store=open_store(path))

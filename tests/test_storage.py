@@ -1,0 +1,446 @@
+"""Durable fact stores: save/open equivalence, checkpoint/resume
+byte-identity, worker-mirror hydration, and the persistence CLI.
+
+The contract under test is the strongest one the engine offers: a
+saved run, reopened and resumed — after any stop reason, on any
+executor, across any number of legs — must be *byte-identical* to the
+uninterrupted in-memory run: same facts in the same order, same
+trigger keys, same provenance ordinals, same null numbering.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.chase import (
+    ChaseVariant,
+    RoundScheduler,
+    load_state,
+    resume_chase,
+    run_chase,
+)
+from repro.cli import main
+from repro.model import Atom, Instance, Null, Predicate, Variable
+from repro.parser import parse_database, parse_program
+from repro.query.planner import order_atoms_cost
+from repro.runtime.budget import Budget
+from repro.storage import (
+    DurableFactStore,
+    FactStore,
+    StoreFormatError,
+    open_instance,
+    open_store,
+    read_manifest,
+    save_store,
+)
+from repro.workloads import random_database, random_simple_linear
+
+PROGRAM = """
+emp(X) -> exists D . works(X, D)
+works(X, D) -> dept(D)
+dept(D) -> exists M . head(D, M)
+head(D, M) -> person(M)
+emp(X) -> person(X)
+"""
+
+DATABASE = "emp(ada)\nemp(alan)\nemp(grace)"
+
+
+def chain_workload(n=16):
+    """A deterministic ~170-step terminating workload: transitive
+    closure over an ``n``-edge chain plus one existential tagger."""
+    rules = parse_program(
+        """
+        e(X, Y) -> p(X, Y)
+        p(X, Y), e(Y, Z) -> p(X, Z)
+        p(X, Y) -> exists W . tag(Y, W)
+        """
+    )
+    db = parse_database(
+        "\n".join(f"e(n{i}, n{i + 1})" for i in range(n))
+    )
+    return rules, db
+
+
+@pytest.fixture
+def rules():
+    return parse_program(PROGRAM)
+
+
+@pytest.fixture
+def db():
+    return parse_database(DATABASE)
+
+
+def fingerprint(result):
+    """Facts order + trigger keys + provenance ordinals — the
+    byte-identity relation used throughout this module."""
+    variant = result.variant
+    return (
+        result.instance.facts(),
+        tuple(step.trigger.key(variant) for step in result.steps),
+        tuple(step._ordinals for step in result.steps),
+    )
+
+
+# -- save / reopen equivalence ---------------------------------------------
+
+
+class TestSaveReopen:
+    def test_reopened_store_is_byte_identical(self, rules, db, tmp_path):
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        assert result.terminated
+        path = str(tmp_path / "store")
+        save_store(result.instance._store, path)
+
+        reopened = open_instance(path)
+        assert isinstance(reopened._store, DurableFactStore)
+        assert reopened.facts() == result.instance.facts()
+        # Null identity survives the round trip, not just fact count.
+        assert any(
+            isinstance(t, Null) for f in reopened.facts() for t in f.terms
+        )
+
+    def test_reopen_is_lazy_until_touched(self, rules, db, tmp_path):
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        path = str(tmp_path / "store")
+        save_store(result.instance._store, path)
+
+        store = open_store(path)
+        assert not store.loaded()
+        # Counts and per-column statistics come straight from the
+        # manifest — no segment is decoded to answer them.
+        works = Predicate("works", 2)
+        pid = store.pred_ids[works]
+        assert store.count_rows(pid) == result.instance.count_with_predicate(
+            works
+        )
+        assert store.distinct_at(pid, 0) == result.instance._store.distinct_at(
+            result.instance._store.pred_ids[works], 0
+        )
+        assert not store.loaded()
+        store.ensure_all()
+        assert store.loaded()
+        assert store.size() == len(result.instance)
+
+    def test_distinct_at_drives_identical_plans(self, rules, db, tmp_path):
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        path = str(tmp_path / "store")
+        save_store(result.instance._store, path)
+        reopened = open_instance(path)
+
+        mem_store = result.instance._store
+        dur_store = reopened._store
+        for pred, pid in mem_store.pred_ids.items():
+            dur_pid = dur_store.pred_ids[pred]
+            for position in range(pred.arity):
+                assert mem_store.distinct_at(pid, position) == (
+                    dur_store.distinct_at(dur_pid, position)
+                ), (pred, position)
+
+        X, D, M = Variable("X"), Variable("D"), Variable("M")
+        atoms = [
+            Atom(Predicate("works", 2), [X, D]),
+            Atom(Predicate("head", 2), [D, M]),
+            Atom(Predicate("person", 1), [M]),
+        ]
+        assert order_atoms_cost(atoms, reopened) == order_atoms_cost(
+            atoms, result.instance
+        )
+
+    def test_copy_and_eq_are_backend_agnostic(self, rules, db, tmp_path):
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        path = str(tmp_path / "store")
+        save_store(result.instance._store, path)
+        reopened = open_instance(path)
+
+        assert reopened == result.instance
+        copied = reopened.copy()
+        # copy() always lands on the in-memory backend, via the store
+        # API only.
+        assert type(copied._store) is FactStore
+        assert copied == reopened
+        person = Predicate("person", 1)
+        assert reopened.facts_with_predicate(person) == (
+            result.instance.facts_with_predicate(person)
+        )
+
+    def test_save_refuses_then_overwrites(self, rules, db, tmp_path):
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        path = str(tmp_path / "store")
+        result.instance.save(path)
+        with pytest.raises(FileExistsError):
+            result.instance.save(path)
+        result.instance.save(path, overwrite=True)
+        assert open_instance(path) == result.instance
+
+    def test_manifest_counts_match(self, rules, db, tmp_path):
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        path = str(tmp_path / "store")
+        save_store(result.instance._store, path)
+        manifest = read_manifest(path)
+        assert manifest["facts"] == len(result.instance)
+        assert sum(
+            meta["rows"] for meta in manifest["predicates"].values()
+        ) == len(result.instance)
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_roundtrip_property_random_workloads(self, seed, tmp_path):
+        """Chase-grown instances (nulls included) survive save/open
+        and ChaseResult survives pickle, byte-identically."""
+        rules = random_simple_linear(4, seed=seed)
+        db = random_database(rules, seed=seed)
+        result = run_chase(db, rules, "semi_oblivious", max_steps=200)
+        path = str(tmp_path / f"store{seed}")
+        save_store(result.instance._store, path)
+        assert open_instance(path).facts() == result.instance.facts()
+
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.instance.facts() == result.instance.facts()
+        assert clone.terminated == result.terminated
+        assert clone.stop_reason == result.stop_reason
+
+
+# -- checkpoint / resume ----------------------------------------------------
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("variant", ChaseVariant.ALL)
+    def test_step_budget_stop_resumes_byte_identical(
+        self, rules, db, tmp_path, variant
+    ):
+        ref = run_chase(db, rules, variant, max_steps=500)
+        assert ref.terminated
+
+        path = str(tmp_path / "store")
+        part = run_chase(db, rules, variant, max_steps=5, save=path)
+        assert not part.terminated and part.stop_reason == "step_budget"
+
+        res = resume_chase(path, max_steps=500)
+        assert res.terminated
+        assert fingerprint(res) == fingerprint(ref)
+
+    @pytest.mark.parametrize("variant", ChaseVariant.ALL)
+    def test_uninterrupted_save_matches_plain_run(
+        self, rules, db, tmp_path, variant
+    ):
+        ref = run_chase(db, rules, variant, max_steps=500)
+        saved = run_chase(
+            db, rules, variant, max_steps=500, save=str(tmp_path / "s")
+        )
+        assert fingerprint(saved) == fingerprint(ref)
+
+    @pytest.mark.parametrize("variant", ChaseVariant.ALL)
+    def test_chained_multi_leg_resume(self, rules, db, tmp_path, variant):
+        ref = run_chase(db, rules, variant, max_steps=500)
+        path = str(tmp_path / "store")
+        r = run_chase(db, rules, variant, max_steps=3, save=path)
+        legs = 1
+        while not r.terminated:
+            legs += 1
+            assert legs < 50
+            r = resume_chase(path, max_steps=3 * legs)
+        assert legs > 2
+        assert fingerprint(r) == fingerprint(ref)
+
+    def test_resume_of_finished_store_returns_immediately(
+        self, rules, db, tmp_path
+    ):
+        ref = run_chase(db, rules, "restricted", max_steps=500)
+        path = str(tmp_path / "store")
+        run_chase(db, rules, "restricted", max_steps=500, save=path)
+        again = resume_chase(path)
+        assert again.terminated
+        assert fingerprint(again) == fingerprint(ref)
+
+    def test_deadline_stop_resumes_byte_identical(self, rules, db, tmp_path):
+        ref = run_chase(db, rules, "semi_oblivious", max_steps=500)
+        ticks = iter([0.0] * 3 + [100.0] * 1000)
+        budget = Budget(timeout_s=1.0, clock=lambda: next(ticks))
+        path = str(tmp_path / "store")
+        part = run_chase(
+            db, rules, "semi_oblivious", max_steps=500, save=path,
+            budget=budget,
+        )
+        assert not part.terminated and part.stop_reason == "deadline"
+        assert 0 < part.step_count < ref.step_count
+
+        res = resume_chase(path, max_steps=500)
+        assert res.terminated
+        assert fingerprint(res) == fingerprint(ref)
+
+    @pytest.mark.parametrize("kind", ["serial", "threaded", "process"])
+    def test_resume_on_every_executor(self, kind, tmp_path):
+        rules, db = chain_workload()
+        ref = run_chase(db, rules, "semi_oblivious", max_steps=2000)
+        assert ref.terminated
+        path = str(tmp_path / "store")
+        part = run_chase(db, rules, "semi_oblivious", max_steps=40, save=path)
+        assert not part.terminated
+
+        res = resume_chase(
+            path, max_steps=2000, scheduler=kind,
+            workers=2 if kind != "serial" else None,
+        )
+        assert res.terminated
+        assert fingerprint(res) == fingerprint(ref)
+
+    def test_resume_rejects_mismatched_rules(self, rules, db, tmp_path):
+        path = str(tmp_path / "store")
+        run_chase(db, rules, "restricted", max_steps=5, save=path)
+        other = parse_program("emp(X) -> person(X)")
+        with pytest.raises(ValueError, match="rules"):
+            resume_chase(path, rules=other)
+
+    def test_save_rejects_shuffled_rounds_and_custom_nulls(
+        self, rules, db, tmp_path
+    ):
+        with pytest.raises(ValueError, match="order_seed"):
+            run_chase(
+                db, rules, "restricted", max_steps=5,
+                save=str(tmp_path / "a"), order_seed=7,
+            )
+
+    def test_plain_save_can_be_queried_not_resumed(self, rules, db, tmp_path):
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        path = str(tmp_path / "plain")
+        save_store(result.instance._store, path)
+        assert open_instance(path) == result.instance
+        with pytest.raises(StoreFormatError, match="quer"):
+            resume_chase(path)
+
+    def test_torn_checkpoint_is_refused(self, rules, db, tmp_path):
+        path = str(tmp_path / "store")
+        run_chase(db, rules, "restricted", max_steps=5, save=path)
+        store = open_store(path)
+        state_path = os.path.join(path, "chase.pkl")
+        with open(state_path, "rb") as handle:
+            state = pickle.load(handle)
+        state["facts"] += 1  # header ahead of the data files
+        with open(state_path, "wb") as handle:
+            pickle.dump(state, handle)
+        with pytest.raises(StoreFormatError):
+            load_state(path, store)
+
+    def test_resumed_result_survives_pickle(self, rules, db, tmp_path):
+        path = str(tmp_path / "store")
+        run_chase(db, rules, "restricted", max_steps=5, save=path)
+        res = resume_chase(path, max_steps=500)
+        assert isinstance(res.instance._store, DurableFactStore)
+        clone = pickle.loads(pickle.dumps(res))
+        # The copy lands on the in-memory backend with identical facts.
+        assert type(clone.instance._store) is FactStore
+        assert clone.instance.facts() == res.instance.facts()
+
+
+# -- worker-mirror hydration ------------------------------------------------
+
+
+class TestMirrorHydration:
+    def test_process_mirrors_hydrate_from_disk(self, tmp_path):
+        """Workers of a resumed run load the persisted prefix from the
+        store directory and are shipped only the post-reopen tail."""
+        rules, db = chain_workload()
+        ref = run_chase(db, rules, "semi_oblivious", max_steps=2000)
+        path = str(tmp_path / "store")
+        part = run_chase(db, rules, "semi_oblivious", max_steps=40, save=path)
+        assert not part.terminated
+
+        with RoundScheduler("process", workers=2) as sched:
+            res = resume_chase(path, max_steps=2000, scheduler=sched)
+            stats = dict(sched.ship_stats)
+        assert fingerprint(res) == fingerprint(ref)
+        assert stats["full_ships"] == 0
+        assert stats["store_base"] == len(part.instance)
+        # Shipping only post-reopen deltas undercuts the old
+        # pickle-the-whole-instance protocol.
+        assert stats["rows_shipped"] < stats["rows_old_protocol"]
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+@pytest.fixture
+def cli_rules_file(tmp_path):
+    path = tmp_path / "rules.tgd"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def cli_db_file(tmp_path):
+    path = tmp_path / "db.facts"
+    path.write_text(DATABASE + "\n")
+    return str(path)
+
+
+class TestStorageCLI:
+    def test_save_inspect_resume_query_flow(
+        self, cli_rules_file, cli_db_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        # Stop mid-run: exit code 1 (step_budget), resumable hint.
+        code = main([
+            "chase", cli_rules_file, cli_db_file, "--variant", "r",
+            "--max-steps", "5", "--save", store,
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "resumable" in captured.err
+
+        assert main(["inspect", store]) == 0
+        out = capsys.readouterr().out
+        assert "stopped" in out and "resumable" in out
+
+        # Resume to fixpoint: exit 0.
+        assert main(["chase", "--resume", store]) == 0
+        assert "fixpoint" in capsys.readouterr().out
+
+        assert main(["inspect", store]) == 0
+        assert "terminated" in capsys.readouterr().out
+
+        # Certain answers over the store, no re-chase...
+        query = "person(X)"
+        assert main([
+            "query", query, "--db", store, "--certain",
+        ]) == 0
+        db_out = capsys.readouterr().out
+        # ...match the re-chasing query path exactly.
+        assert main([
+            "query", cli_rules_file, cli_db_file, query, "--variant", "r",
+            "--certain",
+        ]) == 0
+        chase_out = capsys.readouterr().out
+        db_answers = {
+            line for line in db_out.splitlines()
+            if line and not line.startswith("%")
+        }
+        chase_answers = {
+            line for line in chase_out.splitlines()
+            if line and not line.startswith("%")
+        }
+        assert db_answers == chase_answers and db_answers
+
+    def test_resume_refuses_save_flag(self, tmp_path, capsys):
+        assert main([
+            "chase", "--resume", str(tmp_path / "s"), "--save",
+            str(tmp_path / "t"),
+        ]) == 2
+        capsys.readouterr()
+
+    def test_chase_requires_rules_without_resume(self, capsys):
+        assert main(["chase"]) == 2
+        capsys.readouterr()
+
+    def test_query_db_on_plain_save(
+        self, cli_rules_file, cli_db_file, tmp_path, capsys
+    ):
+        rules = parse_program(PROGRAM)
+        db = parse_database(DATABASE)
+        result = run_chase(db, rules, "restricted", max_steps=500)
+        store = str(tmp_path / "plain")
+        result.instance.save(store)
+        assert main(["query", "person(X)", "--db", store]) == 0
+        out = capsys.readouterr().out
+        assert "% store" in out
