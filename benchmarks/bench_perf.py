@@ -80,6 +80,13 @@ child interpreter (tracemalloc never sees mmap'd segments or ``array``
 buffers), and ``--check`` prefers that column over the traced peak
 whenever both sides carry it.
 
+PR 8 (chase-as-a-service) adds a **serve_incremental** row: deltas fed
+to a resident :class:`repro.chase.incremental.ChaseSession` vs
+re-chasing the union from scratch after every delta (identical fact
+sets, speedup gated at ≥2×), plus sustained queries/s from a
+:class:`repro.serve.ChaseService` under concurrent reader threads
+while one writer ingests the same schedule.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py             # full run
@@ -1020,6 +1027,176 @@ def run_persistence(spec: Dict) -> Dict:
     }
 
 
+# -- incremental maintenance / query server (PR 8) -------------------------
+
+
+#: Incremental maintenance must beat re-chasing from scratch by at
+#: least this factor on the growing-chain workload, or the gate fails.
+SERVE_GATE_SPEEDUP = 2.0
+#: Below this from-scratch wall the arms are too fast to resolve the
+#: 2x gate against host noise; the gate reports "skipped".  The floor
+#: is low because the asymmetry being gated is quadratic-vs-linear:
+#: even at CI's --scale 0.25 the measured gap is ~10x, so a 2x gate
+#: over a ~15 ms wall has an order of magnitude of noise headroom.
+SERVE_MIN_WALL_S = 0.008
+#: Concurrent reader threads for the throughput half of the row.
+SERVE_READERS = 4
+
+
+def serve_incremental_scenario(scale: float) -> Dict:
+    """Transitive closure over a chain that grows one edge at a time:
+    the adversarial case for re-chasing (each delta invalidates
+    nothing, but a from-scratch run recomputes the whole quadratic
+    closure) and the natural case for incremental maintenance (each
+    leg derives only the new endpoint's paths)."""
+    n = max(8, int(150 * scale))
+    k = max(2, int(12 * scale))
+    e, p = Predicate("e", 2), Predicate("p", 2)
+    rules = [
+        TGD([Atom(e, [X, Y])], [Atom(p, [X, Y])], label="base"),
+        TGD([Atom(p, [X, Y]), Atom(e, [Y, Z])], [Atom(p, [X, Z])],
+            label="compose"),
+    ]
+    database = Database(
+        Atom(e, [Constant(f"c{i}"), Constant(f"c{i + 1}")])
+        for i in range(n)
+    )
+    deltas = [
+        [Atom(e, [Constant(f"c{n + j}"), Constant(f"c{n + j + 1}")])]
+        for j in range(k)
+    ]
+    return {
+        "name": "serve_incremental",
+        "rules": rules,
+        "database": database,
+        "deltas": deltas,
+        "variant": ChaseVariant.SEMI_OBLIVIOUS,
+        "max_steps": 10_000_000,
+        "query": "q(Y) :- p(c0, Y)",
+    }
+
+
+def run_serve_incremental(spec: Dict) -> Dict:
+    """Two measurements on one workload:
+
+    1. **Incremental vs from-scratch.**  Feed the deltas to a resident
+       :class:`~repro.chase.incremental.ChaseSession` (timing only the
+       ``extend`` legs) vs re-running ``run_chase`` on the union after
+       every delta.  The final instances must have identical fact sets
+       (the workload is null-free, so equality is exact), and the
+       speedup is gated at ≥ :data:`SERVE_GATE_SPEEDUP`.
+    2. **Queries/s under readers + writer.**  A
+       :class:`~repro.serve.ChaseService` resident serves a CQ from
+       :data:`SERVE_READERS` threads while one writer re-ingests the
+       same delta schedule; the row records sustained queries/s (every
+       answer set is consistency-checked by the snapshot tests, not
+       here — this half only measures).
+    """
+    import threading
+
+    from repro.chase.incremental import ChaseSession
+    from repro.parser import parse_query
+    from repro.serve import ChaseService
+
+    rules, variant = spec["rules"], spec["variant"]
+    deltas = spec["deltas"]
+
+    # Arm 1: incremental maintenance.
+    session = ChaseSession.start(
+        Database(spec["database"].facts()), rules, variant=variant,
+        max_steps=spec["max_steps"],
+    )
+    base_facts = session.watermark
+    start = time.perf_counter()
+    for delta in deltas:
+        session.extend(delta)
+    incremental_wall = time.perf_counter() - start
+    incremental_facts = set(session.instance.facts())
+    facts_final = session.watermark
+    steps_final = session.step_count
+    session.close()
+
+    # Arm 2: from-scratch re-chase after every delta.
+    union = Database(spec["database"].facts())
+    start = time.perf_counter()
+    for delta in deltas:
+        for fact in delta:
+            union.add(fact)
+        scratch = run_chase(union, rules, variant, spec["max_steps"])
+    full_wall = time.perf_counter() - start
+    if set(scratch.instance.facts()) != incremental_facts:
+        raise AssertionError(
+            "serve_incremental: incremental maintenance diverged from "
+            "the from-scratch chase of the union"
+        )
+
+    speedup = (
+        round(full_wall / incremental_wall, 2)
+        if incremental_wall > 0 else None
+    )
+    measurable = full_wall >= SERVE_MIN_WALL_S
+    within_gate = (
+        (speedup is not None and speedup >= SERVE_GATE_SPEEDUP)
+        if measurable else None
+    )
+
+    # Arm 3: sustained reads under a concurrent writer.
+    session = ChaseSession.start(
+        Database(spec["database"].facts()), rules, variant=variant,
+        max_steps=spec["max_steps"],
+    )
+    service = ChaseService(request_timeout_s=None)
+    service.add_session("default", session)
+    query_text = spec["query"]
+    served = [0] * SERVE_READERS
+    done = threading.Event()
+
+    def reader(slot):
+        while not done.is_set():
+            service.query(query_text)
+            served[slot] += 1
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,))
+        for slot in range(SERVE_READERS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    try:
+        for delta in deltas:
+            service.ingest(
+                [f"{f.predicate.name}({', '.join(map(str, f.terms))})"
+                 for f in delta]
+            )
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join()
+    serve_wall = time.perf_counter() - start
+    service.close()
+    queries_served = sum(served)
+
+    return {
+        "name": spec["name"],
+        "variant": variant,
+        "base_facts": base_facts,
+        "deltas": len(deltas),
+        "facts_final": facts_final,
+        "triggers_fired": steps_final,
+        "incremental_wall_s": round(incremental_wall, 6),
+        "full_rechase_wall_s": round(full_wall, 6),
+        "speedup": speedup,
+        "gate_speedup": SERVE_GATE_SPEEDUP,
+        "within_gate": within_gate,
+        "readers": SERVE_READERS,
+        "queries_served": queries_served,
+        "queries_per_s": round(queries_served / serve_wall, 1)
+        if serve_wall > 0 else None,
+        "equivalent": True,
+    }
+
+
 # -- runtime-governance overhead (PR 6) ------------------------------------
 
 
@@ -1251,6 +1428,37 @@ def check_against(
             f"{persistence_row['rate_per_s']:.1f} (floor {floor:.1f} at "
             f"ratio {ratio})"
         )
+    serve_row = baseline.get("serve_incremental")
+    if serve_row:
+        measured = run_serve_incremental(serve_incremental_scenario(scale))
+        within = measured["within_gate"]
+        if within is None:
+            lines.append(
+                f"skip serve_incremental: re-chase wall "
+                f"{measured['full_rechase_wall_s']}s below "
+                f"{SERVE_MIN_WALL_S}s noise floor at this scale"
+            )
+        else:
+            if not within:
+                ok = False
+            lines.append(
+                f"{'ok  ' if within else 'FAIL'} serve_incremental: "
+                f"{measured['speedup']}x incremental-vs-re-chase "
+                f"(gate {SERVE_GATE_SPEEDUP}x)"
+            )
+        recorded_qps = serve_row.get("queries_per_s")
+        measured_qps = measured.get("queries_per_s")
+        if recorded_qps and measured_qps is not None:
+            floor = recorded_qps * ratio
+            status = "ok  " if measured_qps >= floor else "FAIL"
+            if measured_qps < floor:
+                ok = False
+            lines.append(
+                f"{status} serve_incremental: {measured_qps:.1f} "
+                f"queries/s under {measured['readers']} readers vs "
+                f"recorded {recorded_qps:.1f} (floor {floor:.1f} at "
+                f"ratio {ratio})"
+            )
     query_rows = [
         row for row in baseline.get("queries", [])
         if row.get("rate_per_s")
@@ -1488,6 +1696,12 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
         # Durable-store round trip (PR 7): save, lazy reopen, serve the
         # CQ battery from disk; answers must equal the in-memory run.
         "persistence": run_persistence(persistence_scenario(scale)),
+        # Incremental maintenance + query server (PR 8): extend legs vs
+        # from-scratch re-chase (identical fact sets, ≥2x gate) and
+        # queries/s under concurrent readers + one ingesting writer.
+        "serve_incremental": run_serve_incremental(
+            serve_incremental_scenario(scale)
+        ),
     }
     if compare:
         payload["baseline_comparison"] = run_baseline_comparison(
@@ -1580,6 +1794,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{stored['open_s']}s, {stored['disk_mb']} MB on disk, "
         f"{stored['rate_per_s']} answers/s from the reopened store "
         f"(answers identical)"
+    )
+    serve = payload["serve_incremental"]
+    if serve["within_gate"] is None:
+        verdict = "gate skipped: wall below noise floor"
+    else:
+        verdict = "pass" if serve["within_gate"] else "FAIL"
+    print(
+        f"serve {serve['name']}: incremental "
+        f"{serve['incremental_wall_s']}s vs re-chase "
+        f"{serve['full_rechase_wall_s']}s — {serve['speedup']}x "
+        f"(gate {serve['gate_speedup']}x, {verdict}); "
+        f"{serve['queries_per_s']} queries/s under {serve['readers']} "
+        f"readers + 1 writer"
     )
     print(f"wrote {args.output}")
     return 0

@@ -139,13 +139,14 @@ def test_check_mode_passes_against_fresh_report():
     assert ok, lines
     # One rate line and one memory line per chase scenario, one rate
     # line per query scenario, one governance-overhead line, one
-    # persistence line.
+    # persistence line, a serve speedup line and a serve queries/s line.
     assert len(lines) == (
-        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 2
+        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 4
     )
     assert sum("peak" in line for line in lines) == len(bench_perf.SCENARIOS)
     assert sum("fault_recovery" in line for line in lines) == 1
     assert sum("persistence" in line for line in lines) == 1
+    assert sum("serve_incremental" in line for line in lines) == 2
 
 
 def test_check_mode_fails_on_memory_regression():
@@ -216,6 +217,19 @@ def test_fault_recovery_row_smoke():
     assert row["overhead_pct"] is not None
 
 
+def test_serve_incremental_row_smoke():
+    row = bench_perf.run_serve_incremental(
+        bench_perf.serve_incremental_scenario(SMOKE_SCALE)
+    )
+    # The runner raises if any incremental leg diverges from the
+    # from-scratch chase of the same prefix; at smoke scale the gate
+    # wall sits under the noise floor, so the verdict may be skipped.
+    assert row["equivalent"] is True
+    assert row["deltas"] >= 2
+    assert row["queries_served"] > 0
+    assert row["incremental_wall_s"] >= 0
+
+
 def test_check_mode_fails_on_regression():
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     for row in payload["scenarios"]:
@@ -282,6 +296,12 @@ def test_suite_payload_shape(tmp_path):
     for key in ("ungoverned_wall_s", "governed_wall_s", "overhead_pct",
                 "gate_pct", "within_gate", "budget_checks"):
         assert key in fault
+    serve = payload["serve_incremental"]
+    for key in ("incremental_wall_s", "full_rechase_wall_s", "speedup",
+                "gate_speedup", "within_gate", "readers",
+                "queries_served", "queries_per_s", "equivalent"):
+        assert key in serve
+    assert serve["equivalent"] is True
     stored = payload["persistence"]
     for key in ("save_s", "open_s", "disk_mb", "certain_answers",
                 "rate_per_s", "equivalent"):

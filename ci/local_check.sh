@@ -17,6 +17,9 @@ PYTHONPATH=src python -m pytest -x -q tests/test_runtime_faults.py
 echo "== checkpoint/resume round trip =="
 PYTHONPATH=src python ci/check_resume.py
 
+echo "== query-server smoke (incremental ingest over HTTP) =="
+PYTHONPATH=src python ci/check_serve.py
+
 echo "== bench harness smoke =="
 PYTHONPATH=src python -m pytest -x -q benchmarks/test_perf_smoke.py
 

@@ -9,8 +9,9 @@ The library provides:
 
 * a logical model of TGDs (existential rules), instances, and
   homomorphisms (:mod:`repro.model`);
-* fair oblivious / semi-oblivious / restricted chase engines and
-  critical instances (:mod:`repro.chase`);
+* fair oblivious / semi-oblivious / restricted chase engines, critical
+  instances, durable checkpoint/resume, and resident sessions with
+  incremental maintenance (:mod:`repro.chase`);
 * weak/rich acyclicity and the dependency graphs behind them
   (:mod:`repro.graphs`);
 * the paper's termination deciders for simple-linear, linear, and
@@ -20,9 +21,12 @@ The library provides:
   (:mod:`repro.entailment`);
 * runtime governance — resource budgets, cooperative cancellation,
   and fault-tolerant executors (:mod:`repro.runtime`);
-* conjunctive queries and certain answers (:mod:`repro.cq`), data
-  exchange on top of the chase (:mod:`repro.exchange`), a rule text
-  format (:mod:`repro.parser`), and seeded workload generators
+* conjunctive queries and certain answers through a cost-based planner
+  (:mod:`repro.query`, :mod:`repro.cq`), data exchange on top of the
+  chase (:mod:`repro.exchange`), durable fact stores
+  (:mod:`repro.storage`), an HTTP query server with incremental
+  chase maintenance (:mod:`repro.serve`), a rule text format
+  (:mod:`repro.parser`), and seeded workload generators
   (:mod:`repro.workloads`).
 
 Quickstart::
@@ -33,14 +37,29 @@ Quickstart::
     verdict = decide_termination(rules, variant="semi_oblivious")
     assert not verdict.terminating
 
+Chase a database and read off certain answers::
+
+    from repro import parse_database, parse_query, run_chase
+
+    db = parse_database("person(ada)")
+    result = run_chase(db, rules, "restricted")
+    query = parse_query("q(X) :- father(X, Y)")
+    answers = query.certain_answers(result.instance)
+
+The narrative documentation lives in ``docs/ARCHITECTURE.md`` (the
+engine, package by package, with its invariants) and ``docs/CLI.md``
+(the ``python -m repro`` command reference).
 """
 
 from .chase import (
     ChaseResult,
+    ChaseSession,
     ChaseVariant,
     critical_instance,
+    extend_chase,
     oblivious_chase,
     restricted_chase,
+    resume_chase,
     run_chase,
     semi_oblivious_chase,
     standard_critical_instance,
@@ -62,11 +81,15 @@ from .parser import (
     parse_atom,
     parse_database,
     parse_program,
+    parse_query,
     parse_rule,
     program_to_text,
     rule_to_text,
 )
+from .cq import ConjunctiveQuery
+from .query import CompiledQuery
 from .runtime import STOP_REASONS, Budget, CancelToken
+from .storage import FactStore, open_instance
 from .termination import TerminationVerdict, decide_termination
 
 __version__ = "1.0.0"
@@ -76,9 +99,13 @@ __all__ = [
     "Budget",
     "CancelToken",
     "ChaseResult",
+    "ChaseSession",
     "ChaseVariant",
+    "CompiledQuery",
+    "ConjunctiveQuery",
     "Constant",
     "Database",
+    "FactStore",
     "Instance",
     "Null",
     "Predicate",
@@ -91,16 +118,20 @@ __all__ = [
     "classify",
     "critical_instance",
     "decide_termination",
+    "extend_chase",
     "is_richly_acyclic",
     "is_weakly_acyclic",
     "narrowest_class",
     "oblivious_chase",
+    "open_instance",
     "parse_atom",
     "parse_database",
     "parse_program",
+    "parse_query",
     "parse_rule",
     "program_to_text",
     "restricted_chase",
+    "resume_chase",
     "rule_to_text",
     "run_chase",
     "semi_oblivious_chase",

@@ -13,6 +13,7 @@ from .critical import (
 )
 from .checkpoint import Checkpointer, load_state
 from .delta import DeltaEngine, delta_triggers
+from .incremental import ChaseSession, extend_chase
 from .engine import (
     DEFAULT_MAX_STEPS,
     oblivious_chase,
@@ -45,6 +46,7 @@ __all__ = [
     "ChaseResult",
     "ChaseStep",
     "ChaseVariant",
+    "ChaseSession",
     "Checkpointer",
     "DEFAULT_MAX_STEPS",
     "DeltaEngine",
@@ -62,6 +64,7 @@ __all__ = [
     "delta_triggers",
     "discovery_batches",
     "evaluate_batch",
+    "extend_chase",
     "head_satisfied",
     "load_state",
     "oblivious_chase",

@@ -131,6 +131,12 @@ class Checkpointer:
         return cls(writer, state["rules"], state["variant"],
                    state["planner"], max_steps, state=state)
 
+    def set_max_steps(self, max_steps: int) -> None:
+        """Raise (or change) the recorded step budget — an extension
+        leg that continues a finished or budget-stopped run persists
+        its new cap so a later ``resume_chase`` sees it."""
+        self.max_steps = max_steps
+
     def checkpoint(
         self,
         engine: DeltaEngine,

@@ -141,6 +141,41 @@ def delta_triggers(
                     assign[s] = None
 
 
+def ingest_facts(
+    engine: "DeltaEngine", facts: Iterable[Atom]
+) -> List[int]:
+    """Append new *base* facts to the engine's instance and seed them
+    into its frontier — the entry point of an incremental-maintenance
+    leg (ROADMAP item 1: a new base-fact delta is just a resume leg
+    with extra database rows).
+
+    Facts must be ground and null-free (they are database rows, not
+    chase derivations).  Duplicates of existing facts are skipped.
+    Returns the log ordinals of the facts actually added, which the
+    next ``next_round()`` treats exactly like facts fired by a
+    previous round — discovery, fired-key dedup, and null numbering
+    all proceed as if the chase had always known them.
+    """
+    instance = engine.instance
+    added: List[int] = []
+    for fact in facts:
+        if not fact.is_ground():
+            raise ValueError(
+                f"ingested facts must be ground, got {fact}"
+            )
+        if fact.nulls():
+            raise ValueError(
+                f"ingested facts must be null-free base facts, "
+                f"got {fact}"
+            )
+        if not instance.add(fact):
+            continue
+        added.append(len(instance) - 1)
+    if added:
+        engine.notify(added)
+    return added
+
+
 class DeltaEngine:
     """Round-structured semi-naive trigger discovery.
 

@@ -86,12 +86,17 @@ def _drive(
     checkpoint_every: int = 1,
     pending: Sequence[Trigger] = (),
     rounds_done: int = 0,
+    state_sink: Optional[dict] = None,
 ) -> ChaseResult:
     """The shared round loop behind :func:`run_chase` and
     :func:`resume_chase`: materialize a round, apply it in canonical
     order, checkpoint at round boundaries when a checkpointer is
     attached.  ``pending`` replays the not-yet-applied remainder of an
-    interrupted round first (resume)."""
+    interrupted round first (resume).  ``state_sink``, when given, is
+    filled at the stop with the leftover in-memory evaluation state
+    (``pending``/``rounds``/``terminated``/``stop_reason``) so a
+    long-lived session (:mod:`repro.chase.incremental`) can continue
+    the run without re-loading a checkpoint."""
     restricted = variant == ChaseVariant.RESTRICTED
     rounds = rounds_done
 
@@ -100,6 +105,11 @@ def _drive(
         if ckpt is not None:
             ckpt.checkpoint(engine, steps, leftover, rounds,
                             terminated, reason)
+        if state_sink is not None:
+            state_sink["pending"] = tuple(leftover)
+            state_sink["rounds"] = rounds
+            state_sink["terminated"] = terminated
+            state_sink["stop_reason"] = reason
         return ChaseResult(
             instance, terminated, steps, variant, max_steps,
             stop_reason=reason,

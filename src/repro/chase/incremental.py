@@ -1,0 +1,428 @@
+"""Incremental chase maintenance: a long-lived chase you can extend.
+
+The one-shot entry points (:func:`~repro.chase.engine.run_chase`,
+:func:`~repro.chase.engine.resume_chase`) tear down their evaluation
+state when they return.  A :class:`ChaseSession` keeps it alive — the
+:class:`~repro.chase.delta.DeltaEngine` with its persistent fired-key
+set and frontier, the null counter, the step log, the scheduler, and
+(optionally) the checkpointer — so that when new *base facts* arrive
+the chase is **resumed from the delta** instead of re-run: the new
+rows are appended, seeded into the semi-naive frontier, and the round
+loop continues exactly as if the interrupted run had always contained
+them (ROADMAP items 1 and 4: "a new base-fact delta is just a resume
+leg with extra database rows").
+
+Equivalence guarantees of an extension leg (``tests/test_incremental.py``
+holds the engine to all three):
+
+* **Byte-identical across executors and persistence paths.**  For a
+  fixed arrival schedule (base facts, then deltas, in order), the
+  maintained instance — facts order, trigger keys, provenance, null
+  numbering — is byte-identical on the serial, threaded, and process
+  executors, with or without a durable store underneath, and identical
+  to stopping the process and continuing the legs via
+  :func:`extend_chase` on the saved directory.
+* **Skolem-equal to the from-scratch union chase.**  For the oblivious
+  and semi-oblivious variants, the maintained instance equals the
+  from-scratch chase of ``D ∪ Δ`` up to the inevitable renaming and
+  reordering of labelled nulls: canonicalizing each null by the
+  (rule, variant-projected trigger key, output position) that minted
+  it makes the two fact *sets* equal.  (Literal byte-identity of the
+  two logs is impossible for any in-place maintenance scheme — the
+  union run interleaves Δ-dependent derivations earlier and therefore
+  numbers nulls differently.)
+* **Certain answers agree for every variant.**  Each restricted-chase
+  extension leg fires only triggers whose head is unsatisfied, so the
+  maintained instance is still a universal model of ``D ∪ Δ`` w.r.t.
+  the rules; certain answers (and ground-atom entailment) computed
+  over it coincide with the from-scratch restricted chase of the
+  union, even when the two fact sets differ (the restricted chase is
+  order-sensitive; both results are equally valid universal models).
+
+Reads stay consistent *during* an extension: the columnar store is
+append-only, so :meth:`ChaseSession.snapshot` (taken between legs)
+pins a row-count watermark that concurrent readers can query while
+the next leg appends — the query server (:mod:`repro.serve`) is built
+on exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..model import Atom, Instance, NullFactory, TGD, validate_program
+from ..model.instances import SnapshotInstance
+from ..runtime.budget import STOP_FIXPOINT, Budget
+from .checkpoint import Checkpointer, load_state
+from .delta import DeltaEngine, ingest_facts
+from .engine import DEFAULT_MAX_STEPS, _drive
+from .result import ChaseResult, ChaseStep
+from .scheduler import SchedulerSpec, resolve_scheduler
+from .triggers import ChaseVariant, Trigger
+
+
+class ChaseSession:
+    """A resident chase: run once, then extend with base-fact deltas.
+
+    Create with :meth:`start` (fresh database) or :meth:`resume`
+    (checkpointed store directory); both run the chase to its stop and
+    keep the evaluation state resident.  :meth:`extend` then appends a
+    delta of new base facts and continues the *same* run — semi-naive
+    discovery from the delta only, the persistent fired-key set
+    guaranteeing no historical trigger refires, null numbering
+    continuing where it stood.
+
+    Sessions are single-writer: calls to :meth:`extend` must be
+    serialized by the caller (the server holds a lock).  Concurrent
+    *readers* use :meth:`snapshot` — a watermark view that stays
+    consistent while the next extension appends.
+
+    When the session was started with ``save=...`` (or resumed from a
+    store), every leg checkpoints as it goes, so ingested deltas and
+    their derived facts are durable: killing the process and calling
+    :meth:`resume` (or :func:`~repro.chase.engine.resume_chase`)
+    continues byte-identically.
+    """
+
+    __slots__ = (
+        "instance", "rules", "variant", "planner", "max_steps",
+        "result",
+        "_engine", "_factory", "_steps", "_scheduler",
+        "_owns_scheduler", "_ckpt", "_checkpoint_every",
+        "_pending", "_rounds", "_terminated", "_stop_reason",
+        "_closed",
+    )
+
+    def __init__(self):
+        raise TypeError(
+            "use ChaseSession.start(...) or ChaseSession.resume(...)"
+        )
+
+    @classmethod
+    def _blank(cls) -> "ChaseSession":
+        session = cls.__new__(cls)
+        session._pending: Tuple[Trigger, ...] = ()
+        session._rounds = 0
+        session._terminated = False
+        session._stop_reason: Optional[str] = None
+        session._closed = False
+        return session
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def start(
+        cls,
+        database: Instance,
+        rules: Sequence[TGD],
+        *,
+        variant: str = ChaseVariant.SEMI_OBLIVIOUS,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        planner: str = "heuristic",
+        scheduler: SchedulerSpec = None,
+        workers: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        save: Optional[str] = None,
+        overwrite: bool = False,
+        checkpoint_every: int = 1,
+    ) -> "ChaseSession":
+        """Chase ``database`` with ``rules`` and keep the run resident.
+
+        Accepts the same knobs as :func:`~repro.chase.engine.run_chase`
+        (minus ``order_seed``/``null_factory``, which are incompatible
+        with deterministic continuation); ``budget`` governs this
+        initial leg only — each :meth:`extend` takes its own.
+        """
+        if variant not in ChaseVariant.ALL:
+            raise ValueError(f"unknown chase variant {variant!r}")
+        if max_steps <= 0:
+            raise ValueError(
+                f"max_steps must be positive, got {max_steps}"
+            )
+        if planner not in ("heuristic", "cost"):
+            raise ValueError(f"unknown planner policy {planner!r}")
+        if save is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be positive, "
+                f"got {checkpoint_every}"
+            )
+        rules = list(rules)
+        validate_program(rules)
+        session = cls._blank()
+        session.rules = rules
+        session.variant = variant
+        session.planner = planner
+        session.max_steps = max_steps
+        session._checkpoint_every = checkpoint_every
+        instance = Instance(database)
+        instance.order_policy = planner
+        session.instance = instance
+        session._factory = NullFactory()
+        session._steps = []
+        round_scheduler, owns = resolve_scheduler(scheduler, workers)
+        session._scheduler = round_scheduler
+        session._owns_scheduler = owns
+        if budget is not None:
+            budget.start()
+        try:
+            session._engine = DeltaEngine(
+                rules,
+                instance,
+                key=lambda trigger: trigger.key(variant),
+                scheduler=round_scheduler,
+                variant=variant,
+                budget=budget,
+            )
+            session._ckpt = None
+            if save is not None:
+                session._engine.track_fired()
+                session._ckpt = Checkpointer.create(
+                    save, instance, rules, variant, planner, max_steps,
+                    overwrite=overwrite,
+                )
+                session._ckpt.checkpoint(session._engine, session._steps)
+                session._engine.store_ref = (
+                    save, session._ckpt.writer.facts
+                )
+            session._run_leg(budget)
+        except BaseException:
+            session.close()
+            raise
+        return session
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        *,
+        scheduler: SchedulerSpec = None,
+        workers: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        max_steps: Optional[int] = None,
+        save: bool = True,
+        checkpoint_every: int = 1,
+    ) -> "ChaseSession":
+        """Reopen a checkpointed store directory as a resident session.
+
+        Unlike :func:`~repro.chase.engine.resume_chase`, a store whose
+        run already *terminated* is still useful here: the session
+        opens it without re-chasing and is immediately ready for
+        :meth:`extend`.  An unfinished store is first driven to its
+        stop (under ``budget``), exactly like ``resume_chase``.
+        """
+        from ..storage.durable import open_store
+
+        store = open_store(path)
+        state = load_state(path, store)
+        rules = list(state["rules"])
+        session = cls._blank()
+        session.rules = rules
+        session.variant = state["variant"]
+        session.planner = state["planner"]
+        session.max_steps = (
+            state["max_steps"] if max_steps is None else max_steps
+        )
+        session._checkpoint_every = checkpoint_every
+        store.ensure_all()
+        instance = Instance(store=store)
+        instance.order_policy = state["planner"]
+        session.instance = instance
+        session._factory = NullFactory(start=state["null_next"])
+        session._steps = [
+            ChaseStep(
+                Trigger.from_ids(rules[ri], ri, ids, instance),
+                instance, ords,
+            )
+            for ri, ids, ords in state["steps"]
+        ]
+        round_scheduler, owns = resolve_scheduler(scheduler, workers)
+        session._scheduler = round_scheduler
+        session._owns_scheduler = owns
+        if budget is not None:
+            budget.start()
+        try:
+            session._engine = DeltaEngine(
+                rules,
+                instance,
+                key=lambda trigger: trigger.key(session.variant),
+                scheduler=round_scheduler,
+                variant=session.variant,
+                budget=budget,
+                fired=state["fired"],
+                frontier=state["frontier"],
+            )
+            session._engine.store_ref = (path, state["facts"])
+            session._ckpt = None
+            if save:
+                session._engine.track_fired()
+                session._ckpt = Checkpointer.attach(
+                    path, instance, state, session.max_steps
+                )
+            session._pending = tuple(
+                Trigger.from_ids(rules[ri], ri, tuple(ids), instance)
+                for ri, ids in state["pending"]
+            )
+            session._rounds = state["rounds"]
+            if state["terminated"]:
+                # Nothing to drive; the resident state is the finished
+                # run, ready for extension legs.
+                session._terminated = True
+                session._stop_reason = (
+                    state["stop_reason"] or STOP_FIXPOINT
+                )
+                session.result = ChaseResult(
+                    instance, True, session._steps, session.variant,
+                    session.max_steps,
+                    stop_reason=session._stop_reason,
+                )
+            else:
+                session._run_leg(budget)
+        except BaseException:
+            session.close()
+            raise
+        return session
+
+    # -- the legs ------------------------------------------------------------
+
+    def _run_leg(self, budget: Optional[Budget]) -> ChaseResult:
+        """Drive the resident engine to its next stop, updating the
+        session's leftover state in place."""
+        self._engine.budget = budget
+        sink: dict = {}
+        result = _drive(
+            self.instance, self.rules, self.variant, self.max_steps,
+            self._factory, budget, self._engine, self._scheduler,
+            False,  # the session owns the scheduler, not the leg
+            self._steps,
+            ckpt=self._ckpt,
+            checkpoint_every=self._checkpoint_every,
+            pending=self._pending,
+            rounds_done=self._rounds,
+            state_sink=sink,
+        )
+        self._pending = sink["pending"]
+        self._rounds = sink["rounds"]
+        self._terminated = sink["terminated"]
+        self._stop_reason = sink["stop_reason"]
+        self.result = result
+        return result
+
+    def extend(
+        self,
+        facts: Iterable[Atom],
+        *,
+        budget: Optional[Budget] = None,
+        max_steps: Optional[int] = None,
+    ) -> ChaseResult:
+        """Ingest a delta of new base facts and continue the chase.
+
+        ``facts`` must be ground and null-free; duplicates of existing
+        facts are skipped (an all-duplicate delta is a cheap no-op
+        leg).  The new rows are appended to the resident instance,
+        seeded into the semi-naive frontier, and the round loop runs
+        to its next stop — firing only triggers that involve the delta
+        (directly or transitively), never refiring history.
+
+        ``max_steps`` raises the session's total step cap (a session
+        stopped on ``step_budget`` stays stopped until it is raised);
+        ``budget`` governs this leg only.  Returns the updated
+        :class:`~repro.chase.result.ChaseResult` (also kept as
+        ``session.result``); when the session checkpoints, the delta
+        and everything derived from it are durable at return.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if max_steps is not None:
+            if max_steps <= 0:
+                raise ValueError(
+                    f"max_steps must be positive, got {max_steps}"
+                )
+            self.max_steps = max_steps
+            if self._ckpt is not None:
+                self._ckpt.set_max_steps(max_steps)
+        if budget is not None:
+            budget.start()
+        added = ingest_facts(self._engine, facts)
+        if not added and self._terminated and not self._pending:
+            # Every fact was already present: the resident result is
+            # already the chase of the (unchanged) union.  Still
+            # checkpoint nothing — the store is current.
+            return self.result
+        return self._run_leg(budget)
+
+    # -- reads ---------------------------------------------------------------
+
+    def snapshot(self) -> SnapshotInstance:
+        """A consistent read-only view of the instance at its current
+        size.  Call between legs (never concurrently with
+        :meth:`extend`); the returned view stays valid and consistent
+        while later legs append."""
+        return self.instance.snapshot()
+
+    @property
+    def watermark(self) -> int:
+        """The current fact count — the row-count high-water mark new
+        snapshots are pinned to."""
+        return len(self.instance)
+
+    @property
+    def terminated(self) -> bool:
+        """True iff the last leg reached a fixpoint."""
+        return self._terminated
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """The last leg's stop reason (see ``STOP_REASONS``)."""
+        return self._stop_reason
+
+    @property
+    def step_count(self) -> int:
+        """Total trigger applications across all legs."""
+        return len(self._steps)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session's executor (if it owns one).  Idempotent;
+        the instance and result remain readable."""
+        if self._closed:
+            return
+        self._closed = True
+        if getattr(self, "_owns_scheduler", False):
+            scheduler = getattr(self, "_scheduler", None)
+            if scheduler is not None:
+                scheduler.close()
+
+    def __enter__(self) -> "ChaseSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def extend_chase(
+    path: str,
+    facts: Iterable[Atom],
+    *,
+    scheduler: SchedulerSpec = None,
+    workers: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    max_steps: Optional[int] = None,
+    checkpoint_every: int = 1,
+) -> ChaseResult:
+    """One-shot incremental leg over a checkpointed store directory:
+    open, ingest ``facts``, chase the delta to its stop, checkpoint,
+    close.  The durable sibling of :meth:`ChaseSession.extend` — the
+    result is byte-identical to a resident session fed the same
+    arrival schedule.
+
+    ``max_steps`` raises the recorded total step cap for this and
+    later legs.  Finished stores are extended without re-chasing;
+    unfinished stores first continue to their stop (both under
+    ``budget``).
+    """
+    with ChaseSession.resume(
+        path, scheduler=scheduler, workers=workers, budget=budget,
+        max_steps=max_steps, checkpoint_every=checkpoint_every,
+    ) as session:
+        return session.extend(facts, budget=budget)

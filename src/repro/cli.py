@@ -23,6 +23,16 @@
     python -m repro critical  RULES.tgd [--standard]
     python -m repro entail    RULES.tgd DB.facts "atom(a, b)"
     python -m repro dot       RULES.tgd [--graph dep|extdep|joint|types]
+    python -m repro serve     RULES.tgd DB.facts [--variant o|so|r]
+                              [--host H] [--port P] [--request-timeout S]
+                              [--save DIR [--overwrite]] [--max-steps N]
+                              [--planner cost|heuristic]
+                              [--workers N] [--scheduler serial|threaded|process]
+    python -m repro serve     --db DIR [--host H] [--port P]
+                              [--request-timeout S]
+
+The full flag-by-flag reference, including every file format and the
+consolidated stop-reason/exit-code table, is ``docs/CLI.md``.
 
 Rule files use the library syntax (``p(X) -> exists Z . q(X, Z)``);
 database files hold one ground atom per line.  ``query`` chases the
@@ -57,6 +67,14 @@ result to the uninterrupted run.  A store whose run reached
 ``fixpoint`` (0) resumes to an immediate no-op.  ``query --db DIR``
 answers over a saved store without re-chasing, and ``inspect DIR``
 summarizes one from its manifest alone (no row data is read).
+
+``serve`` chases once, keeps the instance resident, and answers
+queries, certain answers, and entailment over HTTP while ``POST
+/facts`` ingests new base facts with **incremental maintenance** — the
+chase resumes from the delta (:mod:`repro.chase.incremental`) instead
+of re-running.  With ``--db DIR`` it serves a checkpointed store
+(extendable; ingest legs keep checkpointing into the directory) or a
+plain saved store (read-only).  See :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -468,6 +486,68 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Chase once (or reopen a store), then serve it over HTTP with
+    incremental ingest.  Ctrl-C is the normal shutdown path and exits
+    0 — in-flight requests are cancelled cooperatively through the
+    service's shared token."""
+    from .chase.incremental import ChaseSession
+    from .serve import ChaseServer, ChaseService
+
+    budget = _budget_from(args)
+    service = ChaseService(request_timeout_s=args.request_timeout)
+    session = None
+    if args.db is not None:
+        if args.rules or args.database:
+            raise ValueError("--db serves a saved store; drop RULES/DB")
+        import os
+
+        from .storage import CHASE_STATE, open_instance
+
+        if os.path.exists(os.path.join(args.db, CHASE_STATE)):
+            session = ChaseSession.resume(
+                args.db, budget=budget, max_steps=args.max_steps,
+                **_scheduler_args(args)
+            )
+            service.add_session("default", session)
+            _chase_summary(session.variant, session.result)
+        else:
+            # A plain Instance.save() store: queryable, not extendable.
+            instance = open_instance(args.db)
+            service.add_readonly("default", instance)
+            print(f"% store {args.db}: {len(instance)} facts "
+                  f"(read-only: no chase state)")
+    else:
+        if not args.rules or not args.database:
+            raise ValueError("serve needs RULES and DB (or --db DIR)")
+        rules = _load_rules(args.rules)
+        database = _load_database(args.database)
+        variant = _VARIANTS[args.variant]
+        max_steps = (
+            args.max_steps if args.max_steps is not None else 10_000
+        )
+        with _sigint_cancels(budget):
+            session = ChaseSession.start(
+                database, rules, variant=variant, max_steps=max_steps,
+                planner=args.planner, budget=budget,
+                save=args.save, overwrite=args.overwrite,
+                **_scheduler_args(args),
+            )
+        service.add_session("default", session)
+        _chase_summary(variant, session.result)
+        if budget.stop_reason == "cancelled":
+            service.close()
+            return EXIT_CODES["cancelled"]
+    server = ChaseServer(service, host=args.host, port=args.port)
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        print("% server stopped", file=sys.stderr)
+    finally:
+        service.close()
+    return 0
+
+
 def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
@@ -605,6 +685,40 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("--graph", choices=["dep", "extdep", "joint", "types"],
                      default="dep")
     dot.set_defaults(func=_cmd_dot)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a resident chased instance over HTTP with "
+             "incremental ingest")
+    serve.add_argument("rules", nargs="?", default=None)
+    serve.add_argument("database", nargs="?", default=None)
+    serve.add_argument("--db", metavar="DIR", default=None,
+                       help="serve a saved store: checkpointed stores "
+                            "are extendable (ingest keeps "
+                            "checkpointing), plain stores read-only")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks a free port and prints "
+                            "it (default 8080)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="per-request deadline cap in seconds; a "
+                            "request may ask for less, never more "
+                            "(default 30)")
+    serve.add_argument("--variant", choices=sorted(_VARIANTS), default="r")
+    serve.add_argument("--max-steps", type=int, default=None,
+                       help="step budget for the initial chase and all "
+                            "ingest legs combined (default 10000)")
+    serve.add_argument("--save", metavar="DIR", default=None,
+                       help="checkpoint the served chase into a durable "
+                            "store; ingested deltas persist there too")
+    serve.add_argument("--overwrite", action="store_true",
+                       help="with --save, replace an existing store")
+    _add_scheduler_flags(serve)
+    _add_planner_flag(serve, default="cost")
+    _add_budget_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

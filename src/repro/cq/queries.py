@@ -38,6 +38,22 @@ from ..query import CompiledQuery
 class ConjunctiveQuery:
     """``answers(X1,...,Xn) :- atom, atom, ...``.
 
+    The user-facing query object: parse one with
+    :func:`repro.parser.parse_query`, then evaluate it against any
+    chased instance (or snapshot) ::
+
+        query = parse_query("q(X) :- works(X, D), dept(D)")
+        naive = list(query.answers(result.instance))
+        certain = query.certain_answers(result.instance)
+        if parse_query("works(X, D)").holds_in(result.instance): ...
+
+    ``answers`` yields one tuple per homomorphism image (nulls
+    included); ``certain_answers`` keeps only null-free tuples, which
+    over a *terminated* chase are exactly the answers true in every
+    model of D ∧ Σ.  A query with no answer variables is boolean —
+    evaluate it with ``holds_in``.  Evaluation delegates to the
+    (cached, per ``policy``) :class:`repro.query.CompiledQuery`.
+
     ``name`` is the answer predicate's display name (what the parser
     saw before ``:-``; what the CLI prints answers under) — pure
     presentation, excluded from equality and hashing.

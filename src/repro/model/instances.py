@@ -513,6 +513,26 @@ class Instance:
         """A hashable snapshot of the fact set."""
         return frozenset(self)
 
+    def snapshot(self, watermark: Optional[int] = None) -> "SnapshotInstance":
+        """A consistent read-only view of this instance at a row-count
+        watermark (default: the current size).
+
+        Rows are append-only, so the view is zero-copy: it shares this
+        instance's storage and bounds every read at the watermark.
+        Create snapshots only while no writer is appending (e.g.
+        between chase rounds / extension legs); once created, a
+        snapshot may be queried from any number of threads while this
+        instance keeps growing — that is the query server's
+        mid-extension read consistency (see :mod:`repro.serve`).
+
+        Snapshots reject mutation, and queries against them never
+        intern new symbols into the shared tables (unseen constants
+        resolve to snapshot-local ids matching nothing), so concurrent
+        readers cannot perturb the writer's deterministic id
+        assignment.
+        """
+        return SnapshotInstance(self, watermark)
+
 
 class Database(Instance):
     """An instance that rejects nulls — the chase's input."""
@@ -526,6 +546,80 @@ class Database(Instance):
 
     def copy(self) -> "Database":
         return Database(self.facts())
+
+
+class SnapshotInstance(Instance):
+    """A read-only view of another instance at a row-count watermark.
+
+    Shares the base instance's storage and decoded-atom cache
+    zero-copy (rows are append-only, so everything below the watermark
+    is immutable) but keeps **its own** plan caches: a snapshot's size
+    never changes, so resolved query plans stay valid for its whole
+    lifetime and are shared across every request pinned to it.
+
+    Mutation raises ``TypeError``.  See :meth:`Instance.snapshot` for
+    the creation-time quiescence requirement and the concurrency
+    contract.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: Instance, watermark: Optional[int] = None):
+        from ..storage.snapshot import SnapshotFactStore
+
+        if isinstance(base, SnapshotInstance):
+            base = base.base
+        super().__init__(store=SnapshotFactStore(base.store, watermark))
+        self.base = base
+        # Share the ordinal -> Atom decode cache: both sides only ever
+        # insert (never delete), and every shared ordinal decodes to
+        # the same fact, so concurrent lazy decoding is safe and work
+        # done by one side benefits the other.
+        self._atoms = base._atoms
+        self.order_policy = base.order_policy
+
+    @property
+    def watermark(self) -> int:
+        """The row-count bound: this view is the base instance's first
+        ``watermark`` facts."""
+        return self._store.watermark
+
+    def term_id(self, term: Term) -> int:
+        # Never intern into the shared symbol table (see the store).
+        return self._store.term_id(term)
+
+    def add(self, fact: Atom) -> bool:
+        raise TypeError(
+            "snapshots are read-only: add facts to the base instance "
+            "and take a fresh snapshot"
+        )
+
+    def add_row(self, pid: int, row: Row) -> Optional[int]:
+        raise TypeError(
+            "snapshots are read-only: add facts to the base instance "
+            "and take a fresh snapshot"
+        )
+
+    def copy(self) -> Instance:
+        """An independent, mutable in-memory instance holding exactly
+        the facts below the watermark."""
+        out = Instance(store=self._store.clone())
+        out.order_policy = self.order_policy
+        return out
+
+    def save(self, path: str, overwrite: bool = False):
+        raise TypeError(
+            "snapshots cannot be saved directly; materialize with "
+            ".copy() first"
+        )
+
+    def __reduce__(self):
+        # Pickles as a plain in-memory Instance holding the bounded
+        # prefix (view objects don't survive an interpreter hop).
+        return (Instance, (self.facts(),))
+
+    def __repr__(self) -> str:
+        return f"SnapshotInstance(<{len(self)} facts @ watermark>)"
 
 
 def union(*instances: Instance) -> Instance:

@@ -35,6 +35,23 @@ even when the match was a duplicate about to be dropped.
 The object-level :func:`repro.model.homomorphisms` surface stays
 untouched — it is the public compatibility API and the differential-
 test oracle the property tests compare this engine against.
+
+**Snapshot-pinned evaluation.**  Everything here works unchanged over
+a :class:`~repro.model.instances.SnapshotInstance` (a watermark view of
+a live instance — see :mod:`repro.storage.snapshot`): resolution binds
+the snapshot store's *bounded* accessors, so a plan resolved against a
+snapshot can never observe rows appended after its watermark, even
+while a writer thread extends the base concurrently.  Plans are cached
+in each instance's own ``_plans`` dict — deliberately **not** shared
+between a base and its snapshots (a resolved step captures its store's
+accessor methods at build time, so reusing a base plan on a snapshot
+would read past the watermark).  A snapshot's fact count is frozen, so
+its first evaluation of a query builds the plan and every later
+request pinned to the same published snapshot is a cache hit; the
+query server re-pays one plan build per *ingest leg*, not per request.
+Concurrent readers sharing one snapshot race only on insert-only dict
+caches (``_plans``, the null-kind memo, the decode cache), which is
+safe under the GIL — and evaluation itself never writes to the store.
 """
 
 from __future__ import annotations
@@ -78,6 +95,12 @@ class CompiledQuery:
     across many instances and many growth stages of one instance.
     ``stats`` counts plan builds vs cache hits, which is how the tests
     observe bucket-crossing replans.
+
+    Evaluation is read-only and safe to run from many threads at once
+    over the same instance or snapshot (the query server does exactly
+    this); the only shared mutations are insert-only dict caches.  The
+    ``stats`` counters are best-effort under such races — they guide
+    tests and tuning, never results.
     """
 
     __slots__ = ("answer_variables", "atoms", "policy", "stats")

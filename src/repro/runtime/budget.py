@@ -120,11 +120,24 @@ class CancelToken:
 class Budget:
     """A resource envelope for one governed run.
 
+    Accepted limits: ``timeout_s`` (wall-clock deadline from
+    ``start()``), ``max_memory_mb`` (process working-set ceiling),
+    ``max_rounds`` (chase/saturation rounds), and a shared
+    :class:`CancelToken` via ``cancel`` — cancelling the token stops
+    every run whose budget carries it at the next check.  Pass one to
+    ``run_chase``/``decide_termination``/query evaluation ::
+
+        budget = Budget(timeout_s=5.0, max_memory_mb=512)
+        result = run_chase(db, rules, "restricted", budget=budget)
+        result.stop_reason   # "fixpoint", or what tripped
+
     All limits are optional; an all-``None`` budget still provides
     cancellation and resource accounting.  ``clock`` must be a
     monotonic zero-argument callable (injectable for deterministic
     tests).  ``check`` is sticky: the first limit to trip is the
     run's stop reason, and every later check returns it unchanged.
+    Engines probe between trigger applications, so a tripped budget
+    always yields a round-consistent partial result.
 
     Memory is probed at most every ``memory_check_every`` checks
     (reading ``/proc`` per chase step would be the overhead the bench
@@ -194,9 +207,20 @@ class Budget:
         self.rounds += 1
 
     def elapsed_s(self) -> float:
+        """Seconds since :meth:`start` (0.0 before it)."""
         if self._started_at is None:
             return 0.0
         return self._clock() - self._started_at
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds left until the wall-clock deadline, floored at 0.0,
+        or ``None`` when the budget has no deadline (or has not been
+        started yet).  Per-request callers — the query server hands
+        every request ``Budget(timeout_s=...)`` — use this to report
+        how much of a deadline a finished request had to spare."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
 
     def check(self, facts: Optional[int] = None) -> Optional[str]:
         """The stop reason that applies now, or ``None`` to keep going.

@@ -1,0 +1,40 @@
+"""Chase-as-a-service: the long-lived query server.
+
+``python -m repro serve RULES.tgd --data DB.facts`` (or ``--db DIR``)
+keeps one or more chased instances resident and serves conjunctive
+queries, certain answers, and ground-atom entailment over HTTP, with a
+``POST /facts`` ingest endpoint that maintains each instance
+**incrementally** — new base facts are appended and the chase resumed
+from the delta (:class:`~repro.chase.incremental.ChaseSession`), never
+re-run from scratch.
+
+The package splits transport from logic:
+
+* :class:`~repro.serve.service.ChaseService` — the embeddable core: a
+  registry of resident instances, watermark-snapshot reads, per-request
+  :class:`~repro.runtime.budget.Budget` deadlines, and serialized
+  incremental ingest.  Usable directly as a library (no sockets).
+* :class:`~repro.serve.server.ChaseServer` — a stdlib-only ``asyncio``
+  HTTP/1.1 front end over a service;
+  :class:`~repro.serve.server.BackgroundServer` runs one on a daemon
+  thread for tests, examples, and benchmarks.
+
+Consistency model: every read request is pinned to the resident's
+*published snapshot* — a row-count watermark view taken at the end of
+the last completed extension leg — so concurrent readers never observe
+a partially applied round, while the single writer appends the next
+leg.  See ``docs/ARCHITECTURE.md`` ("The server") for the full
+contract.
+"""
+
+from .server import BackgroundServer, ChaseServer, serve_background
+from .service import ChaseService, Resident, ServiceError
+
+__all__ = [
+    "BackgroundServer",
+    "ChaseServer",
+    "ChaseService",
+    "Resident",
+    "ServiceError",
+    "serve_background",
+]

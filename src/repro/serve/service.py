@@ -1,0 +1,392 @@
+"""The embeddable chase service: residents, snapshots, budgets, ingest.
+
+:class:`ChaseService` is the transport-free core of ``repro serve`` —
+a registry of named *residents* (chased instances kept in memory,
+optionally checkpointing to durable stores) with four operations:
+
+``query``
+    Evaluate a conjunctive query (naive or certain answers, or a bare
+    boolean conjunction) against the resident's **published snapshot**
+    — a watermark view pinned once per request, so the answer set is
+    computed over one consistent instance even while an ingest is
+    appending the next extension leg.
+``entail``
+    Ground-atom entailment.  Over a terminated chase the resident is a
+    universal model, so a constant-only atom is entailed iff it is
+    *present* — one O(1) membership probe at the pinned watermark.
+``ingest``
+    Append new base facts and incrementally maintain the chase
+    (:meth:`~repro.chase.incremental.ChaseSession.extend`), then
+    publish a fresh snapshot.  Single-writer: ingests to one resident
+    are serialized by a lock; readers are never blocked.
+``status``
+    Per-resident counters and chase state.
+
+Every operation takes an optional per-request ``timeout_s``, capped by
+the service-wide ``request_timeout_s``, and runs under a fresh
+:class:`~repro.runtime.budget.Budget` carrying the service's shared
+:class:`~repro.runtime.budget.CancelToken` — so :meth:`shutdown`
+cancels in-flight work cooperatively, and a deadline-tripped request
+raises :class:`~repro.errors.BudgetExceededError` (the HTTP layer maps
+it to 503) without poisoning the resident.
+
+Thread-safety contract: residents publish snapshots by plain attribute
+assignment (atomic under the GIL) and snapshots never intern into the
+shared symbol tables, so any number of reader threads may serve
+requests while one ingest extends the instance — the GIL-safety
+argument lives in :mod:`repro.storage.snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..chase.incremental import ChaseSession
+from ..errors import ReproError
+from ..model import Atom, Instance, Predicate
+from ..model.instances import SnapshotInstance
+from ..parser import atom_to_text, parse_atom, parse_fact, parse_query
+from ..runtime.budget import Budget, CancelToken
+
+
+class ServiceError(ReproError):
+    """A request-level failure with an HTTP-ish status code (400 bad
+    request, 404 unknown resident, 409 read-only resident, ...)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class Resident:
+    """One served instance: a :class:`ChaseSession` (extendable) or a
+    bare read-only :class:`Instance` (e.g. a reopened plain store),
+    plus the published snapshot reads are pinned to."""
+
+    __slots__ = ("name", "session", "instance", "snapshot", "lock",
+                 "terminated", "queries", "ingests")
+
+    def __init__(
+        self,
+        name: str,
+        session: Optional[ChaseSession] = None,
+        instance: Optional[Instance] = None,
+        terminated: Optional[bool] = None,
+    ):
+        if (session is None) == (instance is None):
+            raise ValueError("pass a session or an instance, not both")
+        self.name = name
+        self.session = session
+        self.instance = session.instance if session else instance
+        #: The published consistent view; replaced wholesale (atomic
+        #: attribute write) at the end of every ingest leg.
+        self.snapshot: SnapshotInstance = self.instance.snapshot()
+        #: Serializes ingest legs (the chase is single-writer).
+        self.lock = threading.Lock()
+        self.terminated = (
+            session.terminated if session else terminated
+        )
+        self.queries = 0
+        self.ingests = 0
+
+    @property
+    def read_only(self) -> bool:
+        """True when the resident has no chase session to extend."""
+        return self.session is None
+
+    def describe(self) -> dict:
+        out: Dict[str, object] = {
+            "facts": self.snapshot.watermark,
+            "read_only": self.read_only,
+            "terminated": self.terminated,
+            "queries": self.queries,
+            "ingests": self.ingests,
+        }
+        session = self.session
+        if session is not None:
+            out["variant"] = session.variant
+            out["steps"] = session.step_count
+            out["stop_reason"] = session.stop_reason
+        return out
+
+
+FactsInput = Union[str, Iterable[str]]
+
+
+class ChaseService:
+    """The transport-free server core: named residents + four verbs.
+
+    ``request_timeout_s`` caps every per-request deadline (a request
+    may ask for less, never more); ``cancel`` is the shared
+    cancellation token every request budget carries — default a fresh
+    one, flipped by :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        request_timeout_s: Optional[float] = 30.0,
+        cancel: Optional[CancelToken] = None,
+    ):
+        self.request_timeout_s = request_timeout_s
+        self.cancel = cancel if cancel is not None else CancelToken()
+        self.residents: Dict[str, Resident] = {}
+
+    # -- registry ------------------------------------------------------------
+
+    def add_session(self, name: str, session: ChaseSession) -> Resident:
+        """Register an extendable resident over a live chase session."""
+        return self._register(Resident(name, session=session))
+
+    def add_readonly(
+        self, name: str, instance: Instance,
+        terminated: Optional[bool] = None,
+    ) -> Resident:
+        """Register a query-only resident (no ingest) over a bare
+        instance — e.g. a store saved without chase state."""
+        return self._register(
+            Resident(name, instance=instance, terminated=terminated)
+        )
+
+    def _register(self, resident: Resident) -> Resident:
+        if resident.name in self.residents:
+            raise ValueError(f"duplicate resident {resident.name!r}")
+        self.residents[resident.name] = resident
+        return resident
+
+    def _resident(self, name: Optional[str]) -> Resident:
+        residents = self.residents
+        if not residents:
+            raise ServiceError("no residents are loaded", status=503)
+        if name is None:
+            if len(residents) == 1:
+                return next(iter(residents.values()))
+            default = residents.get("default")
+            if default is not None:
+                return default
+            raise ServiceError(
+                f"several residents are loaded "
+                f"({', '.join(sorted(residents))}); "
+                f"name one with 'resident'",
+            )
+        resident = residents.get(name)
+        if resident is None:
+            raise ServiceError(
+                f"unknown resident {name!r} "
+                f"(loaded: {', '.join(sorted(residents)) or 'none'})",
+                status=404,
+            )
+        return resident
+
+    # -- budgets -------------------------------------------------------------
+
+    def request_budget(self, timeout_s: Optional[float] = None) -> Budget:
+        """A fresh, started budget for one request: the requested
+        deadline capped by the service-wide limit, carrying the shared
+        cancel token (so shutdown cancels in-flight requests)."""
+        cap = self.request_timeout_s
+        if timeout_s is None:
+            timeout_s = cap
+        elif timeout_s <= 0:
+            raise ServiceError(
+                f"timeout_s must be positive, got {timeout_s}"
+            )
+        elif cap is not None:
+            timeout_s = min(timeout_s, cap)
+        return Budget(timeout_s=timeout_s, cancel=self.cancel).start()
+
+    # -- the verbs -----------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        *,
+        resident: Optional[str] = None,
+        certain: bool = False,
+        policy: str = "cost",
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """Answer a conjunctive query over the resident's published
+        snapshot.
+
+        ``text`` is the CLI query syntax — ``"q(X) :- e(X, Y)"``, or a
+        bare conjunction for a boolean query.  ``certain`` filters to
+        null-free answers (the certain answers whenever the resident's
+        chase terminated).  Answers render as atom text over the
+        query's answer predicate, exactly like ``repro query``.
+        """
+        target = self._resident(resident)
+        snapshot = target.snapshot  # pin once: the request's world
+        if policy not in ("cost", "heuristic"):
+            raise ServiceError(f"unknown planner policy {policy!r}")
+        try:
+            query = parse_query(text)
+        except (ReproError, ValueError) as exc:
+            raise ServiceError(f"bad query: {exc}") from exc
+        budget = self.request_budget(timeout_s)
+        out: Dict[str, object] = {
+            "resident": target.name,
+            "watermark": snapshot.watermark,
+            "certain": certain,
+        }
+        if target.terminated is False:
+            out["warning"] = (
+                "the resident chase has not terminated; answers are "
+                "computed over a partial instance"
+            )
+        if query.is_boolean():
+            out["boolean"] = query.holds_in(
+                snapshot, policy=policy, budget=budget
+            )
+        else:
+            if certain:
+                answers = query.certain_answers(
+                    snapshot, policy=policy, budget=budget
+                )
+            else:
+                answers = list(
+                    query.answers(snapshot, policy=policy, budget=budget)
+                )
+            name = query.name
+            out["answers"] = [
+                atom_to_text(Atom(Predicate(name, len(answer)), answer))
+                for answer in answers
+            ]
+            out["count"] = len(answers)
+        out["elapsed_s"] = round(budget.elapsed_s(), 6)
+        target.queries += 1
+        return out
+
+    def entail(
+        self,
+        text: str,
+        *,
+        resident: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """Is a ground constant-only atom entailed by the resident's
+        data and rules?
+
+        Over a *terminated* chase the resident is a universal model,
+        so entailment of a constant-only atom collapses to membership
+        — one O(1) probe at the pinned watermark.  Over an unfinished
+        chase, presence still implies entailment (the chase is sound);
+        absence is reported with a warning (the model is partial).
+        """
+        target = self._resident(resident)
+        snapshot = target.snapshot
+        try:
+            atom = parse_atom(text)
+        except (ReproError, ValueError) as exc:
+            raise ServiceError(f"bad atom: {exc}") from exc
+        if not atom.is_ground() or atom.nulls():
+            raise ServiceError(
+                f"entailment takes a ground constant-only atom, "
+                f"got {atom}"
+            )
+        self.request_budget(timeout_s)  # validates; membership is O(1)
+        entailed = atom in snapshot
+        out: Dict[str, object] = {
+            "resident": target.name,
+            "watermark": snapshot.watermark,
+            "atom": atom_to_text(atom),
+            "entailed": entailed,
+        }
+        if not entailed and target.terminated is False:
+            out["warning"] = (
+                "the resident chase has not terminated; a negative "
+                "entailment answer may be incomplete"
+            )
+        target.queries += 1
+        return out
+
+    def ingest(
+        self,
+        facts: FactsInput,
+        *,
+        resident: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> dict:
+        """Append new base facts and incrementally maintain the chase.
+
+        ``facts`` is database text (one ground atom per line) or an
+        iterable of single-fact strings.  The resident's chase resumes
+        from the delta only (semi-naive, persistent fired keys — see
+        :mod:`repro.chase.incremental`); when it checkpoints, the
+        delta and its derivations are durable at return.  A fresh
+        snapshot is published on completion — readers keep their
+        pinned watermarks throughout.  ``max_steps`` raises the
+        session's total step cap.
+        """
+        target = self._resident(resident)
+        if target.session is None:
+            raise ServiceError(
+                f"resident {target.name!r} is read-only (no chase "
+                f"state); ingest needs a session-backed resident",
+                status=409,
+            )
+        try:
+            if isinstance(facts, str):
+                parsed: List[Atom] = [
+                    parse_fact(line)
+                    for line in facts.splitlines()
+                    if line.strip() and not line.lstrip().startswith("%")
+                ]
+            else:
+                parsed = [parse_fact(text) for text in facts]
+        except (ReproError, ValueError) as exc:
+            raise ServiceError(f"bad fact: {exc}") from exc
+        if not parsed:
+            raise ServiceError("no facts to ingest")
+        budget = self.request_budget(timeout_s)
+        session = target.session
+        with target.lock:
+            before = session.watermark
+            steps_before = session.step_count
+            try:
+                result = session.extend(
+                    parsed, budget=budget, max_steps=max_steps,
+                )
+            except (ValueError,) as exc:
+                raise ServiceError(f"bad delta: {exc}") from exc
+            # Publish: one atomic attribute write; readers pinned to
+            # the old snapshot finish undisturbed, new requests see
+            # the maintained instance.
+            target.snapshot = session.snapshot()
+            target.terminated = session.terminated
+            target.ingests += 1
+        return {
+            "resident": target.name,
+            "watermark": target.snapshot.watermark,
+            "new_facts": target.snapshot.watermark - before,
+            "new_steps": session.step_count - steps_before,
+            "terminated": session.terminated,
+            "stop_reason": session.stop_reason,
+            "elapsed_s": round(budget.elapsed_s(), 6),
+        }
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    def status(self) -> dict:
+        """Service-level summary: one entry per resident."""
+        return {
+            "residents": {
+                name: resident.describe()
+                for name, resident in self.residents.items()
+            },
+            "request_timeout_s": self.request_timeout_s,
+            "shutting_down": self.cancel.cancelled(),
+        }
+
+    def shutdown(self) -> None:
+        """Cooperatively cancel in-flight requests (their budgets share
+        the service token) and mark the service as stopping."""
+        self.cancel.cancel()
+
+    def close(self) -> None:
+        """Shut down and release every session's executor."""
+        self.shutdown()
+        for resident in self.residents.values():
+            if resident.session is not None:
+                resident.session.close()

@@ -45,11 +45,19 @@ _EMPTY_MEMBER: Dict[Row, int] = {}
 class FactStore:
     """The physical half of an instance: symbols, rows, and indexes.
 
+    Rows are **append-only**: a fact's (predicate, row) position never
+    mutates or moves, which is what makes save/resume, incremental
+    extension, and watermark snapshots (bounding every accessor to a
+    row-count high-water mark) compose without copies or locks.
+
     This base class *is* the in-memory backend (see
-    :data:`MemoryFactStore`); the durable backend subclasses it and
-    overrides the hydration hooks plus ``pred_id``/``pred_id_get``.
-    One store belongs to exactly one instance — stores are cloned, not
-    shared.
+    :data:`MemoryFactStore`); the durable backend
+    (:class:`repro.storage.durable.DurableFactStore`, append-only
+    segments + atomic manifest, written by ``Instance.save`` /
+    ``chase --save`` and reopened with
+    :func:`repro.storage.open_instance`) subclasses it and overrides
+    the hydration hooks plus ``pred_id``/``pred_id_get``.  One store
+    belongs to exactly one instance — stores are cloned, not shared.
     """
 
     kind = "memory"

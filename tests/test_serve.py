@@ -1,0 +1,410 @@
+"""The query server: snapshots, the service core, and the HTTP layer.
+
+The load-bearing test is :func:`test_snapshot_isolation_under_writer`:
+N reader threads query a resident while one writer ingests deltas, and
+every answer set a reader observed must equal the answer set computed
+*after quiescence* over a snapshot pinned to the same watermark — i.e.
+readers never see a partially applied extension leg, on any executor.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.chase import ChaseVariant, run_chase
+from repro.chase.incremental import ChaseSession
+from repro.model import Instance
+from repro.model.instances import SnapshotInstance
+from repro.parser import parse_database, parse_fact, parse_program, parse_query
+from repro.serve import (
+    BackgroundServer,
+    ChaseService,
+    ServiceError,
+    serve_background,
+)
+
+RULES = parse_program(
+    """
+    e(X, Y) -> p(X, Y)
+    p(X, Y), e(Y, Z) -> p(X, Z)
+    p(X, Y) -> exists W . tag(Y, W)
+    """
+)
+
+BASE = parse_database("e(n0, n1)\ne(n1, n2)")
+
+
+def fresh_session(**sched):
+    return ChaseSession.start(
+        BASE, RULES, variant=ChaseVariant.SEMI_OBLIVIOUS, **sched
+    )
+
+
+# -- snapshots ---------------------------------------------------------------
+
+
+def test_snapshot_is_a_bounded_consistent_view():
+    session = fresh_session()
+    try:
+        snap = session.snapshot()
+        assert isinstance(snap, SnapshotInstance)
+        full = list(session.instance.facts())
+        assert list(snap.facts()) == full
+        assert len(snap) == session.watermark
+        # A snapshot pinned below the tip sees exactly the log prefix.
+        half = session.instance.snapshot(watermark=3)
+        assert list(half.facts()) == full[:3]
+        assert len(half) == 3
+        assert full[0] in half
+        assert full[-1] not in half
+    finally:
+        session.close()
+
+
+def test_snapshot_stays_pinned_while_base_grows():
+    session = fresh_session()
+    try:
+        snap = session.snapshot()
+        before = list(snap.facts())
+        query = parse_query("q(X, Y) :- p(X, Y)")
+        answers_before = sorted(query.answers(snap))
+        session.extend([parse_fact("e(n2, n3)")])
+        assert list(snap.facts()) == before
+        assert sorted(query.answers(snap)) == answers_before
+        assert session.snapshot().watermark > snap.watermark
+    finally:
+        session.close()
+
+
+def test_snapshot_is_read_only_and_never_interns():
+    session = fresh_session()
+    try:
+        snap = session.snapshot()
+        with pytest.raises(TypeError):
+            snap.add(parse_fact("e(x, y)"))
+        with pytest.raises(TypeError):
+            snap.save("nowhere")
+        symbols_before = len(session.instance.store.symbols)
+        query = parse_query("q(X) :- e(X, unseen_constant_zz)")
+        assert list(query.answers(snap)) == []
+        assert parse_fact("zz_pred(zz_arg)") not in snap
+        assert len(session.instance.store.symbols) == symbols_before
+    finally:
+        session.close()
+
+
+def test_snapshot_copy_materializes_an_independent_instance():
+    session = fresh_session()
+    try:
+        half = session.instance.snapshot(watermark=3)
+        copy = half.copy()
+        assert isinstance(copy, Instance)
+        assert not isinstance(copy, SnapshotInstance)
+        assert list(copy.facts()) == list(half.facts())
+        copy.add(parse_fact("e(zz, ww)"))
+        assert len(copy) == 4
+        assert len(half) == 3
+    finally:
+        session.close()
+
+
+# -- the service core --------------------------------------------------------
+
+
+def test_service_query_entail_ingest_status():
+    session = fresh_session()
+    service = ChaseService()
+    service.add_session("default", session)
+    try:
+        out = service.query("q(X, Y) :- p(X, Y)")
+        assert out["resident"] == "default"
+        assert out["count"] == len(out["answers"]) == 3
+        assert out["watermark"] == session.watermark
+
+        out = service.query("p(n0, n2)")
+        assert out["boolean"] is True
+
+        out = service.entail("p(n0, n2)")
+        assert out["entailed"] is True
+        out = service.entail("p(n2, n0)")
+        assert out["entailed"] is False
+
+        before = session.watermark
+        out = service.ingest("e(n2, n3)\ne(n3, n4)")
+        assert out["terminated"] is True
+        assert out["new_facts"] > 2  # the delta plus its consequences
+        assert out["watermark"] == session.watermark > before
+
+        out = service.query("q(X) :- p(X, n4)", certain=True)
+        assert out["certain"] is True
+        assert out["count"] == 4
+
+        status = service.status()
+        resident = status["residents"]["default"]
+        assert resident["queries"] == 5
+        assert resident["ingests"] == 1
+        assert resident["terminated"] is True
+    finally:
+        service.close()
+
+
+def test_service_error_statuses():
+    service = ChaseService()
+    with pytest.raises(ServiceError) as err:
+        service.query("q(X) :- p(X, Y)")
+    assert err.value.status == 503  # nothing loaded
+
+    session = fresh_session()
+    service.add_session("default", session)
+    try:
+        with pytest.raises(ServiceError) as err:
+            service.query("q(X) :- p(X, Y)", resident="nope")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            service.query("q(X :- broken")
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            service.entail("p(X, n1)")  # not ground
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            service.ingest("")
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            service.query("q(X) :- p(X, Y)", timeout_s=-1)
+        assert err.value.status == 400
+    finally:
+        service.close()
+
+
+def test_service_readonly_resident_rejects_ingest():
+    instance = Instance(parse_database("p(a, b)"))
+    service = ChaseService()
+    service.add_readonly("frozen", instance)
+    out = service.query("q(X) :- p(X, Y)", resident="frozen")
+    assert out["count"] == 1
+    with pytest.raises(ServiceError) as err:
+        service.ingest("p(c, d)", resident="frozen")
+    assert err.value.status == 409
+    service.close()
+
+
+def test_service_named_residents_and_budget_cap():
+    service = ChaseService(request_timeout_s=30.0)
+    service.add_readonly("a", Instance(parse_database("p(a, b)")))
+    service.add_readonly("b", Instance(parse_database("p(b, c)")))
+    with pytest.raises(ServiceError) as err:
+        service.query("q(X) :- p(X, Y)")  # ambiguous
+    assert err.value.status == 400
+    assert service.query("q(X) :- p(X, Y)", resident="b")["count"] == 1
+    # The per-request deadline is capped by the service-wide limit.
+    budget = service.request_budget(timeout_s=10_000.0)
+    assert budget.timeout_s == 30.0
+    assert 0.0 < budget.remaining_s() <= 30.0
+    service.close()
+
+
+def test_service_shutdown_cancels_request_budgets():
+    service = ChaseService()
+    service.add_readonly("a", Instance(parse_database("p(a, b)")))
+    budget = service.request_budget()
+    service.shutdown()
+    assert budget.check() == "cancelled"
+    service.close()
+
+
+# -- snapshot isolation under a concurrent writer ----------------------------
+
+
+@pytest.mark.parametrize(
+    "sched",
+    (
+        {},
+        {"scheduler": "threaded", "workers": 2},
+        {"scheduler": "process", "workers": 2},
+    ),
+    ids=("serial", "threaded", "process"),
+)
+def test_snapshot_isolation_under_writer(sched):
+    """Readers pinned to published snapshots never observe a partial
+    extension leg: every (watermark, answers) pair a reader recorded
+    must be reproducible after quiescence from a snapshot pinned to
+    that same watermark, and each reader's watermarks are monotone."""
+    session = fresh_session(**sched)
+    service = ChaseService()
+    service.add_session("default", session)
+    query_text = "q(X, Y) :- p(X, Y)"
+    deltas = [f"e(n{i}, n{i + 1})" for i in range(2, 12)]
+    observations = [[] for _ in range(3)]
+    failures = []
+    done = threading.Event()
+
+    def reader(slot):
+        try:
+            while not done.is_set():
+                out = service.query(query_text)
+                observations[slot].append(
+                    (out["watermark"], tuple(sorted(out["answers"])))
+                )
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,)) for slot in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        for delta in deltas:
+            service.ingest(delta)
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert not failures, failures
+
+    # Quiesced ground truth, per watermark actually observed.
+    query = parse_query(query_text)
+    from repro.model import Atom, Predicate
+    from repro.parser import atom_to_text
+
+    def answers_at(watermark):
+        snap = session.instance.snapshot(watermark=watermark)
+        return tuple(
+            sorted(
+                atom_to_text(Atom(Predicate("q", len(row)), row))
+                for row in query.answers(snap)
+            )
+        )
+
+    expected = {}
+    for trace in observations:
+        watermarks = [w for w, _ in trace]
+        assert watermarks == sorted(watermarks), "non-monotone watermarks"
+        for watermark, answers in trace:
+            if watermark not in expected:
+                expected[watermark] = answers_at(watermark)
+            assert answers == expected[watermark], (
+                f"reader saw a partial round at watermark {watermark}"
+            )
+    # The final published snapshot is the full final instance.
+    assert service.query(query_text)["watermark"] == len(session.instance)
+    service.close()
+
+
+def test_incremental_ingest_equals_from_scratch_service():
+    """The CI smoke's assertion, in-process: after a sequence of
+    ingests, the served answers equal a from-scratch chase of the
+    union database."""
+    session = fresh_session()
+    service = ChaseService()
+    service.add_session("default", session)
+    deltas = ["e(n2, n3)", "e(n3, n4)", "e(n0, n5)"]
+    for delta in deltas:
+        service.ingest(delta)
+    served = service.query("q(X, Y) :- p(X, Y)", certain=True)
+
+    union = parse_database(
+        "e(n0, n1)\ne(n1, n2)\n" + "\n".join(deltas)
+    )
+    scratch = run_chase(union, RULES, ChaseVariant.SEMI_OBLIVIOUS)
+    assert scratch.terminated
+    query = parse_query("q(X, Y) :- p(X, Y)")
+    from repro.model import Atom, Predicate
+    from repro.parser import atom_to_text
+
+    expected = sorted(
+        atom_to_text(Atom(Predicate("q", len(row)), row))
+        for row in query.certain_answers(scratch.instance)
+    )
+    assert sorted(served["answers"]) == expected
+    service.close()
+
+
+# -- HTTP --------------------------------------------------------------------
+
+
+def _request(host, port, method, path, payload=None):
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    body = json.dumps(payload) if payload is not None else None
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    out = json.loads(response.read())
+    conn.close()
+    return response.status, out
+
+
+def test_http_end_to_end():
+    session = fresh_session()
+    service = ChaseService()
+    service.add_session("default", session)
+    with serve_background(service) as background:
+        host, port = background.address
+        assert port != 0  # ephemeral port resolved
+
+        status, out = _request(host, port, "GET", "/health")
+        assert status == 200 and out["ok"] is True
+
+        status, out = _request(host, port, "GET", "/stats")
+        assert status == 200
+        assert "default" in out["residents"]
+
+        status, out = _request(
+            host, port, "POST", "/query",
+            {"query": "q(X, Y) :- p(X, Y)"},
+        )
+        assert status == 200 and out["count"] == 3
+
+        status, out = _request(
+            host, port, "POST", "/entail", {"atom": "p(n0, n2)"}
+        )
+        assert status == 200 and out["entailed"] is True
+
+        status, out = _request(
+            host, port, "POST", "/facts", {"facts": "e(n2, n3)"}
+        )
+        assert status == 200 and out["terminated"] is True
+
+        status, out = _request(
+            host, port, "POST", "/query",
+            {"query": "q(X) :- p(X, n3)", "certain": True},
+        )
+        assert status == 200 and out["count"] == 3
+
+        # Error mapping.
+        status, _ = _request(host, port, "GET", "/nope")
+        assert status == 404
+        status, _ = _request(host, port, "GET", "/query")
+        assert status == 405
+        status, _ = _request(host, port, "POST", "/query", {"nope": 1})
+        assert status == 400
+        status, _ = _request(
+            host, port, "POST", "/query", {"query": "q(X :- bad"}
+        )
+        assert status == 400
+        status, _ = _request(host, port, "POST", "/facts", {"facts": 7})
+        assert status == 400
+    # Clean shutdown: the thread joined and the socket is closed.
+    import socket
+
+    with pytest.raises(OSError):
+        probe = socket.create_connection((host, port), timeout=2)
+        probe.close()
+    service.close()
+
+
+def test_http_readonly_store_conflict():
+    service = ChaseService()
+    service.add_readonly(
+        "default", Instance(parse_database("p(a, b)"))
+    )
+    with BackgroundServer(service) as background:
+        host, port = background.address
+        status, out = _request(
+            host, port, "POST", "/facts", {"facts": "p(c, d)"}
+        )
+        assert status == 409
+        assert "read-only" in out["error"]
+    service.close()
