@@ -87,6 +87,14 @@ sets, speedup gated at ≥2×), plus sustained queries/s from a
 :class:`repro.serve.ChaseService` under concurrent reader threads
 while one writer ingests the same schedule.
 
+PR 9 (crash-recoverable, overload-safe serving) adds a
+**serve_overload** row: closed-loop HTTP clients at 2× the admission
+slots (accepted answers must stay correct, every shed response must
+carry ``Retry-After``; throughput and shed rate are recorded) plus the
+write-ahead ingest journal's durability cost — wall spent in the
+journal's encode+write+fsync calls relative to the chase legs they
+ride on, measured paired inside the journaled runs — gated at ≤10%.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py             # full run
@@ -107,6 +115,7 @@ sizes inside tier-1 so the harness cannot rot.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import pickle
@@ -1197,6 +1206,321 @@ def run_serve_incremental(spec: Dict) -> Dict:
     }
 
 
+# -- overload shedding + WAL overhead (PR 9) --------------------------------
+
+
+#: Service-wide admission slots for the overload arm; clients run at
+#: 2x this (closed-loop), so roughly half the offered load must shed.
+OVERLOAD_CAP = 4
+#: Closed-loop HTTP clients (2x the admission slots).
+OVERLOAD_CLIENTS = 8
+#: The ``slow_accept`` fault pins every admitted request to this
+#: service time, making capacity (and therefore the shed rate)
+#: deterministic instead of a function of host speed.
+OVERLOAD_SLOW_S = 0.02
+#: How long the clients hammer the server.
+OVERLOAD_DURATION_S = 1.0
+#: The write-ahead ingest journal may cost at most this much wall over
+#: journal-less durable ingest, or the gate fails.
+WAL_GATE_PCT = 10.0
+#: Below this journal-less total wall the fixed per-append cost (one
+#: open + fsync, ~1 ms) dominates any ratio and the gate reports
+#: "skipped" — same idiom as the other noise floors above.
+WAL_MIN_WALL_S = 0.08
+#: Interleaved repetitions; the overhead is computed from per-leg
+#: minima so one slow fsync cannot swing the ratio.
+WAL_REPS = 3
+
+
+def serve_overload_scenario(scale: float) -> Dict:
+    """Two arms over one chain-closure resident:
+
+    1. **Shedding at 2x capacity** — 8 closed-loop HTTP clients
+       against 4 admission slots, with every admitted request pinned
+       to ``OVERLOAD_SLOW_S`` service time by the ``slow_accept``
+       fault: the excess must shed with 503 + ``Retry-After`` while
+       every accepted answer stays correct.
+    2. **WAL fsync overhead** — the same durable ingest schedule with
+       and without the write-ahead journal attached, gated ≤10%.
+    """
+    e, p = Predicate("e", 2), Predicate("p", 2)
+    rules = [
+        TGD([Atom(e, [X, Y])], [Atom(p, [X, Y])], label="base"),
+        TGD([Atom(p, [X, Y]), Atom(e, [Y, Z])], [Atom(p, [X, Z])],
+            label="compose"),
+    ]
+    overload_n = max(10, int(30 * scale))
+    wal_n = max(80, int(400 * scale))
+    wal_width, wal_deltas = 12, 6
+    return {
+        "name": "serve_overload",
+        "rules": rules,
+        "variant": ChaseVariant.SEMI_OBLIVIOUS,
+        "max_steps": 10_000_000,
+        "overload_n": overload_n,
+        "duration_s": max(0.3, OVERLOAD_DURATION_S * min(1.0, scale * 2)),
+        "query": "q(Y) :- p(c0, Y)",
+        "wal_n": wal_n,
+        "wal_deltas": [
+            [Atom(e, [Constant(f"c{wal_n + j * wal_width + t}"),
+                      Constant(f"c{wal_n + j * wal_width + t + 1}")])
+             for t in range(wal_width)]
+            for j in range(wal_deltas)
+        ],
+    }
+
+
+def _chain_database(n: int) -> Database:
+    e = Predicate("e", 2)
+    return Database(
+        Atom(e, [Constant(f"c{i}"), Constant(f"c{i + 1}")])
+        for i in range(n)
+    )
+
+
+def _run_overload_arm(spec: Dict) -> Dict:
+    """Closed-loop HTTP clients at 2x the admission slots."""
+    import http.client
+    import threading
+
+    from repro.chase.incremental import ChaseSession
+    from repro.serve import AdmissionController, BackgroundServer, \
+        ChaseService
+
+    session = ChaseSession.start(
+        _chain_database(spec["overload_n"]), spec["rules"],
+        variant=spec["variant"], max_steps=spec["max_steps"],
+    )
+    service = ChaseService(
+        request_timeout_s=None,
+        admission=AdmissionController(max_inflight=OVERLOAD_CAP),
+    )
+    service.add_session("default", session)
+    expected = sorted(service.query(spec["query"])["answers"])
+
+    accepted = [0] * OVERLOAD_CLIENTS
+    shed = [0] * OVERLOAD_CLIENTS
+    retry_hints = [0] * OVERLOAD_CLIENTS
+    wrong: List[str] = []
+    body = json.dumps({"query": spec["query"]})
+    saved_faults = os.environ.get("REPRO_FAULTS")
+    os.environ["REPRO_FAULTS"] = f"slow_accept:{OVERLOAD_SLOW_S}"
+    try:
+        with BackgroundServer(service) as server:
+            host, port = server.address
+            deadline = (
+                time.perf_counter() + spec["duration_s"]
+            )
+
+            def client(slot: int) -> None:
+                while time.perf_counter() < deadline:
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=30
+                    )
+                    try:
+                        conn.request(
+                            "POST", "/query", body=body,
+                            headers={
+                                "Content-Type": "application/json"
+                            },
+                        )
+                        response = conn.getresponse()
+                        data = json.loads(response.read())
+                    finally:
+                        conn.close()
+                    if response.status == 200:
+                        accepted[slot] += 1
+                        if sorted(data["answers"]) != expected:
+                            wrong.append(str(data))
+                    else:
+                        shed[slot] += 1
+                        if response.getheader("Retry-After"):
+                            retry_hints[slot] += 1
+                        time.sleep(0.005)  # polite-ish client
+
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(OVERLOAD_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+    finally:
+        if saved_faults is None:
+            os.environ.pop("REPRO_FAULTS", None)
+        else:
+            os.environ["REPRO_FAULTS"] = saved_faults
+        service.close()
+
+    if wrong:
+        raise AssertionError(
+            f"serve_overload: accepted request answered incorrectly "
+            f"under load: {wrong[0]}"
+        )
+    total_accepted, total_shed = sum(accepted), sum(shed)
+    if total_shed and sum(retry_hints) != total_shed:
+        raise AssertionError(
+            "serve_overload: a shed response was missing Retry-After"
+        )
+    return {
+        "clients": OVERLOAD_CLIENTS,
+        "max_inflight": OVERLOAD_CAP,
+        "accepted": total_accepted,
+        "shed": total_shed,
+        "shed_rate": round(
+            total_shed / (total_accepted + total_shed), 3
+        ) if (total_accepted + total_shed) else None,
+        "accepted_per_s": round(total_accepted / wall, 1)
+        if wall > 0 else None,
+    }
+
+
+class _TimedJournal:
+    """Delegating journal proxy that accumulates the wall spent in the
+    durability calls (``append_delta``'s encode+write+fsync and
+    ``append_ack``).  Timing the journal *inside* the journaled legs
+    pairs numerator and denominator on the same run, so chase-leg
+    noise cancels — a differenced plain-vs-journaled comparison at
+    this leg size (~60ms) swings +-7% run to run, swamping the ~1-3%
+    true cost."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.wall = 0.0
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def append_delta(self, *args, **kwargs):
+        tick = time.perf_counter()
+        try:
+            return self.inner.append_delta(*args, **kwargs)
+        finally:
+            self.wall += time.perf_counter() - tick
+
+    def append_ack(self, *args, **kwargs):
+        tick = time.perf_counter()
+        try:
+            return self.inner.append_ack(*args, **kwargs)
+        finally:
+            self.wall += time.perf_counter() - tick
+
+
+def _run_wal_arm(spec: Dict) -> Dict:
+    """Journaled vs journal-less durable ingest.
+
+    Both arms run (interleaved) and must converge to the same
+    watermark; the recorded walls are informational.  The gated
+    overhead is the *paired* measurement: time inside the journal's
+    durability calls over the journaled legs' chase time."""
+    import shutil
+    import tempfile
+
+    from repro.chase.incremental import ChaseSession
+    from repro.serve import ChaseService
+
+    deltas = spec["wal_deltas"]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        template = os.path.join(tmp, "template")
+        seed = ChaseSession.start(
+            _chain_database(spec["wal_n"]), spec["rules"],
+            variant=spec["variant"], max_steps=spec["max_steps"],
+            save=template,
+        )
+        final_facts = None
+        journal_wall = 0.0
+
+        def legs(journal: bool, rep: int) -> float:
+            nonlocal final_facts, journal_wall
+            store = os.path.join(
+                tmp, f"{'wal' if journal else 'plain'}-{rep}"
+            )
+            shutil.copytree(template, store)
+            service = ChaseService(request_timeout_s=None)
+            resident = service.add_session(
+                "default", ChaseSession.resume(store), journal=journal,
+            )
+            timer = None
+            if journal:
+                timer = _TimedJournal(resident.journal)
+                resident.journal = timer
+            wall = 0.0
+            # Collector pauses alias onto whole legs (a cycle landing
+            # in one arm but not the other skews a ~60ms leg by 2-3x);
+            # collect up front and keep gc off while the clock runs.
+            gc.collect()
+            gc.disable()
+            try:
+                for index, delta in enumerate(deltas):
+                    texts = [
+                        f"{f.predicate.name}"
+                        f"({', '.join(map(str, f.terms))})"
+                        for f in delta
+                    ]
+                    tick = time.perf_counter()
+                    out = service.ingest(texts, ingest_id=f"d{index}")
+                    wall += time.perf_counter() - tick
+                watermark = out["watermark"]
+                if final_facts is None:
+                    final_facts = watermark
+                elif watermark != final_facts:
+                    raise AssertionError(
+                        f"serve_overload: journaled and journal-less "
+                        f"ingest diverged ({watermark} != {final_facts})"
+                    )
+            finally:
+                gc.enable()
+                if timer is not None:
+                    journal_wall += timer.wall
+                service.close()
+            return wall
+
+        seed.close()
+        plain_walls, wal_walls = [], []
+        for rep in range(WAL_REPS):
+            plain_walls.append(legs(False, rep))
+            wal_walls.append(legs(True, rep))
+
+    plain_wall = min(plain_walls)
+    wal_wall = min(wal_walls)
+    chase_wall = sum(wal_walls) - journal_wall
+    overhead_pct = (
+        round(journal_wall / chase_wall * 100, 2)
+        if chase_wall > 0 else None
+    )
+    measurable = chase_wall >= WAL_MIN_WALL_S
+    within = (
+        (overhead_pct is not None and overhead_pct <= WAL_GATE_PCT)
+        if measurable else None
+    )
+    return {
+        "wal_deltas": len(deltas),
+        "wal_plain_wall_s": round(plain_wall, 6),
+        "wal_journal_wall_s": round(wal_wall, 6),
+        "wal_fsync_wall_s": round(journal_wall, 6),
+        "wal_overhead_pct": overhead_pct,
+        "wal_gate_pct": WAL_GATE_PCT,
+        "wal_within_gate": within,
+    }
+
+
+def run_serve_overload(spec: Dict) -> Dict:
+    """The PR 9 robustness row: overload shedding + WAL overhead (see
+    :func:`serve_overload_scenario`).  Raises on any correctness
+    violation (wrong accepted answer, missing Retry-After, journaled
+    vs journal-less divergence); the timing halves are recorded and
+    gated by ``--check``."""
+    row: Dict = {"name": spec["name"], "variant": spec["variant"]}
+    row.update(_run_overload_arm(spec))
+    row.update(_run_wal_arm(spec))
+    row["equivalent"] = True
+    return row
+
+
 # -- runtime-governance overhead (PR 6) ------------------------------------
 
 
@@ -1459,6 +1783,36 @@ def check_against(
                 f"recorded {recorded_qps:.1f} (floor {floor:.1f} at "
                 f"ratio {ratio})"
             )
+    overload_row = baseline.get("serve_overload")
+    if overload_row:
+        measured = run_serve_overload(serve_overload_scenario(scale))
+        within = measured["wal_within_gate"]
+        if within is None:
+            lines.append(
+                f"skip serve_overload: journaled chase wall below "
+                f"{WAL_MIN_WALL_S}s noise floor at this scale"
+            )
+        else:
+            if not within:
+                ok = False
+            lines.append(
+                f"{'ok  ' if within else 'FAIL'} serve_overload: "
+                f"{measured['wal_overhead_pct']}% WAL overhead "
+                f"(gate {WAL_GATE_PCT}%)"
+            )
+        recorded_aps = overload_row.get("accepted_per_s")
+        measured_aps = measured.get("accepted_per_s")
+        if recorded_aps and measured_aps is not None:
+            floor = recorded_aps * ratio
+            status = "ok  " if measured_aps >= floor else "FAIL"
+            if measured_aps < floor:
+                ok = False
+            lines.append(
+                f"{status} serve_overload: {measured_aps:.1f} accepted/s "
+                f"at 2x capacity (shed rate {measured['shed_rate']}) vs "
+                f"recorded {recorded_aps:.1f} (floor {floor:.1f} at "
+                f"ratio {ratio})"
+            )
     query_rows = [
         row for row in baseline.get("queries", [])
         if row.get("rate_per_s")
@@ -1702,6 +2056,13 @@ def run_suite(scale: float = 1.0, compare: bool = True) -> Dict:
         "serve_incremental": run_serve_incremental(
             serve_incremental_scenario(scale)
         ),
+        # Robustness row (PR 9): overload shedding at 2x capacity
+        # (accepted answers must stay correct, shed responses must
+        # carry Retry-After) + write-ahead ingest-journal overhead vs
+        # journal-less durable ingest, ≤10% gate.
+        "serve_overload": run_serve_overload(
+            serve_overload_scenario(scale)
+        ),
     }
     if compare:
         payload["baseline_comparison"] = run_baseline_comparison(
@@ -1807,6 +2168,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"(gate {serve['gate_speedup']}x, {verdict}); "
         f"{serve['queries_per_s']} queries/s under {serve['readers']} "
         f"readers + 1 writer"
+    )
+    overload = payload["serve_overload"]
+    if overload["wal_within_gate"] is None:
+        verdict = "gate skipped: wall below noise floor"
+    else:
+        verdict = "pass" if overload["wal_within_gate"] else "FAIL"
+    print(
+        f"serve {overload['name']}: {overload['accepted_per_s']} "
+        f"accepted/s, shed rate {overload['shed_rate']} at "
+        f"{overload['clients']} clients over "
+        f"{overload['max_inflight']} slots; WAL overhead "
+        f"{overload['wal_overhead_pct']}% "
+        f"(gate {overload['wal_gate_pct']}%, {verdict})"
     )
     print(f"wrote {args.output}")
     return 0

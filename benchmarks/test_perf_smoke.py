@@ -139,14 +139,16 @@ def test_check_mode_passes_against_fresh_report():
     assert ok, lines
     # One rate line and one memory line per chase scenario, one rate
     # line per query scenario, one governance-overhead line, one
-    # persistence line, a serve speedup line and a serve queries/s line.
+    # persistence line, a serve speedup line and a serve queries/s
+    # line, a WAL-overhead line and an overload-throughput line.
     assert len(lines) == (
-        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 4
+        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 6
     )
     assert sum("peak" in line for line in lines) == len(bench_perf.SCENARIOS)
     assert sum("fault_recovery" in line for line in lines) == 1
     assert sum("persistence" in line for line in lines) == 1
     assert sum("serve_incremental" in line for line in lines) == 2
+    assert sum("serve_overload" in line for line in lines) == 2
 
 
 def test_check_mode_fails_on_memory_regression():
@@ -230,6 +232,19 @@ def test_serve_incremental_row_smoke():
     assert row["incremental_wall_s"] >= 0
 
 
+def test_serve_overload_row_smoke():
+    row = bench_perf.run_serve_overload(
+        bench_perf.serve_overload_scenario(SMOKE_SCALE)
+    )
+    # The runner raises if an accepted answer is wrong, a shed
+    # response lacks Retry-After, or the journaled/journal-less arms
+    # diverge; at smoke scale the WAL gate sits under the noise floor.
+    assert row["equivalent"] is True
+    assert row["accepted"] > 0
+    assert row["wal_overhead_pct"] is not None
+    assert row["clients"] == 2 * row["max_inflight"]
+
+
 def test_check_mode_fails_on_regression():
     payload = bench_perf.run_suite(scale=SMOKE_SCALE, compare=False)
     for row in payload["scenarios"]:
@@ -302,6 +317,13 @@ def test_suite_payload_shape(tmp_path):
                 "queries_served", "queries_per_s", "equivalent"):
         assert key in serve
     assert serve["equivalent"] is True
+    overload = payload["serve_overload"]
+    for key in ("accepted", "shed", "shed_rate", "accepted_per_s",
+                "wal_plain_wall_s", "wal_journal_wall_s",
+                "wal_overhead_pct", "wal_gate_pct", "wal_within_gate",
+                "equivalent"):
+        assert key in overload
+    assert overload["equivalent"] is True
     stored = payload["persistence"]
     for key in ("save_s", "open_s", "disk_mb", "certain_answers",
                 "rate_per_s", "equivalent"):

@@ -20,6 +20,9 @@ PYTHONPATH=src python ci/check_resume.py
 echo "== query-server smoke (incremental ingest over HTTP) =="
 PYTHONPATH=src python ci/check_serve.py
 
+echo "== crash-recovery chaos harness (WAL replay round trip) =="
+PYTHONPATH=src python ci/check_chaos.py
+
 echo "== bench harness smoke =="
 PYTHONPATH=src python -m pytest -x -q benchmarks/test_perf_smoke.py
 

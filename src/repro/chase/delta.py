@@ -150,15 +150,18 @@ def ingest_facts(
     with extra database rows).
 
     Facts must be ground and null-free (they are database rows, not
-    chase derivations).  Duplicates of existing facts are skipped.
-    Returns the log ordinals of the facts actually added, which the
-    next ``next_round()`` treats exactly like facts fired by a
-    previous round — discovery, fired-key dedup, and null numbering
-    all proceed as if the chase had always known them.
+    chase derivations); the whole delta is validated **before** any
+    fact is added, so an invalid delta is rejected without mutating
+    the instance (all-or-nothing — a caller that catches the
+    ``ValueError`` still holds a consistent engine).  Duplicates of
+    existing facts are skipped.  Returns the log ordinals of the facts
+    actually added, which the next ``next_round()`` treats exactly
+    like facts fired by a previous round — discovery, fired-key dedup,
+    and null numbering all proceed as if the chase had always known
+    them.
     """
-    instance = engine.instance
-    added: List[int] = []
-    for fact in facts:
+    checked = list(facts)
+    for fact in checked:
         if not fact.is_ground():
             raise ValueError(
                 f"ingested facts must be ground, got {fact}"
@@ -168,6 +171,9 @@ def ingest_facts(
                 f"ingested facts must be null-free base facts, "
                 f"got {fact}"
             )
+    instance = engine.instance
+    added: List[int] = []
+    for fact in checked:
         if not instance.add(fact):
             continue
         added.append(len(instance) - 1)

@@ -380,6 +380,16 @@ class ChaseSession:
         """Total trigger applications across all legs."""
         return len(self._steps)
 
+    @property
+    def store_path(self) -> Optional[str]:
+        """The durable store directory this session checkpoints to, or
+        ``None`` for a memory-only session.  Siblings of the fact data
+        (e.g. the serve layer's write-ahead ingest journal) anchor
+        themselves here."""
+        if self._ckpt is None:
+            return None
+        return self._ckpt.writer.path
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:

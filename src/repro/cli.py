@@ -74,7 +74,12 @@ queries, certain answers, and entailment over HTTP while ``POST
 chase resumes from the delta (:mod:`repro.chase.incremental`) instead
 of re-running.  With ``--db DIR`` it serves a checkpointed store
 (extendable; ingest legs keep checkpointing into the directory) or a
-plain saved store (read-only).  See :mod:`repro.serve`.
+plain saved store (read-only).  Durable residents journal every
+ingest delta (``ingest.wal``, fsync before the chase) so a crashed
+server replays unacknowledged ingests at the next start and a retried
+``ingest_id`` is applied at most once; ``--max-inflight`` /
+``--max-ingest-queue`` bound load, shedding the excess with 429/503 +
+``Retry-After``.  See :mod:`repro.serve`.
 """
 
 from __future__ import annotations
@@ -492,10 +497,16 @@ def _cmd_serve(args) -> int:
     0 — in-flight requests are cancelled cooperatively through the
     service's shared token."""
     from .chase.incremental import ChaseSession
-    from .serve import ChaseServer, ChaseService
+    from .serve import AdmissionController, ChaseServer, ChaseService
 
     budget = _budget_from(args)
-    service = ChaseService(request_timeout_s=args.request_timeout)
+    admission = AdmissionController(
+        max_inflight=args.max_inflight,
+        max_ingest_queue=args.max_ingest_queue,
+    )
+    service = ChaseService(
+        request_timeout_s=args.request_timeout, admission=admission,
+    )
     session = None
     if args.db is not None:
         if args.rules or args.database:
@@ -509,8 +520,19 @@ def _cmd_serve(args) -> int:
                 args.db, budget=budget, max_steps=args.max_steps,
                 **_scheduler_args(args)
             )
-            service.add_session("default", session)
+            resident = service.add_session(
+                "default", session, journal=True
+            )
             _chase_summary(session.variant, session.result)
+            journal = resident.journal
+            if journal is not None and journal.torn_bytes:
+                print(f"% journal: truncated {journal.torn_bytes} torn "
+                      f"tail bytes")
+            if journal is not None and resident.ingests:
+                # A fresh resident's ingest count is exactly the
+                # number of journal-replayed deltas.
+                print(f"% journal: replayed {resident.ingests} "
+                      f"unacknowledged ingest delta(s)")
         else:
             # A plain Instance.save() store: queryable, not extendable.
             instance = open_instance(args.db)
@@ -533,7 +555,9 @@ def _cmd_serve(args) -> int:
                 save=args.save, overwrite=args.overwrite,
                 **_scheduler_args(args),
             )
-        service.add_session("default", session)
+        service.add_session(
+            "default", session, journal=bool(args.save)
+        )
         _chase_summary(variant, session.result)
         if budget.stop_reason == "cancelled":
             service.close()
@@ -706,6 +730,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request deadline cap in seconds; a "
                             "request may ask for less, never more "
                             "(default 30)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       metavar="N",
+                       help="admission gate: at most N requests in "
+                            "flight service-wide; excess is shed with "
+                            "503 + Retry-After (default 64)")
+    serve.add_argument("--max-ingest-queue", type=int, default=16,
+                       metavar="N",
+                       help="at most N ingests waiting per resident; "
+                            "excess is shed with 429 + Retry-After "
+                            "(default 16)")
     serve.add_argument("--variant", choices=sorted(_VARIANTS), default="r")
     serve.add_argument("--max-steps", type=int, default=None,
                        help="step budget for the initial chase and all "

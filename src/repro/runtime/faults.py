@@ -15,11 +15,28 @@ is a comma-separated list of directives::
     spike:BYTES           report BYTES of extra working-set to the
                           memory probe (parent-side; makes memory-
                           ceiling stops deterministic).
+    crash_ingest:N        crash (os._exit 42) the *server process*
+                          during its Nth ingest — after the write-ahead
+                          journal fsync, before the chase leg — the
+                          deterministic version of "kill -9 mid-ingest"
+                          the chaos driver (``ci/check_chaos.py``)
+                          builds on.
+    slow_accept:SECONDS   sleep at the top of every admitted service
+                          request; lets overload tests saturate the
+                          admission gate deterministically.
+    torn_write            the next ingest-journal append writes only
+                          half its record bytes and then crashes
+                          (os._exit 42) — a torn write the journal
+                          must detect and truncate at restart.
 
 ``crash`` only fires in worker processes (never in the parent or the
 serial executor), so an injected fault exercises the pool-recovery
-machinery rather than killing the run outright.  All hooks are inert —
-a handful of dict lookups — when ``REPRO_FAULTS`` is unset.
+machinery rather than killing the run outright; the ``crash_ingest`` /
+``slow_accept`` / ``torn_write`` family is serve-scoped and fires in
+the *server* process, exercising the service's own recoverability
+(journal replay, admission shedding) rather than the chase workers'.
+All hooks are inert — a handful of dict lookups — when
+``REPRO_FAULTS`` is unset.
 """
 
 from __future__ import annotations
@@ -59,6 +76,12 @@ def _plan() -> Dict:
                 plan["slow_s"] = float(parts[1])
             elif kind == "spike":
                 plan["spike_bytes"] = int(parts[1])
+            elif kind == "crash_ingest":
+                plan["crash_ingest"] = int(parts[1])
+            elif kind == "slow_accept":
+                plan["slow_accept_s"] = float(parts[1])
+            elif kind == "torn_write":
+                plan["torn_write"] = True
             else:
                 raise ValueError(
                     f"unknown {ENV_VAR} directive {directive!r}"
@@ -121,3 +144,42 @@ def alloc_spike_bytes() -> int:
     injected) — lets tests trip the memory ceiling deterministically
     without actually allocating."""
     return _plan().get("spike_bytes", 0)
+
+
+# -- serve-scoped faults (the service chaos harness) -------------------------
+
+# Per-process count of ingest legs seen (crash_ingest candidates).
+_ingests_seen = 0
+
+
+def serve_request_hook() -> None:
+    """Called at the top of every *admitted* service request (while it
+    holds its admission slot).  ``slow_accept:S`` sleeps here, so
+    overload tests can pin capacity deterministically."""
+    slow = _plan().get("slow_accept_s")
+    if slow:
+        import time
+
+        time.sleep(slow)
+
+
+def serve_ingest_hook() -> None:
+    """Called once per ingest leg, after the write-ahead journal entry
+    is durable and before the chase extends.  ``crash_ingest:N`` makes
+    the Nth call ``os._exit(42)`` — the server dies exactly like a
+    ``kill -9`` landing between the WAL ack point and the chase, the
+    window journal replay exists to cover."""
+    count = _plan().get("crash_ingest")
+    if not count:
+        return
+    global _ingests_seen
+    _ingests_seen += 1
+    if _ingests_seen == count:
+        os._exit(42)
+
+
+def torn_write_planned() -> bool:
+    """True when the next journal append should tear (write half its
+    record, then crash) — consumed by the journal itself so the torn
+    bytes genuinely reach the file before the process dies."""
+    return bool(_plan().get("torn_write"))

@@ -19,21 +19,31 @@ The package splits transport from logic:
   :class:`~repro.serve.server.BackgroundServer` runs one on a daemon
   thread for tests, examples, and benchmarks.
 
+* :class:`~repro.serve.admission.AdmissionController` — the overload
+  gate: a service-wide concurrent-request bound plus a bounded
+  per-resident ingest queue; excess load is shed with 429/503 and a
+  ``Retry-After`` hint instead of queueing without bound.
+
 Consistency model: every read request is pinned to the resident's
 *published snapshot* — a row-count watermark view taken at the end of
 the last completed extension leg — so concurrent readers never observe
 a partially applied round, while the single writer appends the next
-leg.  See ``docs/ARCHITECTURE.md`` ("The server") for the full
-contract.
+leg.  Durable residents additionally write every ingest delta to a
+write-ahead journal (fsync before the chase runs), making
+``POST /facts`` crash-recoverable and idempotent per ``ingest_id``.
+See ``docs/ARCHITECTURE.md`` ("The server") for the full contract.
 """
 
+from .admission import AdmissionController, OverloadError
 from .server import BackgroundServer, ChaseServer, serve_background
 from .service import ChaseService, Resident, ServiceError
 
 __all__ = [
+    "AdmissionController",
     "BackgroundServer",
     "ChaseServer",
     "ChaseService",
+    "OverloadError",
     "Resident",
     "ServiceError",
     "serve_background",

@@ -15,18 +15,27 @@ path         method  body / effect
 ``/entail``  POST    ``{"atom": "p(a, b)", "resident"?, "timeout_s"?}``
                      → ground-atom entailment at the pinned watermark
 ``/facts``   POST    ``{"facts": "...text..." | ["p(a, b)", ...],
-                     "resident"?, "timeout_s"?, "max_steps"?}`` →
-                     incremental maintenance (chase resumed from the
-                     delta), then a fresh snapshot is published
+                     "resident"?, "timeout_s"?, "max_steps"?,
+                     "ingest_id"?}`` → incremental maintenance (chase
+                     resumed from the delta), then a fresh snapshot is
+                     published; ``ingest_id`` is the idempotency key a
+                     safe retry reuses
 ===========  ======  ====================================================
 
 Service calls run on the event loop's default thread-pool executor, so
 slow queries and ingest legs never stall the accept loop; concurrency
 control is the service's own (snapshot-pinned reads, per-resident
-single-writer ingest lock).  Error mapping: :class:`ServiceError` →
-its status, parse/validation errors → 400, a tripped request budget
-(:class:`~repro.errors.BudgetExceededError`) → 503 with the stop
-reason, unknown path → 404.
+single-writer ingest lock, admission gate).  Error mapping:
+:class:`ServiceError` → its status, parse/validation errors → 400, a
+tripped request budget (:class:`~repro.errors.BudgetExceededError`) →
+503 with the stop reason, unknown path → 404.  A shed request
+(:class:`~repro.serve.admission.OverloadError`) maps to 429/503 with a
+``Retry-After`` header and a ``retry_after_s`` payload field.
+
+``/health`` and ``/stats`` deliberately bypass the admission gate and
+(for ``/health``) the executor pool: they are computed inline on the
+event loop from cheap attribute reads, so a fully saturated service
+still answers its probes.
 
 :class:`BackgroundServer` runs a server on a daemon thread with a
 ready/stop handshake — the shape tests, examples, and the benchmark
@@ -41,6 +50,7 @@ import threading
 from typing import Optional, Tuple
 
 from ..errors import BudgetExceededError, ReproError
+from .admission import OverloadError
 from .service import ChaseService, ServiceError
 
 _MAX_HEADER_BYTES = 64 * 1024
@@ -53,19 +63,25 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 _INDEX = {
     "endpoints": {
-        "GET /health": "liveness probe",
+        "GET /health": "liveness probe (ok | degraded | quarantined)",
         "GET /stats": "per-resident chase state and counters",
         "POST /query": "conjunctive query over the pinned snapshot",
         "POST /entail": "ground-atom entailment",
-        "POST /facts": "ingest base facts; incremental maintenance",
+        "POST /facts": (
+            "ingest base facts; incremental maintenance "
+            "(idempotent via ingest_id)"
+        ),
     },
 }
+
+_Headers = Tuple[Tuple[str, str], ...]
 
 
 class _HttpError(Exception):
@@ -161,15 +177,18 @@ class ChaseServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
+        headers: _Headers = ()
         try:
-            status, payload = await self._respond(reader)
+            status, payload, headers = await self._respond(reader)
         except Exception as exc:  # pragma: no cover - handler backstop
             status, payload = 500, {"error": f"internal error: {exc}"}
         body = json.dumps(payload, indent=2).encode() + b"\n"
+        extra = "".join(f"{key}: {value}\r\n" for key, value in headers)
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode()
         try:
@@ -180,26 +199,44 @@ class ChaseServer:
         except (ConnectionError, BrokenPipeError):  # client went away
             pass
 
-    async def _respond(self, reader: asyncio.StreamReader) -> Tuple[int, dict]:
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, dict, _Headers]:
         try:
             method, path, body = await self._read_request(reader)
         except _HttpError as exc:
-            return exc.status, {"error": str(exc)}
+            return exc.status, {"error": str(exc)}, ()
         except (asyncio.IncompleteReadError, ConnectionError):
-            return 400, {"error": "truncated request"}
+            return 400, {"error": "truncated request"}, ()
         try:
-            return await self._route(method, path, body)
+            status, payload = await self._route(method, path, body)
+            return status, payload, ()
         except _HttpError as exc:
-            return exc.status, {"error": str(exc)}
+            return exc.status, {"error": str(exc)}, ()
+        except OverloadError as exc:
+            # A shed request: tell the client when to come back, both
+            # on the wire (Retry-After, integer seconds) and in the
+            # payload (fractional, for programmatic backoff).
+            header = self.service.admission.retry_after_header(
+                exc.retry_after_s
+            )
+            return (
+                exc.status,
+                {
+                    "error": str(exc),
+                    "retry_after_s": round(exc.retry_after_s, 3),
+                },
+                (("Retry-After", header),),
+            )
         except ServiceError as exc:
-            return exc.status, {"error": str(exc)}
+            return exc.status, {"error": str(exc)}, ()
         except BudgetExceededError as exc:
             return 503, {
                 "error": str(exc),
                 "stop_reason": exc.stop_reason,
-            }
+            }, ()
         except (ReproError, ValueError, TypeError) as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, ()
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -238,9 +275,11 @@ class ChaseServer:
             self._require(method, "GET")
             return 200, _INDEX
         if path == "/health":
+            # Inline on the event loop — cheap attribute reads only —
+            # so the probe answers even when the executor pool and the
+            # admission gate are saturated.
             self._require(method, "GET")
-            draining = self.service.cancel.cancelled()
-            return 200, {"ok": not draining, "draining": draining}
+            return 200, self.service.health()
         if path == "/stats":
             self._require(method, "GET")
             return 200, await self._call(self.service.status)
@@ -276,12 +315,20 @@ class ChaseServer:
                 raise _HttpError(
                     400, "'facts' must be a string or a list of strings"
                 )
+            ingest_id = payload.get("ingest_id")
+            if ingest_id is not None and (
+                not isinstance(ingest_id, str) or not ingest_id.strip()
+            ):
+                raise _HttpError(
+                    400, "'ingest_id' must be a non-empty string"
+                )
             out = await self._call(
                 self.service.ingest,
                 facts,
                 resident=payload.get("resident"),
                 timeout_s=payload.get("timeout_s"),
                 max_steps=payload.get("max_steps"),
+                ingest_id=ingest_id,
             )
             return 200, out
         raise _HttpError(404, f"no such endpoint: {path}")

@@ -20,11 +20,14 @@ from .durable import (
     read_manifest,
     save_store,
 )
+from .journal import JOURNAL_FILE, IngestJournal
 
 __all__ = [
     "CHASE_STATE",
     "DurableFactStore",
     "FactStore",
+    "IngestJournal",
+    "JOURNAL_FILE",
     "MemoryFactStore",
     "Row",
     "StoreFormatError",
