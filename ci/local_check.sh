@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q tests
 
+echo "== tier-1 tests without NumPy (pure-Python kernels) =="
+REPRO_NO_NUMPY=1 PYTHONPATH=src python -m pytest -x -q tests
+
 echo "== fault-injection suite =="
 PYTHONPATH=src python -m pytest -x -q tests/test_runtime_faults.py
 

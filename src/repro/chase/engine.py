@@ -121,6 +121,10 @@ def _drive(
         where ``stop`` is a budget-stopped result (checkpointed with
         the round's unapplied remainder) or None."""
         fired = 0
+        # Countdown rather than ``fired % _STEP_CHECK_EVERY``: the
+        # governed arm pays one decrement-and-test per applied
+        # trigger, keeping budget overhead inside the bench gate.
+        check_in = _STEP_CHECK_EVERY if budget is not None else -1
         for position, trigger in enumerate(round_triggers):
             if restricted:
                 if probes is not None and probes[position]:
@@ -137,10 +141,9 @@ def _drive(
             if len(steps) >= max_steps:
                 return finish(False, STOP_STEP_BUDGET,
                               round_triggers[position + 1:]), fired
-            if (
-                budget is not None
-                and not fired % _STEP_CHECK_EVERY
-            ):
+            check_in -= 1
+            if not check_in:
+                check_in = _STEP_CHECK_EVERY
                 reason = budget.check(facts=len(instance))
                 if reason is not None:
                     return finish(False, reason,
@@ -217,6 +220,7 @@ def run_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    kernel: str = "tuple",
     budget: Optional[Budget] = None,
     save: Optional[str] = None,
     checkpoint_every: int = 1,
@@ -246,6 +250,16 @@ def run_chase(
     renaming and restricted results are a different (equally valid)
     fair sequence.  Head-satisfaction probes are cost-planned under
     either policy (pure existence tests — order never shows).
+
+    ``kernel`` selects the execution tier for trigger discovery (see
+    :data:`repro.query.kernels.KERNELS`): ``"vector"`` runs rest-of-
+    body joins as columnar batch hash joins, ``"auto"`` does so only
+    for fat rounds (many candidate rows per pivot).  The batch join is
+    order-exact, so every kernel produces a **byte-identical** chase —
+    same facts in the same order, same trigger keys, same null
+    numbering; only speed changes.  (``"wcoj"`` is accepted and falls
+    back to tuple discovery — rule bodies are pivot-seeded joins, not
+    free multiway intersections.)
 
     For the oblivious and semi-oblivious variants, the paper recalls
     that all fair sequences agree on termination (CT_∀ = CT_∃), so the
@@ -282,6 +296,12 @@ def run_chase(
         raise ValueError(f"max_steps must be positive, got {max_steps}")
     if planner not in ("heuristic", "cost"):
         raise ValueError(f"unknown planner policy {planner!r}")
+    from ..query.kernels import KERNELS
+
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+        )
     if save is not None:
         if order_seed is not None:
             raise ValueError(
@@ -301,6 +321,7 @@ def run_chase(
     validate_program(rules)
     instance = Instance(database)
     instance.order_policy = planner
+    instance.kernel = kernel
     factory = null_factory or NullFactory()
     round_scheduler, owns_scheduler = resolve_scheduler(scheduler, workers)
     if budget is not None:
@@ -445,13 +466,14 @@ def oblivious_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    kernel: str = "tuple",
     budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """The oblivious chase: every distinct body homomorphism fires."""
     return run_chase(
         database, rules, ChaseVariant.OBLIVIOUS, max_steps,
         scheduler=scheduler, workers=workers, planner=planner,
-        budget=budget,
+        kernel=kernel, budget=budget,
     )
 
 
@@ -462,6 +484,7 @@ def semi_oblivious_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    kernel: str = "tuple",
     budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """The semi-oblivious chase: homomorphisms agreeing on the frontier
@@ -469,7 +492,7 @@ def semi_oblivious_chase(
     return run_chase(
         database, rules, ChaseVariant.SEMI_OBLIVIOUS, max_steps,
         scheduler=scheduler, workers=workers, planner=planner,
-        budget=budget,
+        kernel=kernel, budget=budget,
     )
 
 
@@ -480,6 +503,7 @@ def restricted_chase(
     scheduler: SchedulerSpec = None,
     workers: Optional[int] = None,
     planner: str = "heuristic",
+    kernel: str = "tuple",
     budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """The restricted (standard) chase: fire only when the head is not
@@ -487,5 +511,5 @@ def restricted_chase(
     return run_chase(
         database, rules, ChaseVariant.RESTRICTED, max_steps,
         scheduler=scheduler, workers=workers, planner=planner,
-        budget=budget,
+        kernel=kernel, budget=budget,
     )

@@ -10,6 +10,7 @@ compatibility surface and differential-test oracle.
 """
 
 from .compiled import CompiledQuery
+from .kernels import KERNELS, choose_kernel, is_cyclic, numpy_active
 from .planner import (
     ORDER_POLICIES,
     estimate_extension,
@@ -18,9 +19,13 @@ from .planner import (
 )
 
 __all__ = [
+    "KERNELS",
     "ORDER_POLICIES",
     "CompiledQuery",
+    "choose_kernel",
     "estimate_extension",
+    "is_cyclic",
+    "numpy_active",
     "order_atoms_cost",
     "order_for",
 ]

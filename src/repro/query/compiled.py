@@ -63,6 +63,7 @@ from ..model.atoms import Atom
 from ..model.instances import Instance
 from ..model.joinplan import _RESOLVE_CACHE_CAP, PlanExec, resolve_exec
 from ..model.terms import Null, Term, Variable
+from . import kernels as _kernels
 from .planner import order_for
 
 #: Budget-check cadence inside evaluation loops (per prefix match).
@@ -89,6 +90,15 @@ class CompiledQuery:
     :data:`repro.query.planner.ORDER_POLICIES`); both policies yield
     the same answer *sets*, in possibly different orders.
 
+    ``kernel`` selects the execution tier (see
+    :data:`repro.query.kernels.KERNELS`): ``"tuple"`` is the original
+    tuple-at-a-time executor and the default; ``"vector"`` evaluates
+    the same plan as columnar batch hash joins (order-exact — answers
+    come back byte-identical, sequence included); ``"wcoj"`` runs the
+    leapfrog worst-case-optimal multiway join (set-identical answers,
+    enumerated in trie order); ``"auto"`` picks per instance from the
+    join graph's shape and the columnar statistics.
+
     Instances are stateless with respect to any particular
     :class:`~repro.model.instances.Instance` — resolved plans live in
     the instance's own cache — so one ``CompiledQuery`` may be reused
@@ -103,17 +113,24 @@ class CompiledQuery:
     tests and tuning, never results.
     """
 
-    __slots__ = ("answer_variables", "atoms", "policy", "stats")
+    __slots__ = ("answer_variables", "atoms", "policy", "kernel", "stats")
 
     def __init__(
         self,
         answer_variables: Sequence[Variable],
         atoms: Sequence[Atom],
         policy: str = "cost",
+        kernel: str = "tuple",
     ):
         self.answer_variables: Tuple[Variable, ...] = tuple(answer_variables)
         self.atoms: Tuple[Atom, ...] = tuple(atoms)
         self.policy = policy
+        if kernel not in _kernels.KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of "
+                f"{_kernels.KERNELS}"
+            )
+        self.kernel = kernel
         if not self.atoms:
             raise ValueError("a compiled query needs at least one atom")
         body_vars = set()
@@ -124,18 +141,25 @@ class CompiledQuery:
                 raise ValueError(
                     f"answer variable {var} does not occur in the query body"
                 )
-        self.stats: Dict[str, int] = {"plans": 0, "plan_hits": 0}
+        self.stats: Dict[str, int] = {
+            "plans": 0,
+            "plan_hits": 0,
+            "early_outs": 0,
+        }
 
     def __repr__(self) -> str:
         head = ", ".join(v.name for v in self.answer_variables)
         body = ", ".join(str(a) for a in self.atoms)
-        return f"CompiledQuery(({head}) :- {body}, policy={self.policy})"
+        return (
+            f"CompiledQuery(({head}) :- {body}, policy={self.policy}, "
+            f"kernel={self.kernel})"
+        )
 
     # -- plan resolution ----------------------------------------------------
 
     def _resolved(self, instance: Instance):
-        """``(prefix, suffix, project)`` for ``instance`` at its
-        current growth bucket.
+        """``(prefix, suffix, project, slots, full)`` for ``instance``
+        at its current growth bucket.
 
         The planner-ordered body is resolved into one shared slot
         space and split at the first step binding every answer
@@ -144,7 +168,9 @@ class CompiledQuery:
         (``None`` when the whole body is needed to bind the answers),
         and ``project`` reads the answer id tuple off the live slot
         list.  Both execs share the full slot space, so a prefix
-        match's slot list seeds the suffix probe directly.
+        match's slot list seeds the suffix probe directly.  ``slots``
+        is the answer variables' slot tuple and ``full`` the unsplit
+        plan — what the batch kernels consume.
         """
         cache = instance._plans
         key = (
@@ -189,13 +215,47 @@ class CompiledQuery:
             else:
                 prefix = PlanExec(steps[:split], env)
                 suffix = PlanExec(steps[split:], env)
-            entry = (prefix, suffix, project)
+            entry = (prefix, suffix, project, slots, exec_)
             if len(cache) >= _RESOLVE_CACHE_CAP:
                 cache.clear()
             cache[key] = entry
         else:
             self.stats["plan_hits"] += 1
         return entry
+
+    def _effective_kernel(self, instance: Instance) -> str:
+        """Resolve ``"auto"`` to a concrete kernel for ``instance``
+        (cached per growth bucket — the pick is a statistics read)."""
+        kernel = self.kernel
+        if kernel != "auto":
+            return kernel
+        cache = instance._plans
+        key = ("kern", self.atoms, len(instance).bit_length())
+        pick = cache.get(key)
+        if pick is None:
+            pick = _kernels.choose_kernel(self.atoms, instance)
+            if len(cache) >= _RESOLVE_CACHE_CAP:
+                cache.clear()
+            cache[key] = pick
+        return pick
+
+    def _unsatisfiable(self, instance: Instance, steps) -> bool:
+        """Early-out (carried PR 5 follow-up): True when some step of
+        the plan — prefix or distinct-projection pushdown *residue* —
+        can never match: its relation is empty, or a constant's posting
+        list at one of its positions is empty.  Zero matches for any
+        single step means zero answers for the conjunction, so callers
+        skip enumeration (and in particular never pay a prefix scan
+        whose residual probes are doomed to fail every time)."""
+        for step in steps:
+            if not instance.rows_of(step.pid):
+                self.stats["early_outs"] += 1
+                return True
+            for pos, tid in step.const_checks:
+                if not instance.probe_rows(step.pid, pos, tid):
+                    self.stats["early_outs"] += 1
+                    return True
+        return False
 
     def _null_kinds(self, instance: Instance) -> Dict[int, bool]:
         """The instance's ``term id -> is-null`` memo (lives in the
@@ -214,17 +274,21 @@ class CompiledQuery:
         """Every body match, projected to the answer variables' term
         ids — *not* deduplicated and with no pushdown (consumers doing
         their own keying, e.g. the universality check, dedup on a
-        coarser projection and need every match)."""
-        ordered = order_for(self.atoms, instance, policy=self.policy)
-        exec_ = resolve_exec(instance, ordered)
-        slot_of = exec_.slot_of
-        slots = tuple(slot_of[v] for v in self.answer_variables)
-        if not slots:
-            project = _empty_project
-        elif len(slots) == 1:
-            project = _single_project(slots[0])
-        else:
-            project = _itemgetter(*slots)
+        coarser projection and need every match).
+
+        Under ``kernel="vector"`` the same sequence comes back from the
+        batch pipeline (order-exact); ``"wcoj"`` yields the same
+        multiset in trie order."""
+        _, _, project, slots, exec_ = self._resolved(instance)
+        if self._unsatisfiable(instance, exec_.steps):
+            return
+        kernel = self._effective_kernel(instance)
+        if kernel == "vector":
+            yield from _kernels.run_batch(exec_, instance, slots, budget)
+            return
+        if kernel == "wcoj":
+            yield from _kernels.run_wcoj(exec_, instance, slots, budget)
+            return
         assign = exec_.fresh_assign()
         seen = 0
         for match in exec_.run(instance, assign):
@@ -247,10 +311,27 @@ class CompiledQuery:
         :class:`~repro.errors.BudgetExceededError` — already-yielded
         answers are valid (evaluation is read-only, enumeration just
         stops early)."""
-        prefix, suffix, project = self._resolved(instance)
-        assign = prefix.fresh_assign()
+        prefix, suffix, project, slots, full = self._resolved(instance)
+        if self._unsatisfiable(instance, full.steps):
+            return
+        kernel = self._effective_kernel(instance)
         seen: Set[Tuple[int, ...]] = set()
         add = seen.add
+        if kernel == "vector":
+            # Batch enumeration is order-exact, so first-seen dedup of
+            # the batch equals the pushdown path byte-for-byte — and
+            # run_batch_unique performs it at array speed.
+            yield from _kernels.run_batch_unique(
+                full, instance, slots, budget
+            )
+            return
+        if kernel == "wcoj":
+            for ids in _kernels.run_wcoj(full, instance, slots, budget):
+                if ids not in seen:
+                    add(ids)
+                    yield ids
+            return
+        assign = prefix.fresh_assign()
         matches = 0
         if suffix is None:
             for match in prefix.run(instance, assign):
@@ -299,9 +380,37 @@ class CompiledQuery:
         projections are dropped *before* the residual-join probe (a
         null answer can never become certain).
         """
-        prefix, suffix, project = self._resolved(instance)
+        prefix, suffix, project, slots, full = self._resolved(instance)
+        if self._unsatisfiable(instance, full.steps):
+            return
         kinds = self._null_kinds(instance)
         obj = instance.symbols.obj
+        kernel = self._effective_kernel(instance)
+        if kernel in ("vector", "wcoj"):
+            if kernel == "vector":
+                # Already first-seen-deduplicated at array speed.
+                projected = _kernels.run_batch_unique(
+                    full, instance, slots, budget
+                )
+            else:
+                projected = _kernels.run_wcoj(full, instance, slots, budget)
+            batch_seen: Set[Tuple[int, ...]] = set()
+            batch_add = batch_seen.add
+            for ids in projected:
+                if ids in batch_seen:
+                    continue
+                batch_add(ids)
+                certain = True
+                for tid in ids:
+                    kind = kinds.get(tid)
+                    if kind is None:
+                        kind = kinds[tid] = isinstance(obj(tid), Null)
+                    if kind:
+                        certain = False
+                        break
+                if certain:
+                    yield ids
+            return
         assign = prefix.fresh_assign()
         seen: Set[Tuple[int, ...]] = set()
         add = seen.add
@@ -350,7 +459,14 @@ class CompiledQuery:
 
     def holds_in(self, instance: Instance, budget=None) -> bool:
         """Boolean evaluation: does any body match exist?"""
-        prefix, suffix, project = self._resolved(instance)
+        prefix, suffix, project, slots, full = self._resolved(instance)
+        if self._unsatisfiable(instance, full.steps):
+            return False
+        kernel = self._effective_kernel(instance)
+        if kernel == "vector":
+            return _kernels.batch_exists(full, instance, budget)
+        if kernel == "wcoj":
+            return _kernels.wcoj_exists(full, instance, budget)
         assign = prefix.fresh_assign()
         if suffix is None:
             return prefix.first(instance, assign)

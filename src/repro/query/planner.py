@@ -19,10 +19,13 @@ route through :func:`order_for`.  Two policies are offered:
 
 * ``"cost"`` — greedy smallest-estimated-extension ordering: at each
   step pick the atom whose estimated number of matching rows *per
-  intermediate tuple* (under the variables bound so far) is smallest,
-  mirroring the executor's own probe selection (it runs the smallest
-  available index row).  Ties break to the old heuristic's criteria
-  and finally to body position, so the ordering is deterministic.
+  intermediate tuple* (under the variables bound so far) is smallest.
+  The estimate is join-dependent: row count times the product of
+  per-position selectivities (see :func:`estimate_extension`), so an
+  atom constrained at several positions ranks below one with a single
+  good index even when that index is the best *individual* candidate
+  list.  Ties break to the old heuristic's criteria and finally to
+  body position, so the ordering is deterministic.
 * ``"heuristic"`` — the PR 1 ordering, retained verbatim as the
   selectable fallback and the equivalence cross-check: any conjunction
   must produce the same answer *set* under both policies (the property
@@ -58,12 +61,20 @@ def estimate_extension(
     """Estimated rows of ``atom``'s relation matching one intermediate
     tuple that binds ``bound``.
 
-    Mirrors the executor's probe selection: the estimate is the
-    smallest candidate list it could scan — the full relation, the
-    exact posting list of any constant position, or the *average*
-    posting list of any bound-variable position (rows over distinct
-    values at that column).  Unknown predicates and absent constants
-    estimate 0 (the join is empty).
+    Join-dependent model: the relation's row count scaled by the
+    *product* of per-position selectivities under the usual attribute-
+    independence assumption — ``posting/rows`` for a constant position
+    (the exact fraction of rows carrying that value) and
+    ``1/distinct`` for a bound-variable position (the average fraction
+    matching one given value; repeated variables *within* the atom
+    constrain their later occurrences the same way).  An atom
+    restricted at several positions therefore estimates lower than any
+    single position suggests — which is what a multiway join actually
+    delivers, and what the earlier single-best-index model (the min of
+    those candidate lists) could not see.  For an atom restricted at
+    one position the product collapses to exactly that old estimate.
+    Unknown predicates and absent constants estimate 0 (the join is
+    empty).
     """
     pid = instance.pred_id_get(atom.predicate)
     if pid is None:
@@ -71,23 +82,24 @@ def estimate_extension(
     rows = len(instance.rows_of(pid))
     if rows == 0:
         return 0.0
-    best = float(rows)
+    estimate = float(rows)
+    local: Set[Variable] = set()
     for position, term in enumerate(atom.terms):
         if isinstance(term, Variable):
-            if term in bound:
+            if term in bound or term in local:
                 distinct = instance.distinct_at(pid, position)
                 if distinct:
-                    average = rows / distinct
-                    if average < best:
-                        best = average
+                    estimate /= distinct
+            local.add(term)
         else:
             tid = instance.term_id_get(term)
             if tid is None:
                 return 0.0
             posting = len(instance.probe_rows(pid, position, tid))
-            if posting < best:
-                best = float(posting)
-    return best
+            if posting == 0:
+                return 0.0
+            estimate *= posting / rows
+    return estimate
 
 
 def order_atoms_cost(

@@ -11,7 +11,7 @@ path         method  body / effect
 ``/health``  GET     liveness probe (also reports draining state)
 ``/stats``   GET     :meth:`ChaseService.status` — per-resident state
 ``/query``   POST    ``{"query": "...", "certain"?, "resident"?,
-                     "policy"?, "timeout_s"?}`` → answers
+                     "policy"?, "kernel"?, "timeout_s"?}`` → answers
 ``/entail``  POST    ``{"atom": "p(a, b)", "resident"?, "timeout_s"?}``
                      → ground-atom entailment at the pinned watermark
 ``/facts``   POST    ``{"facts": "...text..." | ["p(a, b)", ...],
@@ -293,6 +293,7 @@ class ChaseServer:
                 resident=payload.get("resident"),
                 certain=bool(payload.get("certain", False)),
                 policy=payload.get("policy", "cost"),
+                kernel=payload.get("kernel"),
                 timeout_s=payload.get("timeout_s"),
             )
             return 200, out

@@ -175,10 +175,14 @@ class TestPlanCache:
         inst = Instance([atom("e", "c0", "c1")])
         compiled = CompiledQuery([X], [Atom(Predicate("e", 2), [X, Y])])
         list(compiled.answers(inst))
-        assert compiled.stats == {"plans": 1, "plan_hits": 0}
+        assert compiled.stats == {
+            "plans": 1, "plan_hits": 0, "early_outs": 0
+        }
         # Same bucket: pure cache hit.
         list(compiled.answers(inst))
-        assert compiled.stats == {"plans": 1, "plan_hits": 1}
+        assert compiled.stats == {
+            "plans": 1, "plan_hits": 1, "early_outs": 0
+        }
         # Grow past the next power-of-two fact-count bucket: the cached
         # plan expires and the query replans from fresh statistics.
         before = len(inst)
@@ -240,6 +244,62 @@ class TestCostOrdering:
             inst, atom("t", "X", "Y"), frozenset({Variable("X")})
         )
         assert est == pytest.approx(10.0)
+
+    def test_joint_selectivity_beats_single_best_index(self):
+        # Two relations joined on both columns of an already-bound
+        # pair (X, Y).  ``narrow`` (50 rows, key first column, a
+        # single value in the second) has a perfect single index: its
+        # old min-of-candidate-lists estimate is 50/50 = 1.  ``spread``
+        # (100 rows, 25 x 20 distinct) has no comparably good single
+        # column — old estimate min(100/25, 100/20) = 4 — but its
+        # *joint* selectivity is far better: 100 / (25 * 20) = 0.2
+        # expected matches per bound pair.  The old model ordered
+        # narrow first (1 < 4); the product model must not.
+        inst = Instance()
+        for i in range(100):
+            inst.add(atom("narrow", f"n{i % 50}", "only"))
+            inst.add(atom("spread", f"n{i % 25}", f"m{i % 20}"))
+        for i in range(5):
+            inst.add(atom("seed", f"n{i}", f"m{i}"))
+        bound = frozenset({X, Y})
+        narrow = atom("narrow", "X", "Y")
+        spread = atom("spread", "X", "Y")
+        assert estimate_extension(inst, narrow, bound) == pytest.approx(1.0)
+        assert estimate_extension(inst, spread, bound) == pytest.approx(0.2)
+        ordered = order_atoms_cost((narrow, spread), inst, bound)
+        assert ordered[0].predicate.name == "spread"
+        # Full plan: the 5-row seed binds (X, Y), then the joint model
+        # runs spread before narrow — the old single-index model chose
+        # [seed, narrow, spread] here.
+        full = order_atoms_cost(
+            (atom("seed", "X", "Y"), narrow, spread), inst
+        )
+        assert [a.predicate.name for a in full] == [
+            "seed", "spread", "narrow"
+        ]
+
+    def test_constant_and_bound_var_multiply(self):
+        # r(X, c) under bound X: 20 rows, posting('c') covers half of
+        # them, and column 0 has 10 distinct values ->
+        # 20 * (1/10) * (10/20) = 1, below both single-position
+        # candidates (20/10 = 2 and posting 10).
+        inst = Instance()
+        for i in range(40):
+            inst.add(atom("r", f"k{i % 10}", "c" if i < 20 else "d"))
+        est = estimate_extension(
+            inst, atom("r", "X", "c"), frozenset({X})
+        )
+        assert est == pytest.approx(1.0)
+
+    def test_repeated_variable_constrains_later_positions(self):
+        # e(X, X): the second occurrence is equality-constrained by
+        # the first, so it contributes its column's 1/distinct even
+        # with nothing bound: 30 * (1/10) = 3.
+        inst = Instance()
+        for i in range(30):
+            inst.add(atom("e", f"a{i % 30}", f"b{i % 10}"))
+        est = estimate_extension(inst, atom("e", "X", "X"), frozenset())
+        assert est == pytest.approx(3.0)
 
     def test_order_for_rejects_unknown_policy(self):
         inst = Instance([atom("p", "a")])
